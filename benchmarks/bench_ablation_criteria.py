@@ -1,0 +1,70 @@
+"""Ablation A2 — the three feasibility criteria, cross-validated.
+
+DESIGN.md documents two reproduction findings about Theorem 4.1 (the gcd
+criterion's dependence on the regular subgroup; class-order agreement).
+This ablation sweeps placements over the Cayley battery and compares three
+decision procedures on every instance:
+
+1. **gcd** — Theorem 3.1's ``gcd(|C_i|) == 1`` over automorphism classes;
+2. **subgroups** — Theorem 4.1's "no regular subgroup has a nontrivial
+   black-preserving stabilizer" (quantified over *all* regular subgroups);
+3. **free-φ** — the generalized criterion: no color-preserving automorphism
+   acts freely.
+
+On Cayley graphs all three must agree (that agreement is what makes the
+implemented Cayley protocol effectual); on non-Cayley graphs criterion 3
+still applies while 2 is undefined, and 1 may be strictly weaker (the
+Petersen instance: gcd says "no" while no free φ exists).
+"""
+
+from repro.analysis import cayley_effectualness_instances
+from repro.core import (
+    Placement,
+    cayley_election_possible,
+    elect_prediction,
+)
+from repro.graphs import find_free_automorphism, petersen_graph
+
+
+def run_criteria_sweep(seed=0):
+    rows = []
+    for inst in cayley_effectualness_instances(
+        agent_counts=(1, 2, 3), max_per_count=6, seed=seed
+    ):
+        bicolor = inst.placement.bicoloring(inst.network)
+        gcd_ok = elect_prediction(inst.network, inst.placement).succeeds
+        subgroup_ok = cayley_election_possible(inst.network, inst.placement)
+        free_phi = find_free_automorphism(inst.network, bicolor)
+        rows.append((inst.label, gcd_ok, subgroup_ok, free_phi is None))
+    return rows
+
+
+def test_bench_ablation_criteria_agree_on_cayley(once):
+    rows = once(run_criteria_sweep)
+    assert len(rows) >= 100
+    disagreements = [
+        label
+        for (label, gcd_ok, subgroup_ok, free_ok) in rows
+        if not (gcd_ok == subgroup_ok == free_ok)
+    ]
+    assert not disagreements, disagreements
+    feasible = sum(1 for (_, g, _, _) in rows if g)
+    print(f"\n{len(rows)} Cayley instances, {feasible} feasible; "
+          "gcd / regular-subgroup / free-automorphism criteria all agree")
+
+
+def test_bench_ablation_petersen_separates_criteria(once):
+    def check():
+        net = petersen_graph()
+        placement = Placement.of([0, 1])
+        gcd_ok = elect_prediction(net, placement).succeeds
+        free_phi = find_free_automorphism(
+            net, placement.bicoloring(net)
+        )
+        return gcd_ok, free_phi
+
+    gcd_ok, free_phi = once(check)
+    # gcd fails (ELECT gives up) but no impossibility certificate exists —
+    # precisely the gap the paper's open problem 1 lives in.
+    assert not gcd_ok
+    assert free_phi is None

@@ -1,0 +1,53 @@
+"""E10 (extension) — feasibility-rate profiles across Cayley families.
+
+A descriptive companion to Theorem 4.1: the fraction of r-agent placements
+on which election is possible, per family.  Structural expectations
+asserted:
+
+* hypercubes: rate 0 at r = 2 (the XOR translation pairs up any two
+  home-bases) but positive at r = 3;
+* odd prime cycles: rate 1 at r = 2 (no nontrivial translation or
+  reflection subgroup pairing survives a 2-set);
+* even cycles: rate strictly between 0 and 1 at r = 2 (antipodal and
+  adjacent pairs fail, generic pairs succeed).
+"""
+
+from repro.analysis.profiles import feasibility_profile, profile_table
+from repro.graphs import cycle_cayley, hypercube_cayley, torus_cayley
+from repro.graphs.cayley import dihedral_cayley
+
+
+def run_profiles():
+    profiles = []
+    for cg in (
+        cycle_cayley(5),
+        cycle_cayley(6),
+        cycle_cayley(7),
+        cycle_cayley(8),
+        hypercube_cayley(3),
+        torus_cayley([3, 3]),
+        dihedral_cayley(4),
+    ):
+        profiles.extend(
+            feasibility_profile(cg, agent_counts=(2, 3), max_per_count=40)
+        )
+    return profiles
+
+
+def test_bench_feasibility_profiles(once):
+    profiles = once(run_profiles)
+    print()
+    print(profile_table(profiles))
+    by_key = {(p.family, p.agents): p for p in profiles}
+
+    # Hypercube: hopeless at r=2, possible sometimes at r=3.
+    assert by_key[("Q_3", 2)].rate == 0.0
+    assert by_key[("Q_3", 3)].rate > 0.0
+
+    # Odd cycles: every 2-agent placement is solvable.
+    assert by_key[("C_5", 2)].rate == 1.0
+    assert by_key[("C_7", 2)].rate == 1.0
+
+    # Even cycles: mixed at r=2 (adjacent/antipodal pairs fail).
+    assert 0.0 < by_key[("C_6", 2)].rate < 1.0
+    assert 0.0 < by_key[("C_8", 2)].rate < 1.0

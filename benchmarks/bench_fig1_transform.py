@@ -1,0 +1,66 @@
+"""E2 — Figure 1: mobile-agent ↔ processor-network transformation.
+
+Paper artifact: Figure 1 (proof of Theorem 2.1).  Protocol ELECT runs both
+on the native mobile-agent runtime and through the message-passing engine;
+the verdict multisets must coincide on every instance, and the message
+count plays the role of the move count.
+"""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core.elect import ElectAgent
+from repro.core.result import Verdict
+from repro.graphs import (
+    complete_bipartite_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+)
+from repro.sim import RandomScheduler, Simulation
+from repro.sim.transform import run_transformed
+
+INSTANCES = [
+    ("C5[0,1]", lambda: cycle_graph(5), [0, 1]),
+    ("C6[0,3]", lambda: cycle_graph(6), [0, 3]),
+    ("K23[all]", lambda: complete_bipartite_graph(2, 3), [0, 1, 2, 3, 4]),
+    ("P7[0,3,6]", lambda: path_graph(7), [0, 3, 6]),
+    ("Petersen[0,4]", lambda: petersen_graph(), [0, 4]),
+]
+
+
+def run_both_engines(seed=3):
+    rows = []
+    for label, build, homes in INSTANCES:
+        net = build()
+        colors = ColorSpace().fresh_many(len(homes))
+
+        def agents():
+            return [
+                ElectAgent(c, rng=random.Random(i))
+                for i, c in enumerate(colors)
+            ]
+
+        mobile = Simulation(
+            net, list(zip(agents(), homes)), scheduler=RandomScheduler(seed)
+        ).run()
+        message = run_transformed(net, list(zip(agents(), homes)), seed=seed)
+        rows.append((label, mobile, message))
+    return rows
+
+
+def verdicts(res):
+    return sorted(r.verdict.value for r in res.results)
+
+
+def test_bench_fig1_engines_agree(once):
+    rows = once(run_both_engines)
+    for label, mobile, message in rows:
+        assert verdicts(mobile) == verdicts(message), label
+        # Moves on the mobile engine == messages on the processor network.
+        assert message.total_moves > 0
+        leaders_mob = [r for r in mobile.results if r.verdict is Verdict.LEADER]
+        leaders_msg = [r for r in message.results if r.verdict is Verdict.LEADER]
+        assert len(leaders_mob) == len(leaders_msg) <= 1

@@ -1,0 +1,72 @@
+"""E3 — Figure 2: quantitative vs qualitative labelings and views.
+
+Paper artifact: Figure 2 (Section 2).  Three sub-experiments:
+
+(a) the integer-labeled path: all views distinct *and orderable* — the
+    quantitative world elects by view-sorting (stand-in: max-label
+    protocol elects);
+(b) the symbol-labeled path: all views distinct, but the two end agents'
+    first-seen integer encodings of their walks coincide — view-sorting is
+    unavailable (and generic ELECT still elects here because the class
+    structure is asymmetric);
+(c) the ring+mess multigraph: all three views are label-isomorphic while
+    the label-equivalence classes are singletons — the converse of
+    Equation (1) fails.
+"""
+
+from repro.colors import LocalColorEncoding
+from repro.core import Placement, elect_prediction, run_elect
+from repro.graphs import (
+    figure2a_quantitative_path,
+    figure2b_qualitative_path,
+    figure2c_view_counterexample,
+    label_equivalence_classes,
+    view_classes,
+    walk_symbol_sequence,
+)
+
+
+def run_figure2_suite():
+    out = {}
+
+    net_a = figure2a_quantitative_path()
+    out["a_views"] = view_classes(net_a)
+
+    net_b, (star, circ, bullet) = figure2b_qualitative_path()
+    out["b_views"] = view_classes(net_b)
+    seq_x = walk_symbol_sequence(net_b, 0, [star, bullet])
+    seq_z = walk_symbol_sequence(net_b, 2, [star, circ])
+    out["b_seqs"] = (seq_x, seq_z)
+    out["b_encodings"] = (
+        LocalColorEncoding().encode_sequence(seq_x),
+        LocalColorEncoding().encode_sequence(seq_z),
+    )
+
+    net_c = figure2c_view_counterexample()
+    out["c_views"] = view_classes(net_c)
+    out["c_label_classes"] = label_equivalence_classes(net_c)
+
+    # Election on the path instances (agents at the two endpoints).
+    placement = Placement.of([0, 2])
+    out["path_prediction"] = elect_prediction(net_a, placement).succeeds
+    out["path_outcome"] = run_elect(net_a, placement, seed=1).elected
+    return out
+
+
+def test_bench_fig2_views(once):
+    out = once(run_figure2_suite)
+    # (a) integer labels: all three views distinct.
+    assert out["a_views"] == [[0], [1], [2]]
+    # (b) symbols: views still distinct as labeled trees...
+    assert out["b_views"] == [[0], [1], [2]]
+    # ...but the walks' private encodings coincide: 1,2,3,1 both ways.
+    seq_x, seq_z = out["b_seqs"]
+    assert seq_x != seq_z
+    enc_x, enc_z = out["b_encodings"]
+    assert enc_x == enc_z == [1, 2, 3, 1]
+    # (c) the converse of Equation (1) fails.
+    assert out["c_views"] == [[0, 1, 2]]
+    assert out["c_label_classes"] == [[0], [1], [2]]
+    # End agents on the path: x and z are automorphism-equivalent, the
+    # middle node is alone, so classes are (2, 1): gcd 1 and ELECT elects.
+    assert out["path_prediction"] and out["path_outcome"]

@@ -1,0 +1,53 @@
+"""E4 — Figure 3: protocol ELECT end-to-end across the instance battery.
+
+Paper artifact: Figure 3 + Theorem 3.1's success criterion.  ELECT must
+elect exactly when ``gcd(|C_1|,…,|C_k|) = 1``, under every scheduler in
+the suite, with unanimity on the winner.
+"""
+
+from repro.analysis import asymmetric_instances, impossibility_instances
+from repro.core import elect_prediction, run_elect
+from repro.sim import default_scheduler_suite
+
+
+def run_battery(seed=0):
+    instances = asymmetric_instances(seed=seed) + impossibility_instances()
+    rows = []
+    for inst in instances:
+        predicted = elect_prediction(inst.network, inst.placement).succeeds
+        outcome = run_elect(inst.network, inst.placement, seed=seed)
+        rows.append((inst.label, predicted, outcome))
+    return rows
+
+
+def run_scheduler_sweep(seed=0):
+    from repro.graphs import complete_bipartite_graph, cycle_graph
+    from repro.core import Placement
+
+    cases = [
+        (cycle_graph(5), Placement.of([0, 1]), True),
+        (cycle_graph(6), Placement.of([0, 3]), False),
+        (complete_bipartite_graph(2, 3), Placement.of(range(5)), True),
+    ]
+    rows = []
+    for net, placement, expected in cases:
+        for scheduler in default_scheduler_suite(seed):
+            outcome = run_elect(net, placement, scheduler=scheduler, seed=seed)
+            rows.append((net.name, repr(scheduler), expected, outcome.elected))
+    return rows
+
+
+def test_bench_fig3_elect_battery(once):
+    rows = once(run_battery)
+    assert len(rows) >= 40
+    for label, predicted, outcome in rows:
+        assert outcome.elected == predicted, label
+        if predicted:
+            leaders = {r.leader_color for r in outcome.reports}
+            assert len(leaders) == 1, label
+
+
+def test_bench_fig3_scheduler_robustness(once):
+    rows = once(run_scheduler_sweep)
+    for name, scheduler, expected, elected in rows:
+        assert elected == expected, (name, scheduler)

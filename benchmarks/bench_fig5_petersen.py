@@ -1,0 +1,44 @@
+"""E6 — Figure 5: the Petersen counterexample to ELECT's effectualness.
+
+Paper artifact: Figure 5 (Section 4).  For two adjacent agents on the
+Petersen graph: the equivalence classes have sizes (2, 4, 4), gcd = 2, so
+ELECT declares failure — yet the bespoke five-step protocol elects, on
+every adjacent pair and under every scheduler in the suite.
+"""
+
+from repro.analysis import petersen_duel_instances
+from repro.core import elect_prediction, run_elect, run_petersen_duel
+from repro.sim import default_scheduler_suite
+
+
+def run_petersen_experiment(seed=0):
+    rows = []
+    for inst in petersen_duel_instances():
+        pred = elect_prediction(inst.network, inst.placement)
+        elect_outcome = run_elect(inst.network, inst.placement, seed=seed)
+        duel_outcome = run_petersen_duel(inst.network, inst.placement, seed=seed)
+        rows.append((inst.placement.homes, pred, elect_outcome, duel_outcome))
+    return rows
+
+
+def run_scheduler_sweep(seed=0):
+    inst = petersen_duel_instances()[0]
+    return [
+        run_petersen_duel(inst.network, inst.placement, scheduler=s, seed=seed)
+        for s in default_scheduler_suite(seed)
+    ]
+
+
+def test_bench_fig5_all_adjacent_pairs(once):
+    rows = once(run_petersen_experiment)
+    assert len(rows) == 15  # one per Petersen edge
+    for homes, pred, elect_outcome, duel_outcome in rows:
+        assert sorted(pred.structure.sizes) == [2, 4, 4], homes
+        assert pred.structure.gcd == 2
+        assert elect_outcome.failed, homes
+        assert duel_outcome.elected, homes
+
+
+def test_bench_fig5_scheduler_robustness(once):
+    outcomes = once(run_scheduler_sweep)
+    assert all(o.elected for o in outcomes)

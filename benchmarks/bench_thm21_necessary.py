@@ -1,0 +1,69 @@
+"""E9 — Theorem 2.1: the necessary condition for election.
+
+Paper artifact: Theorem 2.1 (Section 2) plus its supporting machinery.
+Three checks across a labeled-instance battery:
+
+* wherever a concrete labeling has label-equivalence classes of size > 1,
+  protocol ELECT indeed fails (the theorem's conclusion, observed);
+* Equation (1): label classes refine view classes, so
+  ``σ_ℓ(G) ≥ label class size`` on every instance;
+* Lemma 2.1: label classes are always equal-sized.
+"""
+
+import random
+
+from repro.core import Placement, run_elect, theorem21_certificate
+from repro.graphs import (
+    cycle_cayley,
+    cycle_graph,
+    hypercube_cayley,
+    label_equivalence_classes,
+    relabeled_randomly,
+    symmetricity_of_labeling,
+    torus_cayley,
+)
+
+
+def battery():
+    nets = [
+        (cycle_cayley(6).network, [(0, 3), (0, 2), (0, 2, 4), (0, 1)]),
+        (cycle_cayley(8).network, [(0, 4), (0, 2), (0, 2, 4, 6), (0, 1, 2)]),
+        (hypercube_cayley(3).network, [(0, 7), (0, 1, 2)]),
+        (torus_cayley([3, 3]).network, [(0, 4), (0, 1)]),
+    ]
+    out = []
+    for net, placements in nets:
+        for homes in placements:
+            out.append((net, Placement.of(homes)))
+        # Random relabelings of the same structures (adversary variants).
+        for seed in range(2):
+            out.append(
+                (
+                    relabeled_randomly(net, rng=random.Random(seed)),
+                    Placement.of(placements[0]),
+                )
+            )
+    return out
+
+
+def run_necessary_condition_battery(seed=0):
+    rows = []
+    for net, placement in battery():
+        cert = theorem21_certificate(net, placement)
+        outcome = run_elect(net, placement, seed=seed)
+        rows.append((net.name, placement.homes, cert, outcome))
+    return rows
+
+
+def test_bench_thm21_necessary_condition(once):
+    rows = once(run_necessary_condition_battery)
+    symmetric_seen = 0
+    for name, homes, cert, outcome in rows:
+        # Lemma 2.1 holds by construction of the certificate (it raises on
+        # unequal sizes); Equation (1):
+        assert cert.symmetricity >= cert.label_class_size, (name, homes)
+        if cert.proves_impossible:
+            symmetric_seen += 1
+            # Theorem 2.1's conclusion, observed behaviorally.
+            assert outcome.failed, (name, homes)
+    assert symmetric_seen >= 4  # the battery exercises the theorem

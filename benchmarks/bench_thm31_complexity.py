@@ -1,0 +1,49 @@
+"""E7 — Theorem 3.1: total moves and whiteboard accesses are O(r·|E|).
+
+Paper artifact: the complexity claim of Theorem 3.1.  ELECT runs across
+scaling families (paths, cycles, grids, hypercubes, tori, complete
+graphs) with 1–4 agents; the normalized ratios ``moves/(r·|E|)`` and
+``accesses/(r·|E|)`` must stay bounded by a small constant across the
+sweep — and must not grow with n within a family (shape reproduction).
+"""
+
+from collections import defaultdict
+
+from repro.analysis import complexity_sweep, fit_complexity, max_ratio, ratio_table
+
+
+def run_sweep():
+    return complexity_sweep(agent_counts=(1, 2, 3, 4), seed=0)
+
+
+def test_bench_thm31_bounded_ratio(once):
+    points = once(run_sweep)
+    print()
+    print(ratio_table(points))
+    assert len(points) >= 25
+    assert all(p.elected for p in points)
+    worst = max_ratio(points)
+    assert worst <= 15.0, f"moves/(r|E|) ratio {worst} too large for O(r|E|)"
+    assert max(p.accesses_ratio for p in points) <= 15.0
+
+    fit = fit_complexity(points)
+    print(f"least-squares: moves ~ {fit.slope:.2f}*r|E| + {fit.intercept:.1f}"
+          f"  (R^2={fit.r_squared:.2f})")
+    assert 0 < fit.slope < 10
+
+    # Within a family-and-r series the ratio must not diverge with n.
+    # Only series with >= 3 sizes are meaningful (two-point series mix
+    # placements whose schedules differ); allow 50% end-to-end growth —
+    # an O(r|E|) cost keeps the normalized ratio asymptotically flat.
+    series = defaultdict(list)
+    for p in points:
+        family_base = p.family.split("_")[0].rstrip("0123456789x")
+        series[(family_base, p.r)].append((p.n, p.moves_ratio))
+    checked = 0
+    for key, entries in series.items():
+        entries.sort()
+        if len(entries) >= 3:
+            checked += 1
+            first, last = entries[0][1], entries[-1][1]
+            assert last <= first * 1.5 + 0.5, (key, entries)
+    assert checked >= 4  # paths and cycles supply multi-size series

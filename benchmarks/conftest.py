@@ -1,0 +1,24 @@
+"""Benchmark configuration: every bench asserts its paper-shape claim.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module reproduces
+one experiment from DESIGN.md's per-experiment index (E1–E9); the benchmark
+measures wall-time of the reproduction while the assertions check that the
+*shape* of the paper's claim holds (who wins, where the feasibility
+threshold falls, how cost scales).
+"""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["experiment_suite"] = "barriere2003-can-we-elect"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (heavy sweeps)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

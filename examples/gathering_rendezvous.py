@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Gathering on top of election — the paper's footnote 2, made executable.
+
+"Once a leader is elected, many other computational tasks become
+straightforward.  Such is the case for the gathering or rendezvous
+problem."  The :class:`~repro.apps.GatheringAgent` extends ELECT: the
+winner paints a BFS *level gradient* on the whiteboards while announcing
+itself, and every defeated agent gradient-descends to the leader's
+home-base using only those signs (no map consulted during the descent —
+the gradient alone is a complete routing structure).
+
+Where election is impossible (symmetric instance), gathering fails too:
+the theory says no deterministic protocol can do better.
+"""
+
+from repro.apps import run_gathering
+from repro.core import Placement
+from repro.graphs import cube_connected_cycles, cycle_graph, grid_graph, petersen_graph
+
+
+def demo(network, homes, seed=3) -> None:
+    outcome = run_gathering(network, Placement.of(homes), seed=seed)
+    status = (
+        f"gathered at node {outcome.rendezvous_node}"
+        if outcome.gathered
+        else "failed (election impossible)"
+    )
+    print(
+        f"{network.name:>12} agents {str(homes):<14} -> {status:<28}"
+        f" moves={outcome.total_moves}"
+    )
+
+
+def main() -> None:
+    print("Gathering = ELECT + gradient paint + gradient descent\n")
+    demo(cycle_graph(5), [0, 1])
+    demo(grid_graph(3, 4), [0, 5, 11])
+    demo(petersen_graph(), [0, 1, 2])
+    demo(cube_connected_cycles(3).network, [0, 1, 2])
+    demo(cycle_graph(6), [0, 3])  # symmetric: fails, as it must
+    print()
+    print("The gradient left on the whiteboards doubles as a routing")
+    print("structure: any map-less late-comer could also descend to the")
+    print("leader (see tests/apps/test_gathering.py::TestGradientArtifact).")
+
+
+if __name__ == "__main__":
+    main()

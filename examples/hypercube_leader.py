@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Leader election on Cayley interconnection networks (Theorem 4.1 demo).
+
+Hypercubes, tori and circulants are the paper's motivating interconnection
+topologies.  This example sweeps agent placements on Q_3 and a circulant,
+showing exactly where the feasibility threshold of Theorem 4.1 falls:
+
+* ANY two agents on a hypercube are hopeless — the XOR translation swaps
+  them, so every 2-agent placement has translation classes of size 2;
+* three agents can be electable, depending on the placement's symmetry;
+* the effectual protocol (CayleyElectAgent) elects precisely on the
+  feasible placements and *proves* failure on the rest.
+"""
+
+import itertools
+
+from repro import Placement, hypercube_cayley, run_cayley_elect
+from repro.core import cayley_election_possible
+from repro.graphs import circulant_cayley
+
+
+def sweep(cayley, agent_counts, max_rows=None):
+    net = cayley.network
+    rows = []
+    for r in agent_counts:
+        for homes in itertools.combinations(range(net.num_nodes), r):
+            if 0 not in homes:
+                continue  # fix one agent at node 0 (placements up to translation)
+            possible = cayley_election_possible(net, Placement.of(homes))
+            outcome = run_cayley_elect(net, Placement.of(homes), seed=1)
+            assert outcome.elected == possible  # Theorem 4.1, observed
+            rows.append((homes, possible, outcome.total_moves))
+            if max_rows and len(rows) >= max_rows:
+                return rows
+    return rows
+
+
+def report(name, rows):
+    feasible = [h for h, ok, _ in rows if ok]
+    infeasible = [h for h, ok, _ in rows if not ok]
+    print(f"{name}: {len(rows)} placements, "
+          f"{len(feasible)} electable, {len(infeasible)} impossible")
+    if feasible:
+        print(f"  electable, e.g. : {feasible[:4]}")
+    if infeasible:
+        print(f"  impossible, e.g.: {infeasible[:4]}")
+    print()
+
+
+def main() -> None:
+    q3 = hypercube_cayley(3)
+    print("Q_3 (8 nodes) — the hypercube:")
+    rows2 = sweep(q3, agent_counts=(2,))
+    report("  2 agents", rows2)
+    assert all(not ok for _, ok, _ in rows2), "2 agents can never elect on Q_d"
+
+    rows3 = sweep(q3, agent_counts=(3,), max_rows=21)
+    report("  3 agents", rows3)
+
+    circ = circulant_cayley(8, [1, 2])
+    print(f"{circ.name} (8 nodes, degree 4):")
+    rows = sweep(circ, agent_counts=(2, 3), max_rows=28)
+    report("  2-3 agents", rows)
+
+    print("Every outcome above was produced by the effectual protocol and")
+    print("matched the regular-subgroup feasibility criterion exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's opening story: electing the chair of an international body.
+
+Representatives write their names in Latin, Arabic, Hebrew, Greek, Chinese
+and Japanese scripts — all distinct, none mutually comparable.  The naive
+"first in alphabetical order" protocol is meaningless here; what saves the
+day in the paper's story is an agreed-upon meeting room (a whiteboard race).
+
+We model the organisation's headquarters as a *star*: offices around one
+lobby.  The lobby is structurally unique (its equivalence class is a
+singleton), so protocol ELECT's class machinery finds the "meeting room"
+automatically and the whiteboard mutex breaks the tie — no name comparison
+ever happens (the Color type raises if anyone tries).
+
+Then we show the failure mode the paper warns about: the same
+representatives in a *fully symmetric* venue (a 6-cycle of identical
+meeting rooms, occupying antipodal offices) cannot elect at all.
+"""
+
+from repro import (
+    ColorSpace,
+    IncomparabilityError,
+    Placement,
+    cycle_graph,
+    run_elect,
+    star_graph,
+)
+
+
+def main() -> None:
+    scripts = ["Latin", "Arabic", "Hebrew", "Greek", "Chinese", "Japanese"]
+    space = ColorSpace(prefix="name")
+    names = [space.fresh(script) for script in scripts]
+
+    print("The delegates' name scripts are distinct but incomparable:")
+    try:
+        sorted(names)
+    except IncomparabilityError as exc:
+        print(f"  sorted(names) -> IncomparabilityError: {exc}")
+    print()
+
+    # Headquarters: a star with 6 offices around a lobby.  Delegates sit in
+    # offices 1..6 (node 0 is the unoccupied lobby).
+    hq = star_graph(6)
+    placement = Placement.of([1, 2, 3, 4, 5, 6])
+    outcome = run_elect(hq, placement, seed=7, colors=names)
+    print(f"headquarters ({hq.name}): elected = {outcome.elected}")
+    print(f"  chair: {outcome.leader_color}")
+    winner = next(i for i, r in enumerate(outcome.reports) if r.verdict.value == "leader")
+    print(f"  (the delegate writing in {scripts[winner]} script won the lobby race)")
+    print()
+
+    # A perfectly symmetric venue: six rooms in a ring, delegates at rooms
+    # 0, 2, 4 — every room looks identical, the rotation by two rooms maps
+    # the delegation onto itself, and no deterministic protocol can elect.
+    ring = cycle_graph(6)
+    sym_placement = Placement.of([0, 2, 4])
+    sym_outcome = run_elect(ring, sym_placement, seed=7, colors=names[:3])
+    print(f"symmetric venue ({ring.name}, delegates at 0/2/4):")
+    print(f"  elected = {sym_outcome.elected}, failure reported = {sym_outcome.failed}")
+    print("  — as Theorem 3.1 predicts (class sizes 3 and 3, gcd 3).")
+
+
+if __name__ == "__main__":
+    main()

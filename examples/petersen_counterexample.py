@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Section 4's counterexample: ELECT is not effectual beyond Cayley graphs.
+
+Two agents on adjacent nodes of the Petersen graph (vertex-transitive but
+NOT a Cayley graph):
+
+* the equivalence classes have sizes (2, 4, 4), gcd = 2 — protocol ELECT
+  gives up and reports failure;
+* yet the paper's bespoke five-step protocol elects: each agent marks a
+  neighbor, locates the other's mark, and races to acquire the *unique
+  common neighbor* of the two marks (Petersen is strongly regular with
+  μ = 1, so that node exists and is unique).
+
+This gap is exactly why "does an effectual protocol exist for arbitrary
+graphs?" was left open (and later settled affirmatively by Chalopin 2006).
+"""
+
+from repro import Placement, petersen_graph, run_elect, run_petersen_duel
+from repro.core import classify, elect_prediction
+
+
+def main() -> None:
+    net = petersen_graph()
+    placement = Placement.of([0, 1])  # adjacent on the outer ring
+
+    prediction = elect_prediction(net, placement)
+    print(f"instance           : Petersen graph, agents at {placement.homes}")
+    print(f"class sizes        : {sorted(prediction.structure.sizes)}")
+    print(f"gcd                : {prediction.structure.gcd}")
+    print()
+
+    elect_outcome = run_elect(net, placement, seed=5)
+    print(f"protocol ELECT     : elected={elect_outcome.elected}, "
+          f"failure reported={elect_outcome.failed}")
+
+    duel_outcome = run_petersen_duel(net, placement, seed=5)
+    print(f"bespoke protocol   : elected={duel_outcome.elected}, "
+          f"leader={duel_outcome.leader_color}")
+    print(f"  moves={duel_outcome.total_moves}, "
+          f"accesses={duel_outcome.total_accesses}")
+    print()
+
+    verdict = classify(net, placement)
+    print(f"theory classification: {verdict.verdict.value}")
+    print(f"  ({verdict.reason})")
+    print()
+    print("ELECT failed where election is actually possible, so ELECT is")
+    print("not effectual on arbitrary graphs — the paper's Figure 5 point.")
+
+    # The duel works on every edge of the graph, under any schedule.
+    wins = 0
+    for (u, _, v, _) in net.edges():
+        outcome = run_petersen_duel(net, Placement.of([u, v]), seed=u * 10 + v)
+        wins += outcome.elected
+    print(f"\nbespoke protocol elected on {wins}/15 adjacent placements.")
+
+
+if __name__ == "__main__":
+    main()

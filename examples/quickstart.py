@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: elect a leader among mobile agents that cannot compare labels.
+
+Builds a 5-cycle, places two agents on adjacent nodes, and runs protocol
+ELECT (Barrière–Flocchini–Fraigniaud–Santoro, SPAA 2003).  The placement is
+asymmetric enough (equivalence classes of sizes 2, 2, 1 — gcd 1) that a
+leader emerges even though the agents' colors are mutually incomparable.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Placement, cycle_graph, elect_prediction, run_elect
+
+def main() -> None:
+    network = cycle_graph(5)
+    placement = Placement.of([0, 1])
+
+    # The theory layer predicts the outcome from the class structure alone.
+    prediction = elect_prediction(network, placement)
+    print(f"network            : {network.name} ({network.num_nodes} nodes)")
+    print(f"agents at          : {placement.homes}")
+    print(f"class sizes        : {prediction.structure.sizes}")
+    print(f"gcd                : {prediction.gcd}")
+    print(f"election possible  : {prediction.succeeds}")
+    print()
+
+    # The protocol layer actually runs the asynchronous agents.
+    outcome = run_elect(network, placement, seed=42)
+    print(f"elected            : {outcome.elected}")
+    print(f"leader color       : {outcome.leader_color}")
+    print(f"total moves        : {outcome.total_moves}")
+    print(f"whiteboard accesses: {outcome.total_accesses}")
+    for i, report in enumerate(outcome.reports):
+        print(f"  agent {i}: {report.verdict.value}")
+
+    # Contrast: the same protocol on a symmetric placement fails — and
+    # every agent *knows* it failed (effectual behavior).
+    symmetric = Placement.of([0, 2])
+    sym_outcome = run_elect(cycle_graph(6), Placement.of([0, 3]), seed=42)
+    print()
+    print("symmetric instance C_6 with antipodal agents:")
+    print(f"  failed (as the theory requires): {sym_outcome.failed}")
+
+
+if __name__ == "__main__":
+    main()

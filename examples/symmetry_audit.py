@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Symmetry audit: analyse any network + placement before deploying agents.
+
+A downstream user's workflow: given a topology and a set of agent start
+positions, report everything the paper's theory says about the instance —
+equivalence classes, their canonical order, views/symmetricity, Cayley
+structure and translation certificates, the predicted ELECT schedule, and
+the final feasibility classification — then validate the prediction by
+actually running the protocol.
+
+Usage: python examples/symmetry_audit.py
+"""
+
+from repro import Placement, run_elect
+from repro.analysis import render_kv, render_table
+from repro.core import classify, elect_prediction
+from repro.graphs import (
+    cycle_cayley,
+    grid_graph,
+    is_cayley_graph,
+    petersen_graph,
+    symmetricity_of_labeling,
+    view_classes,
+)
+
+
+def audit(network, placement) -> None:
+    bicolor = placement.bicoloring(network)
+    prediction = elect_prediction(network, placement)
+    structure = prediction.structure
+
+    print("=" * 64)
+    print(render_kv(
+        f"Audit: {network.name} with agents at {placement.homes}",
+        [
+            ("nodes / edges", f"{network.num_nodes} / {network.num_edges}"),
+            ("regular", network.is_regular()),
+            ("Cayley graph", is_cayley_graph(network)),
+            ("view classes", len(view_classes(network, bicolor))),
+            ("symmetricity σ_ℓ", symmetricity_of_labeling(network, bicolor)),
+        ],
+    ))
+    print()
+
+    header = ["class", "kind", "size", "members"]
+    rows = []
+    for i, cls in enumerate(structure.classes):
+        kind = "agents" if i < structure.num_agent_classes else "nodes"
+        rows.append([f"C_{i + 1}", kind, len(cls), list(cls)])
+    print(render_table(header, rows))
+    print()
+
+    print(f"gcd of class sizes : {structure.gcd}")
+    print(f"ELECT schedule     : {len(prediction.schedule.phases)} phase(s)")
+    for spec in prediction.schedule.phases:
+        print(
+            f"  phase {spec.phase_id}: {spec.kind}-reduce vs C_{spec.class_index + 1} "
+            f"({spec.incoming} -> {spec.outgoing} active)"
+        )
+
+    verdict = classify(network, placement)
+    print(f"classification     : {verdict.verdict.value}")
+    print(f"  {verdict.reason}")
+
+    outcome = run_elect(network, placement, seed=0)
+    print(f"live run           : elected={outcome.elected} "
+          f"(moves={outcome.total_moves})")
+    assert outcome.elected == prediction.succeeds
+    print()
+
+
+def main() -> None:
+    audit(grid_graph(3, 4), Placement.of([0, 5, 11]))
+    audit(cycle_cayley(8).network, Placement.of([0, 4]))
+    audit(petersen_graph(), Placement.of([0, 1]))
+    audit(cycle_cayley(7).network, Placement.of([0, 1, 3]))
+
+
+if __name__ == "__main__":
+    main()

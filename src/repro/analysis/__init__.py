@@ -1,0 +1,56 @@
+"""Experiment harness: instance batteries, Table 1 matrix, complexity sweeps."""
+
+from .complexity import (
+    ComplexityFit,
+    ComplexityPoint,
+    complexity_sweep,
+    default_families,
+    fit_complexity,
+    max_ratio,
+    ratio_table,
+)
+from .instances import (
+    Instance,
+    asymmetric_instances,
+    cayley_effectualness_instances,
+    impossibility_instances,
+    instances_for,
+    petersen_duel_instances,
+    quantitative_battery,
+    small_cayley_graphs,
+)
+from .profiles import FeasibilityProfile, feasibility_profile, profile_table
+from .matrix import (
+    PAPER_TABLE1,
+    CellResult,
+    Table1Result,
+    reproduce_table1,
+)
+from .report import render_kv, render_table
+
+__all__ = [
+    "Instance",
+    "instances_for",
+    "small_cayley_graphs",
+    "cayley_effectualness_instances",
+    "asymmetric_instances",
+    "impossibility_instances",
+    "petersen_duel_instances",
+    "quantitative_battery",
+    "PAPER_TABLE1",
+    "CellResult",
+    "Table1Result",
+    "reproduce_table1",
+    "ComplexityPoint",
+    "ComplexityFit",
+    "fit_complexity",
+    "complexity_sweep",
+    "default_families",
+    "max_ratio",
+    "ratio_table",
+    "render_table",
+    "render_kv",
+    "FeasibilityProfile",
+    "feasibility_profile",
+    "profile_table",
+]

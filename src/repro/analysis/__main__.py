@@ -1,0 +1,126 @@
+"""Run the full experiment suite from the command line.
+
+Usage::
+
+    python -m repro.analysis             # everything (a few seconds)
+    python -m repro.analysis --quick     # trimmed batteries
+    python -m repro.analysis table1 complexity   # selected experiments
+
+Prints each experiment's reproduced artifact next to the paper's claim.
+The same code paths back the pytest benchmarks in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from .complexity import complexity_sweep, max_ratio, ratio_table
+from .instances import cayley_effectualness_instances, petersen_duel_instances
+from .matrix import reproduce_table1
+from .report import render_kv
+
+
+def _experiment_table1(quick: bool) -> None:
+    result = reproduce_table1(quick=quick)
+    print(result.render())
+    print(f"\nall cells match the paper: {result.all_match}")
+
+
+def _experiment_complexity(quick: bool) -> None:
+    counts = (1, 2) if quick else (1, 2, 3, 4)
+    points = complexity_sweep(agent_counts=counts)
+    print(ratio_table(points))
+    print(f"\nmax moves/(r|E|) ratio: {max_ratio(points):.2f}  (Theorem 3.1: O(r|E|))")
+
+
+def _experiment_effectual(quick: bool) -> None:
+    from ..core import cayley_election_possible, run_cayley_elect
+
+    instances = cayley_effectualness_instances(
+        agent_counts=(1, 2) if quick else (1, 2, 3),
+        max_per_count=3 if quick else 6,
+    )
+    feasible = violations = 0
+    for inst in instances:
+        possible = cayley_election_possible(inst.network, inst.placement)
+        outcome = run_cayley_elect(inst.network, inst.placement, seed=0)
+        feasible += possible
+        violations += outcome.elected != possible
+    print(
+        render_kv(
+            "Theorem 4.1 — effectual election on Cayley graphs",
+            [
+                ("instances", len(instances)),
+                ("feasible", feasible),
+                ("impossible", len(instances) - feasible),
+                ("effectualness violations", violations),
+            ],
+        )
+    )
+
+
+def _experiment_petersen(quick: bool) -> None:
+    from ..core import run_elect, run_petersen_duel
+
+    duels = petersen_duel_instances()
+    duels = duels[:3] if quick else duels
+    elect_failures = duel_wins = 0
+    for inst in duels:
+        elect_failures += run_elect(inst.network, inst.placement, seed=0).failed
+        duel_wins += run_petersen_duel(inst.network, inst.placement, seed=0).elected
+    print(
+        render_kv(
+            "Figure 5 — the Petersen counterexample",
+            [
+                ("adjacent placements", len(duels)),
+                ("ELECT failures (expected: all)", elect_failures),
+                ("bespoke-protocol elections (expected: all)", duel_wins),
+            ],
+        )
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
+    "table1": _experiment_table1,
+    "complexity": _experiment_complexity,
+    "effectual": _experiment_effectual,
+    "petersen": _experiment_petersen,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Reproduce the SPAA'03 qualitative-election experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)}, all (default)",
+    )
+    parser.add_argument("--quick", action="store_true", help="trim batteries")
+    args = parser.parse_args(argv)
+
+    requested = args.experiments or ["all"]
+    unknown = [x for x in requested if x != "all" and x not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiments {unknown}; choose from "
+            f"{', '.join(EXPERIMENTS)}, all"
+        )
+    chosen = list(EXPERIMENTS) if "all" in requested else requested
+    for name in chosen:
+        print("=" * 68)
+        print(f"experiment: {name}")
+        print("=" * 68)
+        t0 = time.perf_counter()
+        EXPERIMENTS[name](args.quick)
+        print(f"\n[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

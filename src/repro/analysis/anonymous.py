@@ -1,0 +1,197 @@
+"""Anonymous agents: the Section 1.3 impossibility argument, executable.
+
+The paper rules out effectual election for *anonymous* agents with a
+lifting argument: an agent running any deterministic protocol behaves
+identically on the 3-ring (where it is alone) and on the 6-ring (where an
+antipodal twin runs in lockstep), because the 6-ring with the symmetric
+schedule is a 2-fold covering of the 3-ring.  Election is required in the
+first instance and impossible in the second, so no effectual protocol
+exists.
+
+This module makes the argument executable:
+
+* :class:`LockstepAnonymousSimulation` — a synchronous runtime for
+  *colorless* deterministic agents.  Observations contain no identities:
+  degree, the port the agent entered through (as a label), and the
+  multiset of anonymous marks on the whiteboard.  All agents run the same
+  transition function and act simultaneously (the paper's synchronous
+  adversary).
+* :func:`covering_indistinguishability` — runs one protocol on a base
+  network and on a covering network (port labels aligned along the
+  covering, the adversary's prerogative) and returns the observation
+  traces; the lifting theorem says corresponding traces are equal, and
+  the tests check exactly that for the paper's C₃ / C₆ pair (and for
+  other quotient pairs derived from :func:`repro.graphs.views.view_quotient`).
+
+Anonymous protocols here are plain functions
+``f(state, observation) -> (state', action)`` with actions
+``("move", port)``, ``("mark", payload)``, or ``("halt",)`` — a
+deterministic automaton, which is fully general for the impossibility
+argument (any deterministic anonymous protocol has this shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError, SimulationError
+from ..graphs.network import AnonymousNetwork, PortLabel
+
+#: What an anonymous agent perceives in one lockstep round.
+Observation = Tuple[int, Optional[PortLabel], Tuple[Tuple[int, ...], ...]]
+#: Transition: (state, observation) -> (state, action).
+Action = Tuple
+AnonymousProtocol = Callable[[Hashable, Observation], Tuple[Hashable, Action]]
+
+
+@dataclass
+class AnonymousTrace:
+    """Everything one anonymous agent experienced, round by round."""
+
+    observations: List[Observation]
+    actions: List[Action]
+    states: List[Hashable]
+
+
+class LockstepAnonymousSimulation:
+    """Synchronous execution of identical colorless agents.
+
+    Every round, each non-halted agent observes (degree, entry port label,
+    sorted mark payloads on the board), feeds the observation through the
+    shared transition function, and all chosen actions are applied
+    *simultaneously* (marks first, then moves) — the paper's synchronous
+    scheduler, which maximally preserves symmetry.
+    """
+
+    def __init__(
+        self,
+        network: AnonymousNetwork,
+        homes: Sequence[int],
+        protocol: AnonymousProtocol,
+        initial_state: Hashable = 0,
+    ):
+        if len(set(homes)) != len(homes):
+            raise ProtocolError("home-bases must be distinct")
+        self.network = network
+        self.protocol = protocol
+        self.positions: List[int] = list(homes)
+        self.entries: List[Optional[PortLabel]] = [None] * len(homes)
+        self.states: List[Hashable] = [initial_state] * len(homes)
+        self.halted: List[bool] = [False] * len(homes)
+        self.marks: List[List[Tuple[int, ...]]] = [
+            [] for _ in range(network.num_nodes)
+        ]
+        self.traces: List[AnonymousTrace] = [
+            AnonymousTrace([], [], [initial_state]) for _ in homes
+        ]
+
+    def _observe(self, idx: int) -> Observation:
+        node = self.positions[idx]
+        return (
+            self.network.degree(node),
+            self.entries[idx],
+            tuple(sorted(self.marks[node])),
+        )
+
+    def step(self) -> bool:
+        """One lockstep round.  Returns False when every agent has halted."""
+        if all(self.halted):
+            return False
+        decisions: List[Tuple[int, Action]] = []
+        for idx in range(len(self.positions)):
+            if self.halted[idx]:
+                continue
+            obs = self._observe(idx)
+            state, action = self.protocol(self.states[idx], obs)
+            self.states[idx] = state
+            self.traces[idx].observations.append(obs)
+            self.traces[idx].actions.append(action)
+            self.traces[idx].states.append(state)
+            decisions.append((idx, action))
+        # Apply marks first (all simultaneously), then moves.
+        for idx, action in decisions:
+            if action[0] == "mark":
+                payload = tuple(action[1])
+                self.marks[self.positions[idx]].append(payload)
+        for idx, action in decisions:
+            if action[0] == "move":
+                port = action[1]
+                node = self.positions[idx]
+                if port not in self.network.ports(node):
+                    raise ProtocolError(
+                        f"anonymous agent used missing port {port!r}"
+                    )
+                dest, entry = self.network.traverse(node, port)
+                self.positions[idx] = dest
+                self.entries[idx] = entry
+            elif action[0] == "halt":
+                self.halted[idx] = True
+            elif action[0] != "mark":
+                raise ProtocolError(f"unknown anonymous action {action!r}")
+        return True
+
+    def run(self, max_rounds: int) -> List[AnonymousTrace]:
+        for _ in range(max_rounds):
+            if not self.step():
+                break
+        return self.traces
+
+
+def covering_indistinguishability(
+    base: AnonymousNetwork,
+    base_homes: Sequence[int],
+    cover: AnonymousNetwork,
+    cover_homes: Sequence[int],
+    protocol: AnonymousProtocol,
+    rounds: int,
+) -> Tuple[List[AnonymousTrace], List[AnonymousTrace]]:
+    """Run ``protocol`` on a base network and a covering network.
+
+    The caller must supply networks whose port labelings commute with the
+    covering (e.g. natural cycle labelings for C₃ / C₆) and homes that
+    project onto each other.  Returns both trace lists; the lifting
+    theorem — and the tests — assert that every cover trace equals the
+    base trace.
+    """
+    base_sim = LockstepAnonymousSimulation(base, base_homes, protocol)
+    cover_sim = LockstepAnonymousSimulation(cover, cover_homes, protocol)
+    return base_sim.run(rounds), cover_sim.run(rounds)
+
+
+def oriented_ring(n: int) -> AnonymousNetwork:
+    """The n-ring with ports 1 (clockwise) / 2 (counter-clockwise).
+
+    Unlike the natural Cayley labeling (whose backward generator is the
+    *value* ``n-1`` and therefore differs between C₃ and C₆), this labeling
+    is literally identical at every node of every ring, so the quotient map
+    ``i ↦ i mod k`` between rings is label-preserving — exactly what the
+    covering argument needs.
+    """
+    edges = [(i, 1, (i + 1) % n, 2) for i in range(n)]
+    return AnonymousNetwork(n, edges, name=f"Ring_{n}")
+
+
+# ----------------------------------------------------------------------
+# Reference anonymous protocols (used by tests and the demo)
+# ----------------------------------------------------------------------
+
+
+def make_ring_walker(forward_label: PortLabel, rounds: int = 12) -> AnonymousProtocol:
+    """A ring walker that always exits through ``forward_label``.
+
+    On naturally-labeled cycles (ports ``+1``/``-1`` at every node) this is
+    a legal anonymous protocol: the label set is identical at every node,
+    so "always take +1" needs no identities.  It alternates marking and
+    moving, halting after ``rounds`` rounds.
+    """
+
+    def protocol(state: Hashable, obs: Observation) -> Tuple[Hashable, Action]:
+        round_no = state
+        if round_no >= rounds:
+            return round_no, ("halt",)
+        if round_no % 2 == 0:
+            return round_no + 1, ("mark", (round_no,))
+        return round_no + 1, ("move", forward_label)
+
+    return protocol

@@ -1,0 +1,165 @@
+"""Theorem 3.1 move-complexity measurements: total work vs ``r·|E|``.
+
+The theorem bounds the total number of moves *and* whiteboard accesses of
+protocol ELECT by ``O(r·|E|)``.  :func:`complexity_sweep` runs ELECT across
+scaling families (cycles, hypercubes, tori, complete graphs), records the
+measured totals, and reports the normalized ratio ``moves / (r·|E|)``; the
+experiment's acceptance criterion is that the ratio stays bounded by a
+small constant across the sweep (shape reproduction, not absolute numbers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.placement import Placement
+from ..core.runner import run_elect
+from ..graphs.builders import complete_graph, cycle_graph, grid_graph, path_graph
+from ..graphs.cayley import hypercube_cayley, torus_cayley
+from ..graphs.network import AnonymousNetwork
+
+
+@dataclass(frozen=True)
+class ComplexityPoint:
+    """One measured run."""
+
+    family: str
+    n: int
+    m: int
+    r: int
+    moves: int
+    accesses: int
+    elected: bool
+
+    @property
+    def moves_ratio(self) -> float:
+        """``moves / (r·|E|)`` — Theorem 3.1's normalized cost."""
+        return self.moves / (self.r * self.m)
+
+    @property
+    def accesses_ratio(self) -> float:
+        return self.accesses / (self.r * self.m)
+
+
+def _feasible_placement(
+    network: AnonymousNetwork, r: int, seed: int
+) -> Optional[Placement]:
+    """A placement of ``r`` agents on which ELECT is predicted to succeed."""
+    from ..core.feasibility import elect_prediction
+
+    rng = random.Random(seed)
+    nodes = list(network.nodes())
+    for _ in range(200):
+        homes = rng.sample(nodes, r)
+        placement = Placement.of(sorted(homes))
+        if elect_prediction(network, placement).succeeds:
+            return placement
+    return None
+
+
+def default_families() -> List[Tuple[str, AnonymousNetwork]]:
+    """The scaling battery of the complexity experiment."""
+    return [
+        ("P_8", path_graph(8)),
+        ("P_16", path_graph(16)),
+        ("P_24", path_graph(24)),
+        ("C_9", cycle_graph(9)),
+        ("C_15", cycle_graph(15)),
+        ("C_21", cycle_graph(21)),
+        ("Grid3x4", grid_graph(3, 4)),
+        ("Grid4x5", grid_graph(4, 5)),
+        ("Q_3", hypercube_cayley(3).network),
+        ("Q_4", hypercube_cayley(4).network),
+        ("T_3x4", torus_cayley([3, 4]).network),
+        ("K_6", complete_graph(6)),
+        ("K_8", complete_graph(8)),
+    ]
+
+
+def complexity_sweep(
+    families: Optional[Sequence[Tuple[str, AnonymousNetwork]]] = None,
+    agent_counts: Sequence[int] = (1, 2, 3, 4),
+    seed: int = 0,
+) -> List[ComplexityPoint]:
+    """Run ELECT across the battery and record the move/access totals."""
+    points: List[ComplexityPoint] = []
+    for family, network in families or default_families():
+        for r in agent_counts:
+            if r > network.num_nodes:
+                continue
+            placement = _feasible_placement(network, r, seed)
+            if placement is None:
+                continue
+            outcome = run_elect(network, placement, seed=seed)
+            points.append(
+                ComplexityPoint(
+                    family=family,
+                    n=network.num_nodes,
+                    m=network.num_edges,
+                    r=r,
+                    moves=outcome.total_moves,
+                    accesses=outcome.total_accesses,
+                    elected=outcome.elected,
+                )
+            )
+    return points
+
+
+def max_ratio(points: Sequence[ComplexityPoint]) -> float:
+    """The worst normalized cost over the sweep (the Theorem 3.1 constant)."""
+    return max(p.moves_ratio for p in points)
+
+
+@dataclass(frozen=True)
+class ComplexityFit:
+    """Least-squares fit of ``moves ≈ c · r·|E| + b`` over a sweep.
+
+    ``slope`` estimates the Theorem 3.1 constant; ``r_squared`` close to 1
+    means the linear model in ``r·|E|`` explains the measured cost — the
+    quantitative form of the "O(r|E|) shape holds" claim.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def fit_complexity(points: Sequence[ComplexityPoint]) -> ComplexityFit:
+    """Fit total moves against ``r·|E|`` by ordinary least squares."""
+    import numpy as np
+
+    if len(points) < 3:
+        raise ValueError("need at least 3 points to fit")
+    x = np.array([p.r * p.m for p in points], dtype=float)
+    y = np.array([p.moves for p in points], dtype=float)
+    design = np.vstack([x, np.ones_like(x)]).T
+    (slope, intercept), residual, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ np.array([slope, intercept])
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ComplexityFit(
+        slope=float(slope), intercept=float(intercept), r_squared=r_squared
+    )
+
+
+def ratio_table(points: Sequence[ComplexityPoint]) -> str:
+    """Render the sweep as the Theorem 3.1 experiment's output table."""
+    from .report import render_table
+
+    header = ["family", "n", "|E|", "r", "moves", "accesses", "moves/(r|E|)"]
+    rows = [
+        [
+            p.family,
+            p.n,
+            p.m,
+            p.r,
+            p.moves,
+            p.accesses,
+            f"{p.moves_ratio:.2f}",
+        ]
+        for p in points
+    ]
+    return render_table(header, rows)

@@ -1,0 +1,180 @@
+"""Instance generators for the experiment sweeps.
+
+An *instance* is a pair ``(G, p)``: an anonymous network plus a placement.
+The families below are chosen to cover every regime the paper discusses:
+
+* Cayley graphs (cycles, hypercubes, tori, complete graphs, circulants,
+  dihedral Cayley graphs) — the Theorem 4.1 class;
+* the Petersen graph — vertex-transitive but not Cayley (Section 4);
+* asymmetric graphs (paths, grids, random connected graphs) — where
+  generic ELECT usually succeeds;
+* ``K_2`` — the paper's counterexample to universality in the qualitative
+  world.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.placement import Placement, all_placements
+from ..graphs.builders import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+)
+from ..graphs.cayley import (
+    CayleyGraph,
+    circulant_cayley,
+    complete_cayley,
+    cycle_cayley,
+    dihedral_cayley,
+    hypercube_cayley,
+    torus_cayley,
+)
+from ..graphs.network import AnonymousNetwork
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One election problem instance ``(G, p)`` with provenance."""
+
+    network: AnonymousNetwork
+    placement: Placement
+    family: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.family}[{','.join(map(str, self.placement.homes))}]"
+
+
+def instances_for(
+    network: AnonymousNetwork,
+    family: str,
+    agent_counts: Sequence[int],
+    max_per_count: Optional[int] = None,
+    seed: int = 0,
+) -> List[Instance]:
+    """All (or a seeded sample of) placements with the given agent counts."""
+    rng = random.Random(seed)
+    out: List[Instance] = []
+    for r in agent_counts:
+        if r > network.num_nodes:
+            continue
+        placements = all_placements(network, r)
+        if max_per_count is not None and len(placements) > max_per_count:
+            placements = rng.sample(placements, max_per_count)
+        out.extend(Instance(network, p, family) for p in placements)
+    return out
+
+
+def small_cayley_graphs(extended: bool = False) -> List[CayleyGraph]:
+    """The Cayley battery for the Theorem 4.1 effectualness sweep.
+
+    ``extended=True`` adds the larger interconnection families (CCC,
+    wrapped butterfly, quaternion Cayley graph) used by the full benches.
+    """
+    battery = [
+        cycle_cayley(4),
+        cycle_cayley(5),
+        cycle_cayley(6),
+        cycle_cayley(7),
+        complete_cayley(4),
+        complete_cayley(5),
+        circulant_cayley(8, [1, 2]),
+        hypercube_cayley(3),
+        dihedral_cayley(3),
+        torus_cayley([3, 3]),
+    ]
+    if extended:
+        from ..graphs.cayley import (
+            cube_connected_cycles,
+            star_graph_cayley,
+            wrapped_butterfly_cayley,
+        )
+        from ..groups.quaternion import quaternion_cayley
+
+        battery += [
+            quaternion_cayley(),
+            cube_connected_cycles(3),
+            wrapped_butterfly_cayley(3),
+            star_graph_cayley(4),
+        ]
+    return battery
+
+
+def cayley_effectualness_instances(
+    agent_counts: Sequence[int] = (1, 2, 3),
+    max_per_count: int = 12,
+    seed: int = 0,
+    extended: bool = False,
+) -> List[Instance]:
+    """Instances for the exhaustive/sampled Theorem 4.1 verification."""
+    out: List[Instance] = []
+    for cg in small_cayley_graphs(extended=extended):
+        out.extend(
+            instances_for(
+                cg.network,
+                cg.name,
+                agent_counts,
+                max_per_count=max_per_count,
+                seed=seed,
+            )
+        )
+    return out
+
+
+def asymmetric_instances(seed: int = 0) -> List[Instance]:
+    """Instances on graphs with little or no symmetry (ELECT succeeds)."""
+    rng = random.Random(seed)
+    out: List[Instance] = []
+    for n in (5, 7, 9):
+        net = path_graph(n)
+        out.extend(instances_for(net, f"P_{n}", (1, 2, 3), max_per_count=8, seed=seed))
+    grid = grid_graph(3, 4)
+    out.extend(instances_for(grid, "Grid3x4", (2, 3), max_per_count=8, seed=seed))
+    for i in range(3):
+        net = random_connected_graph(8, 0.4, rng=random.Random(seed + i))
+        out.extend(
+            instances_for(net, f"GNP8#{i}", (2, 3), max_per_count=6, seed=seed + i)
+        )
+    return out
+
+
+def impossibility_instances() -> List[Instance]:
+    """Canonical impossible instances (gcd > 1 with certificates)."""
+    return [
+        Instance(complete_graph(2), Placement.of([0, 1]), "K_2"),
+        Instance(cycle_graph(4), Placement.of([0, 2]), "C_4-antipodal"),
+        Instance(cycle_graph(4), Placement.of([0, 1]), "C_4-adjacent"),
+        Instance(cycle_graph(6), Placement.of([0, 3]), "C_6-antipodal"),
+        Instance(cycle_graph(6), Placement.of([0, 2, 4]), "C_6-thirds"),
+        Instance(hypercube_cayley(3).network, Placement.of([0, 7]), "Q_3-antipodal"),
+    ]
+
+
+def petersen_duel_instances() -> List[Instance]:
+    """The Figure 5 setting: two adjacent agents on the Petersen graph."""
+    net = petersen_graph()
+    pairs = []
+    for (u, _, v, _) in net.edges():
+        pairs.append(Instance(net, Placement.of([u, v]), "Petersen-adjacent"))
+    return pairs
+
+
+def quantitative_battery(seed: int = 0) -> List[Instance]:
+    """Instances where the quantitative protocol must elect although the
+    qualitative one cannot (plus a few easy cases)."""
+    out = impossibility_instances()
+    out += [
+        Instance(cycle_graph(5), Placement.of([0, 1]), "C_5"),
+        Instance(complete_bipartite_graph(2, 3), Placement.of(range(5)), "K_2,3"),
+        Instance(petersen_graph(), Placement.of([0, 1]), "Petersen-adjacent"),
+    ]
+    return out

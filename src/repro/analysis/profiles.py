@@ -1,0 +1,103 @@
+"""Feasibility profiles: how often is election possible, per family and r?
+
+A descriptive experiment beyond the paper's tables: for each Cayley family,
+the fraction of ``r``-agent placements on which election is possible (per
+Theorem 4.1's criterion).  The profiles make the structural story visible —
+e.g. hypercubes are *always* hopeless at r = 2 (the XOR translation swaps
+any pair) while odd cycles are always solvable at r = 2 — and give the
+effectualness sweeps a quantitative summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.feasibility import translation_certificates
+from ..core.placement import Placement
+from ..graphs.automorphisms import color_preserving_automorphisms
+from ..graphs.cayley import CayleyGraph
+from ..groups.permgroup import find_regular_subgroups
+
+
+@dataclass(frozen=True)
+class FeasibilityProfile:
+    """Feasible-placement counts for one family at one agent count."""
+
+    family: str
+    num_nodes: int
+    agents: int
+    sampled: int
+    feasible: int
+
+    @property
+    def rate(self) -> float:
+        return self.feasible / self.sampled if self.sampled else 0.0
+
+
+def feasibility_profile(
+    cayley: CayleyGraph,
+    agent_counts: Sequence[int],
+    max_per_count: Optional[int] = 40,
+    seed: int = 0,
+) -> List[FeasibilityProfile]:
+    """Profile one Cayley graph across agent counts.
+
+    Placements are normalized to contain node 0 (translations act
+    transitively, so every placement is translation-equivalent to one
+    containing 0 — sampling those loses no generality and cuts the space
+    by a factor of n).  The feasibility test reuses the precomputed
+    automorphism group and regular subgroups across all placements.
+    """
+    network = cayley.network
+    n = network.num_nodes
+    autos = color_preserving_automorphisms(network)
+    subgroups = find_regular_subgroups(autos, n)
+    rng = random.Random(seed)
+    profiles: List[FeasibilityProfile] = []
+    for r in agent_counts:
+        if r > n:
+            continue
+        combos = [
+            (0,) + rest
+            for rest in itertools.combinations(range(1, n), r - 1)
+        ]
+        if max_per_count is not None and len(combos) > max_per_count:
+            combos = rng.sample(combos, max_per_count)
+        feasible = 0
+        for homes in combos:
+            blacks = set(homes)
+            possible = all(
+                sum(
+                    1
+                    for phi in subgroup
+                    if all((phi[v] in blacks) == (v in blacks) for v in range(n))
+                )
+                == 1
+                for subgroup in subgroups
+            )
+            feasible += possible
+        profiles.append(
+            FeasibilityProfile(
+                family=cayley.name,
+                num_nodes=n,
+                agents=r,
+                sampled=len(combos),
+                feasible=feasible,
+            )
+        )
+    return profiles
+
+
+def profile_table(profiles: Sequence[FeasibilityProfile]) -> str:
+    """Render profiles as the experiment's output table."""
+    from .report import render_table
+
+    header = ["family", "n", "r", "sampled", "feasible", "rate"]
+    rows = [
+        [p.family, p.num_nodes, p.agents, p.sampled, p.feasible, f"{p.rate:.2f}"]
+        for p in profiles
+    ]
+    return render_table(header, rows)

@@ -1,0 +1,27 @@
+"""Plain-text rendering of experiment tables (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def render_table(header: Sequence[Any], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    table = [[str(c) for c in header]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [fmt(table[0]), rule]
+    lines.extend(fmt(row) for row in table[1:])
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence[Any]]) -> str:
+    """Render a titled key/value block."""
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines = [title, "=" * len(title)]
+    lines.extend(f"{str(k).ljust(width)} : {v}" for k, v in pairs)
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Applications built on top of leader election (paper footnote 2)."""
+
+from .gathering import GatheringAgent, GatheringReport, LEVEL, GRADIENT_READY
+from .runner import run_gathering
+
+__all__ = [
+    "GatheringAgent",
+    "GatheringReport",
+    "run_gathering",
+    "LEVEL",
+    "GRADIENT_READY",
+]

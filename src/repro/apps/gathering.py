@@ -1,0 +1,165 @@
+"""Gathering (rendezvous) on top of leader election.
+
+Paper footnote 2: "Once a leader is elected, many other computational tasks
+become straightforward.  Such is the case for the gathering or rendezvous
+problem."  This module makes that concrete:
+
+1. The agents run protocol ELECT (all of its machinery inherited).
+2. The winner, instead of merely announcing itself, first paints a
+   **level gradient** on the whiteboards: every node receives a ``level``
+   sign carrying its BFS distance from the leader's home-base (computed on
+   the leader's private map), then the usual leader announcement.
+3. Every defeated agent *gathers* by gradient descent — repeatedly moving
+   to any neighbor whose ``level`` sign is one smaller — deliberately
+   **without** consulting its own map, which demonstrates that the painted
+   gradient alone suffices as a routing structure (a whiteboard artifact a
+   map-less late-comer could also use).
+4. The leader waits at home until ``r - 1`` distinct ``arrived`` colors
+   appear, then declares the gathering complete.
+
+All coordination uses model-legal signs (integer payloads, own colors).
+If election is infeasible (gcd > 1) the gathering fails like ELECT does —
+the paper's theory says no deterministic protocol can do better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..colors import Color
+from ..errors import ProtocolError
+from ..sim.actions import Move, NodeView, WaitUntil, Write
+from ..sim.agent import ProtocolGen
+from ..sim.signs import LEADER_ANNOUNCE, Sign
+from ..core.elect import ElectAgent
+from ..core.result import AgentReport, Verdict
+
+LEVEL = "level"
+GRADIENT_READY = "gradient-ready"
+ARRIVED = "arrived"
+
+
+@dataclass(frozen=True)
+class GatheringReport(AgentReport):
+    """An :class:`AgentReport` extended with the gathering flag."""
+
+    gathered: bool = False
+
+
+def _level_of(view: NodeView) -> Optional[int]:
+    for s in view.signs:
+        if s.kind == LEVEL:
+            return s.payload[0]
+    return None
+
+
+class GatheringAgent(ElectAgent):
+    """Elect a leader, then gather every agent at the leader's home-base."""
+
+    def protocol(self, start: NodeView) -> ProtocolGen:
+        report = yield from super().protocol(start)
+        if report.verdict is Verdict.FAILED:
+            return GatheringReport(verdict=Verdict.FAILED, gathered=False)
+        if report.verdict is Verdict.LEADER:
+            return (yield from self._host_gathering(report))
+        return (yield from self._gather(report))
+
+    # -- leader side ------------------------------------------------------
+
+    def _become_leader(self) -> ProtocolGen:
+        """Paint the level gradient while announcing leadership.
+
+        Overrides the plain announcement tour of ELECT: each node gets its
+        BFS distance from the leader's home plus the announce sign, and a
+        final ``gradient-ready`` marker that descending agents key on.
+        """
+        distances = self._map.network.distances_from(self._map.home)
+
+        def visit(node: int, view: NodeView) -> ProtocolGen:
+            yield Write(
+                Sign(kind=LEVEL, color=self.color, payload=(distances[node],))
+            )
+            yield Write(Sign(kind=LEADER_ANNOUNCE, color=self.color))
+            yield Write(Sign(kind=GRADIENT_READY, color=self.color))
+            return None
+
+        yield from self._nav.tour(visit=visit)
+        yield from self._nav.goto(self._map.home)
+        return AgentReport(verdict=Verdict.LEADER, leader_color=self.color)
+
+    def _host_gathering(self, report: AgentReport) -> ProtocolGen:
+        expected = len(self._map.homebases) - 1
+
+        def all_arrived(view: NodeView) -> bool:
+            colors = {
+                s.color
+                for s in view.signs
+                if s.kind == ARRIVED and s.color is not None
+            }
+            return len(colors) >= expected
+
+        if expected > 0:
+            yield WaitUntil(all_arrived, reason="gathering completion")
+        return GatheringReport(
+            verdict=Verdict.LEADER, leader_color=self.color, gathered=True
+        )
+
+    # -- follower side ------------------------------------------------------
+
+    def _gather(self, report: AgentReport) -> ProtocolGen:
+        """Gradient descent to level 0 using only whiteboard signs.
+
+        The agent's map is deliberately not consulted for routing: at each
+        node it waits for the gradient to be painted, reads its level, and
+        probes ports until it finds a strictly smaller neighbor.  Descent
+        terminates because levels strictly decrease.
+        """
+
+        def ready(view: NodeView) -> bool:
+            return any(s.kind == GRADIENT_READY for s in view.signs)
+
+        view = yield WaitUntil(ready, reason="gradient paint")
+        level = _level_of(view)
+        if level is None:
+            raise ProtocolError("gradient-ready without a level sign")
+
+        position_tracker = self._nav  # keep the navigator's position honest
+        current_map_node = position_tracker.position
+
+        while level > 0:
+            moved = False
+            for port in view.ports:
+                move_view = yield Move(port)
+                entry = move_view.entry_port
+                # Keep the navigator consistent even though we route by
+                # signs: map-node tracking is free bookkeeping.
+                current_map_node, _ = self._map.network.traverse(
+                    current_map_node, port
+                )
+                position_tracker.position = current_map_node
+
+                next_view = yield WaitUntil(ready, reason="gradient paint")
+                next_level = _level_of(next_view)
+                if next_level is not None and next_level == level - 1:
+                    view = next_view
+                    level = next_level
+                    moved = True
+                    break
+                # Not downhill: step back through the entry port.
+                view = yield Move(entry)
+                current_map_node, _ = self._map.network.traverse(
+                    current_map_node, entry
+                )
+                position_tracker.position = current_map_node
+            if not moved:
+                raise ProtocolError(
+                    f"gradient descent stuck at level {level}: no downhill port"
+                )
+
+        yield Write(Sign(kind=ARRIVED, color=self.color))
+        return GatheringReport(
+            verdict=Verdict.DEFEATED,
+            leader_color=report.leader_color,
+            gathered=True,
+        )

@@ -1,0 +1,78 @@
+"""Runners for the application layer."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from ..colors import Color
+from ..core.placement import Placement
+from ..core.result import Verdict
+from ..graphs.network import AnonymousNetwork
+from ..sim.runtime import Simulation
+from ..sim.scheduler import RandomScheduler, Scheduler
+from .gathering import GatheringAgent, GatheringReport
+
+
+@dataclass
+class GatheringOutcome:
+    """Aggregate result of a gathering run."""
+
+    reports: List[GatheringReport]
+    positions: List[int]
+    total_moves: int
+    steps: int
+
+    @property
+    def gathered(self) -> bool:
+        """All agents report success AND physically share one node."""
+        return (
+            all(r.gathered for r in self.reports)
+            and len(set(self.positions)) == 1
+        )
+
+    @property
+    def failed(self) -> bool:
+        return all(r.verdict is Verdict.FAILED for r in self.reports)
+
+    @property
+    def rendezvous_node(self) -> Optional[int]:
+        if not self.gathered:
+            return None
+        return self.positions[0]
+
+
+def run_gathering(
+    network: AnonymousNetwork,
+    placement: Placement,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    colors: Optional[Sequence[Color]] = None,
+    **sim_kwargs: Any,
+) -> GatheringOutcome:
+    """Elect a leader and gather all agents at its home-base."""
+    if colors is None:
+        colors = placement.fresh_colors()
+    agents = [
+        GatheringAgent(color, rng=random.Random(f"{seed}:{i}"))
+        for i, color in enumerate(colors)
+    ]
+    sim = Simulation(
+        network,
+        list(zip(agents, placement.homes)),
+        scheduler=scheduler or RandomScheduler(seed=seed),
+        **sim_kwargs,
+    )
+    result = sim.run()
+    reports: List[GatheringReport] = []
+    for r in result.results:
+        if not isinstance(r, GatheringReport):
+            raise TypeError(f"agent returned {r!r}, expected GatheringReport")
+        reports.append(r)
+    return GatheringOutcome(
+        reports=reports,
+        positions=list(result.positions),
+        total_moves=result.total_moves,
+        steps=result.steps,
+    )

@@ -1,0 +1,202 @@
+"""Incomparable labels ("colors") — the qualitative model's primitive.
+
+The paper's qualitative model (Section 1.2) equips each agent with a color
+drawn from a set :math:`C` of *mutually incomparable* elements: two colors
+can be tested for equality, but no order relation may be derived from them.
+This module makes that restriction a runtime guarantee:
+
+* :class:`Color` supports ``==``/``!=`` and hashing (hashing is required so
+  agents can *privately* organise colors they have seen — the paper allows
+  each agent "to produce its own encoding" of colors it observes — but the
+  hash is salted per-process so no protocol can use it as a covert global
+  total order across runs).
+* All four ordering operators raise :class:`~repro.errors.IncomparabilityError`.
+* :class:`ColorSpace` mints fresh distinct colors and can *rename* colors via
+  a bijection, which the test-suite uses to assert that protocol outcomes are
+  invariant under arbitrary recoloring (qualitative soundness).
+* :class:`LocalColorEncoding` models an agent's private first-seen encoding
+  of colors (the "code the i-th symbol met so far as i" rule the paper uses
+  in the Figure 2 discussion).
+
+The *quantitative* model is represented by plain integers; the protocols in
+:mod:`repro.core.quantitative` accept any totally ordered label type.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from .errors import IncomparabilityError
+
+# Per-process salt ensuring that Color hashes cannot serve as a stable global
+# order across processes (and making any accidental reliance on hash order
+# flaky enough for the randomised tests to catch).
+_HASH_SALT: int = int.from_bytes(os.urandom(8), "little")
+
+
+class Color:
+    """A label that supports equality but no ordering.
+
+    Parameters
+    ----------
+    token:
+        An internal distinguishing token.  Two colors are equal iff their
+        tokens are equal.  The token is *not* exposed through comparison
+        operators; it exists only so that distinct colors are distinct.
+    name:
+        Optional human-readable name used purely for ``repr``/debugging.
+        Names play no role in equality.
+    """
+
+    __slots__ = ("_token", "_name")
+
+    def __init__(self, token: Hashable, name: Optional[str] = None):
+        self._token = token
+        self._name = name
+
+    @property
+    def name(self) -> Optional[str]:
+        """Human-readable name (debugging only; not part of equality)."""
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Color):
+            return self._token == other._token
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Color):
+            return self._token != other._token
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((_HASH_SALT, self._token))
+
+    def _forbidden(self, other: object) -> "Color":
+        raise IncomparabilityError(
+            "colors are mutually incomparable: only ==/!= are defined "
+            "(qualitative model, paper Section 1.2)"
+        )
+
+    __lt__ = _forbidden
+    __le__ = _forbidden
+    __gt__ = _forbidden
+    __ge__ = _forbidden
+
+    def __repr__(self) -> str:
+        if self._name is not None:
+            return f"Color({self._name!r})"
+        return f"Color(token={self._token!r})"
+
+
+class ColorSpace:
+    """A factory of distinct :class:`Color` instances.
+
+    A ``ColorSpace`` models the (designer-unknown) set :math:`C` from which
+    agent colors are drawn.  It mints fresh colors on demand and supports
+    constructing *renamed* copies of a collection of colors, used to verify
+    recoloring-invariance of protocols.
+    """
+
+    _space_ids = itertools.count()
+
+    def __init__(self, prefix: str = "c"):
+        self._prefix = prefix
+        self._space_id = next(ColorSpace._space_ids)
+        self._counter = itertools.count()
+        self._minted: List[Color] = []
+
+    def fresh(self, name: Optional[str] = None) -> Color:
+        """Mint a color distinct from every color previously minted here."""
+        idx = next(self._counter)
+        color = Color((self._space_id, idx), name or f"{self._prefix}{idx}")
+        self._minted.append(color)
+        return color
+
+    def fresh_many(self, count: int) -> List[Color]:
+        """Mint ``count`` fresh pairwise-distinct colors."""
+        return [self.fresh() for _ in range(count)]
+
+    @property
+    def minted(self) -> Tuple[Color, ...]:
+        """All colors minted by this space, in mint order."""
+        return tuple(self._minted)
+
+    @staticmethod
+    def renaming(colors: Iterable[Color]) -> Dict[Color, Color]:
+        """Return a fresh-bijection renaming of ``colors``.
+
+        The returned mapping sends each input color to a brand-new color from
+        a private space.  Applying it to a protocol input must not change the
+        protocol's observable outcome (up to the renaming itself); the test
+        suite checks exactly that.
+        """
+        space = ColorSpace(prefix="r")
+        return {c: space.fresh() for c in dict.fromkeys(colors)}
+
+
+class LocalColorEncoding:
+    """An agent's private, order-of-first-sight encoding of colors.
+
+    The paper (Figure 2 discussion) notes that an agent can code the *i*-th
+    distinct symbol it meets as the integer *i*.  Such an encoding is legal
+    in the qualitative model because it is local: two agents walking the same
+    structure in different directions generally produce different encodings,
+    which is precisely why view-sorting fails qualitatively.
+    """
+
+    def __init__(self) -> None:
+        self._codes: Dict[Color, int] = {}
+
+    def encode(self, color: Color) -> int:
+        """Return this agent's integer code for ``color`` (assigning if new)."""
+        code = self._codes.get(color)
+        if code is None:
+            code = len(self._codes) + 1
+            self._codes[color] = code
+        return code
+
+    def encode_sequence(self, colors: Iterable[Color]) -> List[int]:
+        """Encode a sequence of colors in order (mutates the encoding)."""
+        return [self.encode(c) for c in colors]
+
+    def known(self) -> Tuple[Color, ...]:
+        """Colors seen so far, in first-seen order."""
+        return tuple(self._codes)
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, color: Color) -> bool:
+        return color in self._codes
+
+
+def distinct(colors: Iterable[Color]) -> bool:
+    """Return ``True`` iff all colors in the iterable are pairwise distinct."""
+    seen = set()
+    for c in colors:
+        if c in seen:
+            return False
+        seen.add(c)
+    return True
+
+
+def qualitative_symbols(count: int, prefix: str = "sym") -> List[Color]:
+    """Convenience: mint ``count`` incomparable port-label symbols.
+
+    Port labels in the qualitative model are, like agent colors, distinct but
+    incomparable symbols (geometric figures, colors of paint, …).  They live
+    in their own :class:`ColorSpace`.
+    """
+    space = ColorSpace(prefix=prefix)
+    return space.fresh_many(count)
+
+
+def iter_color_pairs(colors: Iterable[Color]) -> Iterator[Tuple[Color, Color]]:
+    """Yield all unordered pairs of distinct colors (testing helper)."""
+    pool = list(colors)
+    for i in range(len(pool)):
+        for j in range(i + 1, len(pool)):
+            yield pool[i], pool[j]

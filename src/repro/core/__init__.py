@@ -1,0 +1,80 @@
+"""The paper's core contribution: qualitative leader election protocols."""
+
+from .cayley_elect import CayleyElectAgent
+from .elect import ElectAgent
+from .feasibility import (
+    Classification,
+    ElectPrediction,
+    Feasibility,
+    SymmetryCertificate,
+    TranslationCertificate,
+    cayley_election_possible,
+    classify,
+    elect_prediction,
+    gcd_of_sizes,
+    natural_labeling_certificate,
+    theorem21_certificate,
+    translation_certificates,
+)
+from .ordering import ClassStructure, compute_class_structure
+from .petersen import PetersenDuelAgent
+from .placement import Placement, all_placements
+from .quantitative import QuantitativeAgent
+from .reduce_phases import (
+    AgentRound,
+    NodeRound,
+    PhaseSpec,
+    Schedule,
+    agent_reduce_rounds,
+    build_schedule,
+    euclid_pair_sequence,
+    node_reduce_rounds,
+)
+from .result import AgentReport, ElectionOutcome, Verdict, aggregate
+from .runner import (
+    run_cayley_elect,
+    run_elect,
+    run_election,
+    run_petersen_duel,
+    run_quantitative,
+)
+
+__all__ = [
+    "ElectAgent",
+    "CayleyElectAgent",
+    "QuantitativeAgent",
+    "PetersenDuelAgent",
+    "Placement",
+    "all_placements",
+    "ClassStructure",
+    "compute_class_structure",
+    "AgentRound",
+    "NodeRound",
+    "PhaseSpec",
+    "Schedule",
+    "agent_reduce_rounds",
+    "node_reduce_rounds",
+    "build_schedule",
+    "euclid_pair_sequence",
+    "AgentReport",
+    "ElectionOutcome",
+    "Verdict",
+    "aggregate",
+    "run_election",
+    "run_elect",
+    "run_cayley_elect",
+    "run_quantitative",
+    "run_petersen_duel",
+    "Feasibility",
+    "Classification",
+    "ElectPrediction",
+    "TranslationCertificate",
+    "SymmetryCertificate",
+    "classify",
+    "elect_prediction",
+    "translation_certificates",
+    "cayley_election_possible",
+    "theorem21_certificate",
+    "natural_labeling_certificate",
+    "gcd_of_sizes",
+]

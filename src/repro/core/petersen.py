@@ -1,0 +1,117 @@
+"""The Petersen counterexample protocol (paper Section 4, Figure 5).
+
+Two agents sit on *adjacent* nodes of the Petersen graph.  The equivalence
+classes have sizes (2, 4, 4), so ``gcd = 2`` and protocol ELECT declares
+failure — yet this bespoke protocol elects, proving ELECT is not effectual
+on arbitrary (here: vertex-transitive non-Cayley) graphs.
+
+The paper's steps for each of the two agents:
+
+1. wake the other agent (map drawing does);
+2. go to a neighbor of your home-base distinct from the other agent's
+   home-base, and mark its whiteboard;
+3. find which of the other agent's neighbors *it* marked;
+4. race to acquire the unique common neighbor ``x`` of the two marked
+   nodes (Petersen is strongly regular with μ = 1: non-adjacent nodes have
+   exactly one common neighbor, and the two marks are never adjacent);
+5. the acquirer of ``x`` is the leader.
+
+Asynchrony hardening (documented deviation): after marking, each agent also
+posts a ``marked`` status on the *other agent's home-base*, so step 3 can
+block on a single whiteboard instead of busy-polling the neighbor set; this
+adds O(1) signs and changes nothing about who can win the race.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..colors import Color
+from ..errors import ProtocolError
+from ..sim.actions import NodeView, TryAcquire, WaitUntil, Write
+from ..sim.agent import Agent, ProtocolGen
+from ..sim.signs import MARK, STATUS, Sign
+from ..sim.traversal import Navigator, draw_map
+from .result import AgentReport, Verdict
+
+MARKED_STATUS = 100  # role code for "I have placed my mark"
+ACQUIRE_X = "acquire-x"
+
+
+class PetersenDuelAgent(Agent):
+    """One of the two duellists of the Figure 5 counterexample."""
+
+    def protocol(self, start: NodeView) -> ProtocolGen:
+        local_map = yield from draw_map(self.color, start)
+        nav = Navigator(local_map)
+        net = local_map.network
+
+        if net.num_nodes != 10 or net.degree_sequence() != (3,) * 10:
+            raise ProtocolError("this protocol is specific to the Petersen graph")
+        homes = sorted(local_map.homebases)
+        if len(homes) != 2:
+            raise ProtocolError("this protocol is specific to two agents")
+        me = local_map.home
+        other = next(h for h in homes if h != me)
+        if other not in net.neighbors(me):
+            raise ProtocolError("the two home-bases must be adjacent")
+
+        # Step 2: mark a neighbor of my home distinct from the other's home.
+        candidates = [v for v in net.neighbors(me) if v != other]
+        my_mark = candidates[self.rng.randrange(len(candidates))]
+        yield from nav.goto(my_mark)
+        yield Write(Sign(kind=MARK, color=self.color))
+
+        # Hardening: tell the other agent (at its home-base) that my mark is
+        # placed, then wait at my own home for its symmetric notice.
+        yield from nav.goto(other)
+        yield Write(Sign(kind=STATUS, color=self.color, payload=(0, 0, MARKED_STATUS)))
+        yield from nav.goto(me)
+        other_color = local_map.homebases[other]
+
+        def other_marked(view: NodeView) -> bool:
+            return any(
+                s.kind == STATUS
+                and s.color == other_color
+                and s.payload == (0, 0, MARKED_STATUS)
+                for s in view.signs
+            )
+
+        yield WaitUntil(other_marked, reason="other agent's mark notice")
+
+        # Step 3: find which neighbor of the other's home carries its mark.
+        its_mark: Optional[int] = None
+        for v in net.neighbors(other):
+            if v == me:
+                continue
+            view = yield from nav.goto(v)
+            if any(s.kind == MARK and s.color == other_color for s in view.signs):
+                its_mark = v
+                break
+        if its_mark is None:
+            raise ProtocolError("the other agent's mark was not found")
+
+        # Step 4: the unique common neighbor of the two marked nodes.
+        common = set(net.neighbors(my_mark)) & set(net.neighbors(its_mark))
+        if len(common) != 1:
+            raise ProtocolError(
+                f"expected a unique common neighbor, found {sorted(common)}"
+            )
+        x = common.pop()
+        yield from nav.goto(x)
+        won = yield TryAcquire(kind=ACQUIRE_X, payload=(), capacity=1)
+
+        # Step 5: winner leads.  The loser reads the winner's color straight
+        # off the acquisition sign on x's whiteboard.
+        if won:
+            yield from nav.goto(me)
+            return AgentReport(verdict=Verdict.LEADER, leader_color=self.color)
+        view = yield from nav.goto(x)
+        winner: Optional[Color] = None
+        for s in view.signs:
+            if s.kind == ACQUIRE_X:
+                winner = s.color
+        if winner is None:
+            raise ProtocolError("lost the race but found no winner sign")
+        yield from nav.goto(me)
+        return AgentReport(verdict=Verdict.DEFEATED, leader_color=winner)

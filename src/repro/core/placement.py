@@ -1,0 +1,71 @@
+"""Placements: the injection ``p : A → V(G)`` and instance helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..colors import Color, ColorSpace
+from ..errors import PlacementError
+from ..graphs.network import AnonymousNetwork
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The home-bases of the agents, as a tuple of distinct node indices.
+
+    An instance of the election problem is a pair ``(G, p)``; this class is
+    the ``p``.  Agent *colors* are minted at run time (they are irrelevant
+    to feasibility — only distinctness matters — and minting fresh colors
+    per run doubles as a recoloring-invariance stressor).
+    """
+
+    homes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.homes:
+            raise PlacementError("a placement needs at least one agent")
+        if len(set(self.homes)) != len(self.homes):
+            raise PlacementError("home-bases must be pairwise distinct")
+
+    @staticmethod
+    def of(homes: Iterable[int]) -> "Placement":
+        return Placement(tuple(homes))
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.homes)
+
+    def bicoloring(self, network: AnonymousNetwork) -> List[int]:
+        """Black(1)/white(0) node coloring: black = home-base (Section 2)."""
+        for h in self.homes:
+            if not 0 <= h < network.num_nodes:
+                raise PlacementError(f"home {h} outside the network")
+        black = set(self.homes)
+        return [1 if v in black else 0 for v in network.nodes()]
+
+    def fresh_colors(self, space: Optional[ColorSpace] = None) -> List[Color]:
+        """Mint one distinct color per agent."""
+        space = space or ColorSpace(prefix="agent")
+        return space.fresh_many(self.num_agents)
+
+
+def all_placements(
+    network: AnonymousNetwork, num_agents: int
+) -> List[Placement]:
+    """Every placement of ``num_agents`` agents, up to agent renaming.
+
+    Because agents are interchangeable up to their (incomparable) colors,
+    placements are node *subsets*; enumeration is deliberately exhaustive
+    (used for the effectualness sweeps on small graphs).
+    """
+    import itertools
+
+    if not 1 <= num_agents <= network.num_nodes:
+        raise PlacementError(
+            f"cannot place {num_agents} agents on {network.num_nodes} nodes"
+        )
+    return [
+        Placement(combo)
+        for combo in itertools.combinations(network.nodes(), num_agents)
+    ]

@@ -1,0 +1,82 @@
+"""The quantitative baseline: universal election with comparable labels.
+
+Paper Section 1.3: "If agents are labeled with distinct elements that are
+also comparable, then there is a universal election protocol … during
+phase 1, every agent performs a traversal of the graph to collect all agent
+labels; during phase 2, every agent elects the agent of maximum label."
+
+:class:`QuantitativeAgent` implements exactly that two-phase protocol.  The
+agent still owns a distinct *color* (the runtime's identity for whiteboard
+marking — in the quantitative world one would encode the label in binary;
+keeping a color changes nothing observable), plus an integer ``label``
+which is what the protocol actually compares.
+
+The label is published as an integer-payload sign at the agent's home-base,
+so every traversing agent can read the full label set; the maximum label's
+home-base sign color identifies the leader without any further
+communication round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..colors import Color
+from ..errors import ProtocolError
+from ..sim.actions import NodeView, WaitUntil, Write
+from ..sim.agent import Agent, ProtocolGen
+from ..sim.signs import HOMEBASE, Sign
+from ..sim.traversal import Navigator, draw_map
+from .result import AgentReport, Verdict
+
+LABEL = "label"
+
+
+class QuantitativeAgent(Agent):
+    """Universal election for the quantitative world (comparable labels)."""
+
+    def __init__(self, color: Color, label: int, **kwargs):
+        super().__init__(color, **kwargs)
+        if not isinstance(label, int):
+            raise ProtocolError("quantitative labels must be integers")
+        self.label = label
+
+    def protocol(self, start: NodeView) -> ProtocolGen:
+        # Publish my label at my home-base before anything else, so any
+        # traversing collector (possibly faster than me) can block on it.
+        yield Write(Sign(kind=LABEL, color=self.color, payload=(self.label,)))
+
+        local_map = yield from draw_map(self.color, start)
+        nav = Navigator(local_map)
+
+        # Collect every agent's label: tour the home-bases, waiting at each
+        # for its owner's label sign (the owner is awake — map-drawing wakes
+        # everyone — and posting the label is its first action).
+        labels: Dict[int, int] = {}
+
+        def visit(node: int, view: NodeView) -> ProtocolGen:
+            owner = local_map.homebases[node]
+
+            def posted(v: NodeView) -> bool:
+                return any(
+                    s.kind == LABEL and s.color == owner for s in v.signs
+                )
+
+            v = yield WaitUntil(posted, reason="label publication")
+            for s in v.signs:
+                if s.kind == LABEL and s.color == owner:
+                    labels[node] = s.payload[0]
+            return None
+
+        homebase_nodes = set(local_map.homebases)
+        yield from nav.tour(visit=visit, only=lambda v: v in homebase_nodes)
+        yield from nav.goto(local_map.home)
+
+        if len(set(labels.values())) != len(labels):
+            raise ProtocolError("quantitative labels are not distinct")
+
+        winner_node = max(labels, key=lambda node: labels[node])
+        winner_color = local_map.homebases[winner_node]
+        if winner_node == local_map.home:
+            return AgentReport(verdict=Verdict.LEADER, leader_color=self.color)
+        return AgentReport(verdict=Verdict.DEFEATED, leader_color=winner_color)

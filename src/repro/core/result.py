@@ -1,0 +1,109 @@
+"""Election outcomes: what each agent reports and the aggregated verdict."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..colors import Color
+from ..errors import ProtocolError
+
+
+class Verdict(Enum):
+    """An individual agent's final state."""
+
+    LEADER = "leader"
+    DEFEATED = "defeated"  # knows the leader's color
+    FAILED = "failed"  # protocol determined election is not solvable
+    NOT_CAYLEY = "not-cayley"  # Cayley-variant run on a non-Cayley graph
+    AMBIGUOUS = "ambiguous"  # class order not agreeable (see DESIGN.md)
+
+
+@dataclass(frozen=True)
+class AgentReport:
+    """What one agent returns at the end of a protocol."""
+
+    verdict: Verdict
+    leader_color: Optional[Color] = None
+
+    def __post_init__(self) -> None:
+        if self.verdict in (Verdict.LEADER, Verdict.DEFEATED):
+            if self.leader_color is None:
+                raise ProtocolError("elected outcomes must carry the leader color")
+
+
+@dataclass
+class ElectionOutcome:
+    """Aggregate of all agents' reports plus run metrics.
+
+    ``elected`` requires *unanimity*: exactly one LEADER, everyone else
+    DEFEATED, and every report naming the same leader color.  Anything less
+    is a protocol bug and raises at aggregation time.
+    """
+
+    reports: List[AgentReport]
+    total_moves: int
+    total_accesses: int
+    steps: int
+
+    @property
+    def elected(self) -> bool:
+        return any(r.verdict is Verdict.LEADER for r in self.reports)
+
+    @property
+    def leader_color(self) -> Optional[Color]:
+        for r in self.reports:
+            if r.verdict is Verdict.LEADER:
+                return r.leader_color
+        return None
+
+    @property
+    def failed(self) -> bool:
+        return all(
+            r.verdict in (Verdict.FAILED, Verdict.NOT_CAYLEY, Verdict.AMBIGUOUS)
+            for r in self.reports
+        )
+
+    def validate(self) -> "ElectionOutcome":
+        """Check global consistency of the reports; return self.
+
+        Raises :class:`ProtocolError` on split-brain outcomes: several
+        leaders, a mix of elected and failed verdicts, or defeated agents
+        naming different leaders.
+        """
+        leaders = [r for r in self.reports if r.verdict is Verdict.LEADER]
+        if len(leaders) > 1:
+            raise ProtocolError(f"{len(leaders)} agents claim leadership")
+        if leaders:
+            leader_color = leaders[0].leader_color
+            for r in self.reports:
+                if r.verdict is Verdict.LEADER:
+                    continue
+                if r.verdict is not Verdict.DEFEATED:
+                    raise ProtocolError(
+                        f"mixed verdicts: leader elected but {r.verdict} present"
+                    )
+                if r.leader_color != leader_color:
+                    raise ProtocolError("defeated agents disagree on the leader")
+        else:
+            if not self.failed:
+                raise ProtocolError(
+                    "no leader, yet not all agents report failure"
+                )
+        return self
+
+
+def aggregate(
+    reports: Sequence[AgentReport],
+    total_moves: int,
+    total_accesses: int,
+    steps: int,
+) -> ElectionOutcome:
+    """Build and validate an :class:`ElectionOutcome`."""
+    return ElectionOutcome(
+        reports=list(reports),
+        total_moves=total_moves,
+        total_accesses=total_accesses,
+        steps=steps,
+    ).validate()

@@ -1,0 +1,155 @@
+"""One-call election runners: wire protocol agents into the runtime.
+
+These helpers are the primary public entry points: build agents with fresh
+colors, place them, run the asynchronous simulation, and aggregate the
+per-agent reports into a validated :class:`ElectionOutcome`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..colors import Color, ColorSpace
+from ..graphs.network import AnonymousNetwork
+from ..sim.agent import Agent
+from ..sim.runtime import Simulation
+from ..sim.scheduler import RandomScheduler, Scheduler
+from .cayley_elect import CayleyElectAgent
+from .elect import ElectAgent
+from .petersen import PetersenDuelAgent
+from .placement import Placement
+from .quantitative import QuantitativeAgent
+from .result import AgentReport, ElectionOutcome, aggregate
+
+AgentFactory = Callable[[Color, random.Random], Agent]
+
+
+def run_election(
+    network: AnonymousNetwork,
+    placement: Placement,
+    agent_factory: AgentFactory,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    colors: Optional[Sequence[Color]] = None,
+    **sim_kwargs: Any,
+) -> ElectionOutcome:
+    """Run any election protocol on ``(G, p)`` and aggregate the outcome.
+
+    Parameters
+    ----------
+    agent_factory:
+        Called once per agent with ``(color, private_rng)``; must return an
+        :class:`Agent` whose protocol finishes with an
+        :class:`~repro.core.result.AgentReport`.
+    scheduler:
+        Interleaving adversary (default: :class:`RandomScheduler` seeded
+        with ``seed``).
+    colors:
+        Explicit agent colors (default: fresh ones — also exercising
+        recoloring invariance across runs).
+    """
+    if colors is None:
+        colors = placement.fresh_colors()
+    agents = [
+        agent_factory(color, random.Random(f"{seed}:{i}"))
+        for i, color in enumerate(colors)
+    ]
+    sim = Simulation(
+        network,
+        list(zip(agents, placement.homes)),
+        scheduler=scheduler or RandomScheduler(seed=seed),
+        **sim_kwargs,
+    )
+    result = sim.run()
+    reports: List[AgentReport] = []
+    for r in result.results:
+        if not isinstance(r, AgentReport):
+            raise TypeError(f"agent returned {r!r}, expected AgentReport")
+        reports.append(r)
+    return aggregate(
+        reports,
+        total_moves=result.total_moves,
+        total_accesses=result.total_accesses,
+        steps=result.steps,
+    )
+
+
+def run_elect(
+    network: AnonymousNetwork,
+    placement: Placement,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    **sim_kwargs: Any,
+) -> ElectionOutcome:
+    """Run protocol ELECT (Figure 3) on ``(G, p)``."""
+    return run_election(
+        network,
+        placement,
+        lambda color, rng: ElectAgent(color, rng=rng),
+        scheduler=scheduler,
+        seed=seed,
+        **sim_kwargs,
+    )
+
+
+def run_cayley_elect(
+    network: AnonymousNetwork,
+    placement: Placement,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    **sim_kwargs: Any,
+) -> ElectionOutcome:
+    """Run the effectual Cayley variant (Theorem 4.1) on ``(G, p)``."""
+    return run_election(
+        network,
+        placement,
+        lambda color, rng: CayleyElectAgent(color, rng=rng),
+        scheduler=scheduler,
+        seed=seed,
+        **sim_kwargs,
+    )
+
+
+def run_quantitative(
+    network: AnonymousNetwork,
+    placement: Placement,
+    labels: Optional[Sequence[int]] = None,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    **sim_kwargs: Any,
+) -> ElectionOutcome:
+    """Run the universal quantitative protocol (comparable integer labels)."""
+    if labels is None:
+        rng = random.Random(seed)
+        labels = rng.sample(range(10 * placement.num_agents), placement.num_agents)
+    labels = list(labels)
+    if len(labels) != placement.num_agents:
+        raise ValueError("one label per agent required")
+    counter = iter(labels)
+    return run_election(
+        network,
+        placement,
+        lambda color, rng: QuantitativeAgent(color, label=next(counter), rng=rng),
+        scheduler=scheduler,
+        seed=seed,
+        **sim_kwargs,
+    )
+
+
+def run_petersen_duel(
+    network: AnonymousNetwork,
+    placement: Placement,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    **sim_kwargs: Any,
+) -> ElectionOutcome:
+    """Run the Figure 5 bespoke protocol (two adjacent agents on Petersen)."""
+    return run_election(
+        network,
+        placement,
+        lambda color, rng: PetersenDuelAgent(color, rng=rng),
+        scheduler=scheduler,
+        seed=seed,
+        **sim_kwargs,
+    )

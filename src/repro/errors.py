@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.  The hierarchy mirrors
+the layers of the system: model violations (qualitative-model cheating),
+graph-structure errors, simulation errors, and protocol-level outcomes that
+are exceptional (deadlock, budget exhaustion).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` package."""
+
+
+class IncomparabilityError(ReproError, TypeError):
+    """Raised when code attempts to order qualitative labels.
+
+    The qualitative model (paper Section 1.2) only permits equality tests
+    between colors.  Any attempt to evaluate ``<``, ``<=``, ``>`` or ``>=``
+    on a :class:`repro.colors.Color` raises this error, which doubles as a
+    runtime guard that protocols under test do not silently rely on a total
+    order.
+    """
+
+
+class GroupError(ReproError):
+    """Raised for invalid group-theoretic constructions.
+
+    Examples: a generating set that is not closed under inverses, an element
+    that does not belong to the group, or a generating set that does not
+    generate the whole group when one is required.
+    """
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid networks.
+
+    Examples: duplicate port labels at a node, a disconnected graph passed
+    where the paper assumes connectivity, or an edge endpoint that does not
+    exist.
+    """
+
+
+class PlacementError(ReproError):
+    """Raised for invalid agent placements (e.g. two agents on one node)."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the mobile-agent runtime."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when no agent can make progress but none has terminated.
+
+    A correct run of a paper protocol never deadlocks; this error indicates
+    either a protocol bug or an intentionally adversarial scenario used by
+    the impossibility-side experiments.
+    """
+
+
+class StepBudgetExceeded(SimulationError):
+    """Raised when a simulation exceeds its configured step budget.
+
+    Used to bound executions of protocols on instances where the protocol is
+    not guaranteed to terminate (e.g. symmetric executions driven by an
+    adversarial scheduler).
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when an agent protocol violates its own invariants."""
+
+
+class RecognitionError(ReproError):
+    """Raised when Cayley-graph recognition fails or is ambiguous."""

@@ -1,0 +1,258 @@
+"""Standard network builders: paths, cycles, Petersen, grids, random graphs.
+
+Each builder produces the unlabeled structure and delegates port labeling to
+a strategy from :mod:`repro.graphs.labelings` (default: deterministic integer
+ports, the classical convention).  The special fixtures of the paper's
+Figure 2 are built with their exact published labelings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..colors import Color, ColorSpace
+from ..errors import GraphError
+from .labelings import LabelingStrategy, integer_labeling
+from .network import AnonymousNetwork
+
+Pairs = List[Tuple[int, int]]
+
+
+def _build(
+    num_nodes: int,
+    pairs: Pairs,
+    labeling: Optional[LabelingStrategy],
+    name: str,
+) -> AnonymousNetwork:
+    strategy = labeling or integer_labeling
+    net = strategy(num_nodes, pairs)
+    # Strategies name networks themselves only when asked; stamp the family name.
+    return AnonymousNetwork(num_nodes, net.edges(), name=name)
+
+
+def path_graph(
+    n: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """The path ``P_n`` on ``n`` nodes."""
+    if n < 2:
+        raise GraphError("a path needs at least 2 nodes")
+    pairs = [(i, i + 1) for i in range(n - 1)]
+    return _build(n, pairs, labeling, f"P_{n}")
+
+
+def cycle_graph(
+    n: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """The cycle ``C_n`` (``n >= 3``)."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 nodes")
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    return _build(n, pairs, labeling, f"C_{n}")
+
+
+def complete_graph(
+    n: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """The complete graph ``K_n`` (``K_2`` is the paper's universality
+    counterexample)."""
+    if n < 2:
+        raise GraphError("a complete graph needs at least 2 nodes")
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _build(n, pairs, labeling, f"K_{n}")
+
+
+def star_graph(
+    leaves: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """A star with a center (node 0) and ``leaves`` leaves.
+
+    The paper notes election is trivial on stars: all agents race to the
+    center's whiteboard.
+    """
+    if leaves < 1:
+        raise GraphError("a star needs at least one leaf")
+    pairs = [(0, i) for i in range(1, leaves + 1)]
+    return _build(leaves + 1, pairs, labeling, f"Star_{leaves}")
+
+
+def complete_bipartite_graph(
+    a: int, b: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """``K_{a,b}`` with parts ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError("both parts must be non-empty")
+    pairs = [(i, a + j) for i in range(a) for j in range(b)]
+    return _build(a + b, pairs, labeling, f"K_{a},{b}")
+
+
+def grid_graph(
+    rows: int, cols: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """The ``rows × cols`` open (non-wrapped) grid."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    if rows * cols < 2:
+        raise GraphError("grid needs at least 2 nodes")
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    pairs: Pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                pairs.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                pairs.append((nid(r, c), nid(r + 1, c)))
+    return _build(rows * cols, pairs, labeling, f"Grid_{rows}x{cols}")
+
+
+def petersen_graph(
+    labeling: Optional[LabelingStrategy] = None,
+) -> AnonymousNetwork:
+    """The Petersen graph — the paper's Section 4 counterexample substrate.
+
+    Nodes 0–4 form the outer 5-cycle, nodes 5–9 the inner pentagram;
+    spoke ``i ↔ i+5``.  Vertex-transitive but **not** a Cayley graph.
+    """
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    return _build(10, outer + inner + spokes, labeling, "Petersen")
+
+
+def binary_tree(
+    depth: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """A complete binary tree of the given depth (depth 0 = single edge pair)."""
+    if depth < 1:
+        raise GraphError("tree depth must be >= 1")
+    n = 2 ** (depth + 1) - 1
+    pairs = [(i, 2 * i + 1) for i in range((n - 1) // 2)]
+    pairs += [(i, 2 * i + 2) for i in range((n - 1) // 2)]
+    return _build(n, pairs, labeling, f"BinTree_{depth}")
+
+
+def random_connected_graph(
+    n: int,
+    edge_prob: float,
+    rng: Optional[random.Random] = None,
+    labeling: Optional[LabelingStrategy] = None,
+    max_tries: int = 200,
+) -> AnonymousNetwork:
+    """A connected Erdős–Rényi ``G(n, p)`` sample (resampled until connected).
+
+    A uniform spanning-tree backbone is *not* forced; instead the sample is
+    rejected until connected, so the distribution is exactly ``G(n,p)``
+    conditioned on connectivity.
+    """
+    if n < 2:
+        raise GraphError("need at least 2 nodes")
+    rng = rng or random.Random()
+    for _ in range(max_tries):
+        pairs = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < edge_prob
+        ]
+        g = nx.Graph(pairs)
+        g.add_nodes_from(range(n))
+        if nx.is_connected(g):
+            return _build(n, pairs, labeling, f"GNP_{n}_{edge_prob}")
+    raise GraphError(
+        f"could not sample a connected G({n},{edge_prob}) in {max_tries} tries"
+    )
+
+
+def from_networkx(
+    graph: nx.Graph,
+    labeling: Optional[LabelingStrategy] = None,
+    name: Optional[str] = None,
+) -> AnonymousNetwork:
+    """Wrap any simple connected networkx graph as an anonymous network."""
+    nodes = sorted(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    pairs = [(index[u], index[v]) for u, v in graph.edges()]
+    return _build(
+        len(nodes), pairs, labeling, name or f"NX_{len(nodes)}"
+    )
+
+
+def generalized_petersen_graph(
+    n: int, k: int, labeling: Optional[LabelingStrategy] = None
+) -> AnonymousNetwork:
+    """The generalized Petersen graph GP(n, k).
+
+    Outer cycle ``0..n-1``, inner nodes ``n..2n-1`` with inner steps of
+    ``k``, spokes ``i ↔ n+i``.  GP(5, 2) is the Petersen graph; the family
+    mixes Cayley members (e.g. GP(4, 1), the cube) with vertex-transitive
+    non-Cayley members (GP(5, 2)) and non-vertex-transitive ones — ideal
+    test material for the recognition machinery.
+    """
+    if n < 3 or not 1 <= k < n / 2:
+        raise GraphError("GP(n,k) requires n >= 3 and 1 <= k < n/2")
+    outer = [(i, (i + 1) % n) for i in range(n)]
+    inner = [(n + i, n + (i + k) % n) for i in range(n)]
+    spokes = [(i, n + i) for i in range(n)]
+    return _build(2 * n, outer + inner + spokes, labeling, f"GP_{n}_{k}")
+
+
+# ----------------------------------------------------------------------
+# Exact fixtures from the paper's Figure 2
+# ----------------------------------------------------------------------
+
+
+def figure2a_quantitative_path() -> AnonymousNetwork:
+    """Figure 2(a): the path x–y–z with the paper's integer labeling.
+
+    ``ℓ_x({x,y}) = 1, ℓ_y({x,y}) = 1, ℓ_y({y,z}) = 2, ℓ_z({y,z}) = 1``.
+    Nodes: x=0, y=1, z=2.  All three views differ and are orderable, so the
+    quantitative world can elect here.
+    """
+    edges = [(0, 1, 1, 1), (1, 2, 2, 1)]
+    return AnonymousNetwork(3, edges, name="Fig2a")
+
+
+def figure2b_qualitative_path() -> Tuple[AnonymousNetwork, Tuple[Color, Color, Color]]:
+    """Figure 2(b): the same path with incomparable symbols ``*, ∘, •``.
+
+    ``ℓ_x = *, ℓ_y({x,y}) = ∘, ℓ_y({y,z}) = •, ℓ_z = *``.  The views are all
+    distinct, yet the two end agents' *first-seen integer encodings* of their
+    walks coincide (both read ``1,2,3,1``), so view-sorting cannot elect.
+    Returns the network and the three symbols ``(*, ∘, •)``.
+    """
+    space = ColorSpace(prefix="fig2b")
+    star = space.fresh("*")
+    circ = space.fresh("o")
+    bullet = space.fresh(".")
+    edges = [(0, star, 1, circ), (1, bullet, 2, star)]
+    return AnonymousNetwork(3, edges, name="Fig2b"), (star, circ, bullet)
+
+
+def figure2c_view_counterexample() -> AnonymousNetwork:
+    """Figure 2(c): three nodes where all views coincide but ``~lab`` classes
+    are singletons — the converse of Equation (1) fails.
+
+    Structure: a directed-feeling 3-ring labeled 1 (clockwise) / 2
+    (counter-clockwise), plus a "mess": two parallel edges between x and y
+    with crossed labels 3/4, and a loop at z labeled 3 and 4.  The network is
+    a multigraph; the views from x, y, z are label-isomorphic although no
+    label-preserving automorphism moves z.
+    """
+    x, y, z = 0, 1, 2
+    edges = [
+        # the 3-ring: ports 1 go clockwise, ports 2 counter-clockwise
+        (x, 1, y, 2),
+        (y, 1, z, 2),
+        (z, 1, x, 2),
+        # the mess: e1 and e2 between x and y with crossed 3/4 labels
+        (x, 3, y, 4),
+        (x, 4, y, 3),
+        # the loop f at z with extremities 3 and 4
+        (z, 3, z, 4),
+    ]
+    return AnonymousNetwork(3, edges, name="Fig2c")

@@ -1,0 +1,244 @@
+"""Canonical forms and a total order for bi-colored digraphs (Lemma 3.1).
+
+Lemma 3.1 needs a deterministic total order ``≺`` on (isomorphism classes
+of) bi-colored digraphs: the paper sketches a brute-force minimum over all
+``n!`` adjacency-matrix permutations.  We implement the equivalent but
+practical *individualization–refinement* canonical form:
+
+1. compute the coarsest **equitable partition** of the digraph refining the
+   node coloring (signatures use both out- and in-neighbor class multisets);
+2. while some cell is non-singleton, individualize each member of the first
+   such cell in turn and recurse;
+3. every leaf yields a discrete ordering and hence a matrix encoding; the
+   canonical encoding is the minimum over leaves.
+
+The encoding is invariant under digraph isomorphism and distinguishes
+non-isomorphic digraphs, so the lexicographic order on encodings induces the
+required total order ``≺``.  Keys returned by :func:`canonical_key` sort
+first by node count (as the paper's order does), then by encoding.
+
+Nothing here is agent-visible magic: protocol ELECT's agents each run this
+deterministic procedure on their own locally-drawn map, and because the maps
+are isomorphic the computed *class order* is identical for all agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import GraphError
+
+CanonicalKey = Tuple[int, Tuple[int, ...], bytes]
+
+
+@dataclass(frozen=True)
+class Digraph:
+    """A small directed graph with hashable node colors.
+
+    ``out_edges[i]`` is the set of successors of node ``i``.  Parallel arcs
+    are not modeled (Definition 3.1 surroundings never produce them); a
+    2-cycle ``x → y → x`` represents the "equidistant" double arc.
+    """
+
+    num_nodes: int
+    colors: Tuple[Hashable, ...]
+    out_edges: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.colors) != self.num_nodes:
+            raise GraphError("color count must equal node count")
+        if len(self.out_edges) != self.num_nodes:
+            raise GraphError("out_edges count must equal node count")
+        for i, succ in enumerate(self.out_edges):
+            for j in succ:
+                if not 0 <= j < self.num_nodes:
+                    raise GraphError(f"arc {i}->{j} out of range")
+
+    @staticmethod
+    def build(
+        num_nodes: int,
+        arcs: Sequence[Tuple[int, int]],
+        colors: Optional[Sequence[Hashable]] = None,
+    ) -> "Digraph":
+        """Construct from an arc list (duplicates collapse)."""
+        out: List[Set[int]] = [set() for _ in range(num_nodes)]
+        for u, v in arcs:
+            out[u].add(v)
+        palette = tuple(colors) if colors is not None else tuple([0] * num_nodes)
+        return Digraph(num_nodes, palette, tuple(frozenset(s) for s in out))
+
+    def in_edges(self) -> Tuple[FrozenSet[int], ...]:
+        """Predecessor sets (computed on demand)."""
+        preds: List[Set[int]] = [set() for _ in range(self.num_nodes)]
+        for u, succ in enumerate(self.out_edges):
+            for v in succ:
+                preds[v].add(u)
+        return tuple(frozenset(s) for s in preds)
+
+    def relabeled(self, perm: Sequence[int]) -> "Digraph":
+        """Digraph with node ``i`` renamed ``perm[i]``."""
+        if sorted(perm) != list(range(self.num_nodes)):
+            raise GraphError("relabeling must be a bijection")
+        colors: List[Hashable] = [None] * self.num_nodes
+        out: List[Set[int]] = [set() for _ in range(self.num_nodes)]
+        for i in range(self.num_nodes):
+            colors[perm[i]] = self.colors[i]
+            out[perm[i]] = {perm[j] for j in self.out_edges[i]}
+        return Digraph(
+            self.num_nodes, tuple(colors), tuple(frozenset(s) for s in out)
+        )
+
+
+def _normalize_palette(colors: Sequence[Hashable]) -> List[int]:
+    """Map node colors to dense ints in an isomorphism-invariant way.
+
+    Integer colors (the bi-colored 0/1 palette of the paper) are used as-is.
+    Other hashable palettes are ranked by ``repr`` string, which is
+    deterministic across processes for value-like colors; callers that need
+    full rigor should pre-normalize to ints.
+    """
+    if all(isinstance(c, int) for c in colors):
+        return [int(c) for c in colors]
+    ranked = {c: i for i, c in enumerate(sorted(set(colors), key=repr))}
+    return [ranked[c] for c in colors]
+
+
+def digraph_refinement(g: Digraph, initial: Sequence[int]) -> List[int]:
+    """Coarsest equitable partition of a digraph refining ``initial``.
+
+    Node signature = (class, sorted out-neighbor classes, sorted in-neighbor
+    classes).  New class ids are assigned by sorted signature so the result
+    is isomorphism-invariant: isomorphic digraphs (with matching initial
+    colorings) receive identical class-id structures.
+    """
+    classes = list(initial)
+    preds = g.in_edges()
+    while True:
+        sigs = []
+        for x in range(g.num_nodes):
+            sigs.append(
+                (
+                    classes[x],
+                    tuple(sorted(classes[y] for y in g.out_edges[x])),
+                    tuple(sorted(classes[y] for y in preds[x])),
+                )
+            )
+        ordered = sorted(set(sigs))
+        palette = {sig: i for i, sig in enumerate(ordered)}
+        new_classes = [palette[sig] for sig in sigs]
+        if new_classes == classes:
+            return classes
+        classes = new_classes
+
+
+def _encode_ordering(g: Digraph, order: Sequence[int]) -> Tuple[Tuple[int, ...], bytes]:
+    """Encoding of g under a node ordering: (colors row, adjacency bitstring).
+
+    ``order[i]`` = node placed at position i.  The adjacency component packs
+    the row-major boolean matrix into bytes (the paper's w(M) word).
+    """
+    n = g.num_nodes
+    palette = _normalize_palette(g.colors)
+    colors_row = tuple(palette[order[i]] for i in range(n))
+    bits = bytearray((n * n + 7) // 8)
+    position = {node: i for i, node in enumerate(order)}
+    for u in range(n):
+        pu = position[u]
+        base = pu * n
+        for v in g.out_edges[u]:
+            idx = base + position[v]
+            bits[idx >> 3] |= 1 << (idx & 7)
+    return colors_row, bytes(bits)
+
+
+def canonical_encoding(g: Digraph) -> Tuple[Tuple[int, ...], bytes]:
+    """Minimum encoding over all refinement-consistent orderings.
+
+    Implements individualization–refinement; leaves are discrete partitions,
+    each giving a candidate encoding, and the minimum is canonical.
+    """
+    base_colors = _normalize_palette(g.colors)
+    best: List[Optional[Tuple[Tuple[int, ...], bytes]]] = [None]
+
+    def recurse(classes: List[int]) -> None:
+        classes = digraph_refinement(g, classes)
+        cells: Dict[int, List[int]] = {}
+        for node, cid in enumerate(classes):
+            cells.setdefault(cid, []).append(node)
+        target_cell = None
+        for cid in sorted(cells):
+            if len(cells[cid]) > 1:
+                target_cell = cells[cid]
+                break
+        if target_cell is None:
+            # Discrete: class ids are a permutation of 0..n-1; order by id.
+            order = sorted(range(g.num_nodes), key=lambda x: classes[x])
+            enc = _encode_ordering(g, order)
+            if best[0] is None or enc < best[0]:
+                best[0] = enc
+            return
+        next_id = g.num_nodes  # a fresh class id, strictly above existing ones
+        for node in target_cell:
+            child = list(classes)
+            child[node] = next_id
+            recurse(child)
+
+    recurse(base_colors)
+    assert best[0] is not None
+    return best[0]
+
+
+def canonical_key(g: Digraph) -> CanonicalKey:
+    """Total-order key: (node count, canonical colors row, canonical matrix).
+
+    ``canonical_key(g1) == canonical_key(g2)`` iff the colored digraphs are
+    isomorphic; keys of non-isomorphic digraphs compare consistently in
+    every process, giving the ``≺`` of Lemma 3.1.
+    """
+    colors_row, matrix = canonical_encoding(g)
+    return (g.num_nodes, colors_row, matrix)
+
+
+def canonical_node_order(g: Digraph) -> List[int]:
+    """A canonical ordering of the nodes (the argmin ordering).
+
+    Ties across automorphic nodes are broken arbitrarily but consistently:
+    any two runs on isomorphic inputs produce orderings related by an
+    isomorphism.  Used to pick canonical representatives deterministically.
+    """
+    base_colors = _normalize_palette(g.colors)
+    best: List[Optional[Tuple[Tuple[Tuple[int, ...], bytes], Tuple[int, ...]]]] = [None]
+
+    def recurse(classes: List[int]) -> None:
+        classes = digraph_refinement(g, classes)
+        cells: Dict[int, List[int]] = {}
+        for node, cid in enumerate(classes):
+            cells.setdefault(cid, []).append(node)
+        target_cell = None
+        for cid in sorted(cells):
+            if len(cells[cid]) > 1:
+                target_cell = cells[cid]
+                break
+        if target_cell is None:
+            order = sorted(range(g.num_nodes), key=lambda x: classes[x])
+            enc = _encode_ordering(g, order)
+            if best[0] is None or enc < best[0][0]:
+                best[0] = (enc, tuple(order))
+            return
+        next_id = g.num_nodes
+        for node in target_cell:
+            child = list(classes)
+            child[node] = next_id
+            recurse(child)
+
+    recurse(base_colors)
+    assert best[0] is not None
+    return list(best[0][1])
+
+
+def digraphs_isomorphic(a: Digraph, b: Digraph) -> bool:
+    """Colored-digraph isomorphism via canonical keys."""
+    if a.num_nodes != b.num_nodes:
+        return False
+    return canonical_key(a) == canonical_key(b)

@@ -1,0 +1,289 @@
+"""Cayley graphs — construction, natural labeling, translations, families.
+
+Definition 1.2 of the paper: ``Cay(Γ, S)`` has the elements of ``Γ`` as
+nodes and an edge ``{a, b}`` iff ``b⁻¹a ∈ S``, for a symmetric generating
+set ``S = S⁻¹``.  Equivalently the neighbors of ``g`` are ``{g·s : s ∈ S}``
+— generators act on the **right**, so the left-translations ``x ↦ γ·x`` are
+automorphisms (they are the classes machinery of Theorem 4.1).
+
+The *natural* edge-labeling is ``ℓ_x({x, x·s}) = s`` (so the other extremity
+is labeled ``s⁻¹``).  It is the labeling Theorem 4.1's proof starts from.
+Qualitative experiments relabel the same structure with incomparable
+symbols.
+
+Families provided: cycles, hypercubes, toroidal meshes, complete graphs,
+circulants, dihedral Cayley graphs, star graphs and pancake graphs (on
+``S_n``), and generic products — the interconnection networks the paper
+cites as the motivating class.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GroupError
+from ..groups.base import FiniteGroup, GroupElement
+from ..groups.cyclic import CyclicGroup
+from ..groups.dihedral import DihedralGroup
+from ..groups.permgroup import left_translations
+from ..groups.product import DirectProductGroup
+from ..groups.symmetric import Permutation, SymmetricGroup
+from .labelings import LabelingStrategy, qualitative_labeling
+from .network import AnonymousNetwork
+
+
+class CayleyGraph:
+    """A Cayley graph together with its algebraic provenance.
+
+    Attributes
+    ----------
+    group, generators:
+        The defining pair ``(Γ, S)``; ``S`` is validated to be symmetric,
+        identity-free, duplicate-free and generating (connectivity).
+    network:
+        The :class:`AnonymousNetwork` with the **natural labeling** (port
+        labels are generator elements).
+    """
+
+    def __init__(
+        self,
+        group: FiniteGroup,
+        generators: Sequence[GroupElement],
+        name: Optional[str] = None,
+    ):
+        group.require_symmetric_generating_set(generators)
+        self.group = group
+        self.generators: Tuple[GroupElement, ...] = tuple(generators)
+        self._elements: List[GroupElement] = list(group.elements())
+        self._index: Dict[GroupElement, int] = {
+            e: i for i, e in enumerate(self._elements)
+        }
+        self.name = name or f"Cay(|G|={group.order},|S|={len(self.generators)})"
+        self.network = self._build_network()
+
+    def _build_network(self) -> AnonymousNetwork:
+        edges = []
+        seen = set()
+        for a in self._elements:
+            ia = self._index[a]
+            for s in self.generators:
+                b = self.group.operate(a, s)
+                ib = self._index[b]
+                key = frozenset((ia, ib))
+                if key in seen:
+                    continue
+                seen.add(key)
+                # Label s at a's end, s^{-1} at b's end.  For involutions the
+                # two coincide, which is fine: they are ends of one edge.
+                edges.append((ia, s, ib, self.group.inverse(s)))
+        return AnonymousNetwork(self.group.order, edges, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Node / element correspondence
+    # ------------------------------------------------------------------
+
+    def node_of(self, element: GroupElement) -> int:
+        """The node index of a group element."""
+        try:
+            return self._index[element]
+        except KeyError:
+            raise GroupError(f"{element!r} is not an element of the group") from None
+
+    def element_of(self, node: int) -> GroupElement:
+        """The group element at a node index."""
+        return self._elements[node]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.group.order
+
+    # ------------------------------------------------------------------
+    # Translations
+    # ------------------------------------------------------------------
+
+    def translations(self) -> List[Permutation]:
+        """The left-regular representation as node permutations.
+
+        Every returned permutation is an automorphism of ``self.network``
+        that also preserves the natural labeling (generators act on the
+        right, translations on the left — the key fact in Theorem 4.1).
+        """
+        return left_translations(self.group)
+
+    def translation_of(self, gamma: GroupElement) -> Permutation:
+        """The node permutation of the single translation ``x ↦ γ·x``."""
+        return tuple(
+            self._index[self.group.operate(gamma, a)] for a in self._elements
+        )
+
+    # ------------------------------------------------------------------
+    # Alternative labelings
+    # ------------------------------------------------------------------
+
+    def relabeled(
+        self,
+        labeling: LabelingStrategy,
+    ) -> AnonymousNetwork:
+        """The same structure under a different port-labeling strategy."""
+        pairs = [(u, v) for (u, pu, v, pv) in self.network.edges()]
+        net = labeling(self.network.num_nodes, pairs)
+        return AnonymousNetwork(net.num_nodes, net.edges(), name=self.name)
+
+    def qualitative_network(
+        self, rng: Optional[random.Random] = None
+    ) -> AnonymousNetwork:
+        """The structure with random incomparable port symbols."""
+        pairs = [(u, v) for (u, pu, v, pv) in self.network.edges()]
+        net = qualitative_labeling(self.network.num_nodes, pairs, rng=rng)
+        return AnonymousNetwork(net.num_nodes, net.edges(), name=self.name)
+
+    def __repr__(self) -> str:
+        return f"CayleyGraph({self.name}, n={self.num_nodes})"
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+
+
+def cycle_cayley(n: int) -> CayleyGraph:
+    """``C_n = Cay(ℤ_n, {+1, -1})`` (paper Section 1.3)."""
+    if n < 3:
+        raise GroupError("cycle Cayley graph needs n >= 3")
+    group = CyclicGroup(n)
+    return CayleyGraph(group, group.standard_generators(), name=f"C_{n}")
+
+
+def hypercube_cayley(d: int) -> CayleyGraph:
+    """``Q_d = Cay(ℤ_2^d, {e_1, …, e_d})`` (paper Section 1.3)."""
+    if d < 1:
+        raise GroupError("hypercube dimension must be >= 1")
+    group = DirectProductGroup(*(CyclicGroup(2) for _ in range(d)))
+    return CayleyGraph(group, group.axis_generators(), name=f"Q_{d}")
+
+
+def torus_cayley(dims: Sequence[int]) -> CayleyGraph:
+    """Multi-dimensional toroidal mesh ``Cay(ℤ_{a1} × … , {±e_i})``.
+
+    Every dimension must be ≥ 3 for the wrapped mesh to be simple (a
+    dimension of 2 collapses ``+1`` and ``-1`` into one generator, which is
+    legal but yields a hypercube-like factor instead).
+    """
+    if len(dims) < 1:
+        raise GroupError("torus needs at least one dimension")
+    group = DirectProductGroup(*(CyclicGroup(a) for a in dims))
+    label = "x".join(map(str, dims))
+    return CayleyGraph(group, group.axis_generators(), name=f"T_{label}")
+
+
+def complete_cayley(n: int) -> CayleyGraph:
+    """``K_n = Cay(ℤ_n, ℤ_n \\ {0})``."""
+    if n < 2:
+        raise GroupError("complete Cayley graph needs n >= 2")
+    group = CyclicGroup(n)
+    return CayleyGraph(group, list(range(1, n)), name=f"K_{n}")
+
+
+def circulant_cayley(n: int, steps: Sequence[int]) -> CayleyGraph:
+    """Circulant graph ``Cay(ℤ_n, {±s : s ∈ steps})``.
+
+    ``steps`` are taken modulo ``n``; the symmetric closure is formed
+    automatically and must generate ℤ_n (i.e. ``gcd(n, *steps) == 1``).
+    """
+    group = CyclicGroup(n)
+    sym = []
+    seen = set()
+    for s in steps:
+        for g in ((s % n), (-s) % n):
+            if g != 0 and g not in seen:
+                seen.add(g)
+                sym.append(g)
+    return CayleyGraph(group, sym, name=f"Circ_{n}_{sorted(seen)}")
+
+
+def dihedral_cayley(n: int) -> CayleyGraph:
+    """``Cay(D_n, {r, r⁻¹, s})`` — a cubic non-abelian Cayley graph."""
+    group = DihedralGroup(n)
+    return CayleyGraph(group, group.standard_generators(), name=f"DihCay_{n}")
+
+
+def star_graph_cayley(n: int) -> CayleyGraph:
+    """The star graph ``ST_n = Cay(S_n, {(0 i)})`` (paper Section 1.3)."""
+    group = SymmetricGroup(n)
+    return CayleyGraph(group, group.star_generators(), name=f"ST_{n}")
+
+
+def bubble_sort_cayley(n: int) -> CayleyGraph:
+    """The bubble-sort graph ``Cay(S_n, {(i, i+1)})``."""
+    group = SymmetricGroup(n)
+    return CayleyGraph(
+        group, group.adjacent_transposition_generators(), name=f"BS_{n}"
+    )
+
+
+def pancake_cayley(n: int) -> CayleyGraph:
+    """The pancake graph ``Cay(S_n, {prefix reversals})``."""
+    group = SymmetricGroup(n)
+    gens: List[Permutation] = []
+    for k in range(2, n + 1):
+        p = tuple(list(range(k - 1, -1, -1)) + list(range(k, n)))
+        gens.append(p)
+    return CayleyGraph(group, gens, name=f"Pancake_{n}")
+
+
+def cube_connected_cycles(d: int) -> CayleyGraph:
+    """CCC(d): the cube-connected-cycles network as a Cayley graph.
+
+    ``Cay(ℤ_2^d ⋊ ℤ_d, {a, a⁻¹, b})`` with ``a = (0, +1)`` (advance along
+    the local cycle) and ``b = (e_0, 0)`` (flip the bit currently indexed).
+    Node ``(v, i)`` is cube vertex ``v`` at cycle position ``i``; the rung
+    edge joins ``(v, i)`` and ``(v ⊕ e_i, i)``.  ``2^d · d`` nodes, cubic.
+    """
+    from ..groups.semidirect import hypercube_rotation_group
+
+    group = hypercube_rotation_group(d)
+    zero = tuple([0] * d)
+    e0 = tuple([1] + [0] * (d - 1))
+    a = (zero, 1 % d)
+    b = (e0, 0)
+    gens: List[GroupElement] = [a]
+    a_inv = group.inverse(a)
+    if a_inv != a:
+        gens.append(a_inv)
+    gens.append(b)
+    return CayleyGraph(group, gens, name=f"CCC_{d}")
+
+
+def wrapped_butterfly_cayley(d: int) -> CayleyGraph:
+    """BF(d): the wrapped butterfly as a Cayley graph.
+
+    ``Cay(ℤ_2^d ⋊ ℤ_d, {a, a⁻¹, c, c⁻¹})`` with ``a = (0, +1)`` (straight
+    edge to the next level) and ``c = (e_0, +1)`` (cross edge: flip the
+    current bit while advancing).  ``2^d · d`` nodes, 4-regular for d ≥ 3.
+    """
+    from ..groups.semidirect import hypercube_rotation_group
+
+    if d < 3:
+        raise GroupError("wrapped butterfly needs d >= 3 to be 4-regular")
+    group = hypercube_rotation_group(d)
+    zero = tuple([0] * d)
+    e0 = tuple([1] + [0] * (d - 1))
+    a = (zero, 1)
+    c = (e0, 1)
+    gens = [a, group.inverse(a), c, group.inverse(c)]
+    return CayleyGraph(group, gens, name=f"BF_{d}")
+
+
+def product_cayley(a: CayleyGraph, b: CayleyGraph, name: Optional[str] = None) -> CayleyGraph:
+    """Cartesian product of two Cayley graphs as a Cayley graph.
+
+    ``Cay(Γ1, S1) □ Cay(Γ2, S2) = Cay(Γ1 × Γ2, S1×{e} ∪ {e}×S2)``.
+    """
+    group = DirectProductGroup(a.group, b.group)
+    gens: List[GroupElement] = []
+    for s in a.generators:
+        gens.append((s, b.group.identity()))
+    for s in b.generators:
+        gens.append((a.group.identity(), s))
+    return CayleyGraph(group, gens, name=name or f"({a.name})x({b.name})")

@@ -1,0 +1,217 @@
+"""Port-labeling strategies: quantitative, qualitative, random, adversarial.
+
+A *labeling strategy* turns an unlabeled graph structure (``n`` nodes plus a
+list of endpoint pairs) into an :class:`~repro.graphs.network.AnonymousNetwork`
+by assigning each edge-end a label that is distinct among the labels of its
+node.  Strategies:
+
+* :func:`integer_labeling` — the classical quantitative convention: ports
+  ``1..deg(x)`` at each node, assigned in a deterministic neighbor order.
+* :func:`random_integer_labeling` — ports ``1..deg(x)`` in random per-node
+  order; still quantitative but scrambles any accidental structure.
+* :func:`qualitative_labeling` — incomparable :class:`~repro.colors.Color`
+  symbols drawn from a shared pool (symbols may repeat across nodes, as in
+  the paper's Figure 2(b) where ``*`` appears at both ends of the path),
+  never within a node.
+* :func:`fresh_symbol_labeling` — every edge-end gets a globally fresh
+  symbol (the maximally uninformative qualitative labeling).
+* :func:`relabeled_randomly` — scrambles an existing network's labels while
+  preserving their kind, for adversarial-relabeling tests.
+
+Effectual protocols must behave correctly for *every* labeling (the paper:
+"they must complete even if the edge-labeling has been maliciously chosen by
+an adversary"), so the test-suite sweeps these strategies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..colors import Color, ColorSpace
+from ..errors import GraphError
+from .network import AnonymousNetwork, PortLabel
+
+#: Unlabeled structure: (num_nodes, endpoint pairs).  Pairs may repeat
+#: (multi-edges) and may be loops ``(u, u)``.
+Structure = Tuple[int, Sequence[Tuple[int, int]]]
+
+LabelingStrategy = Callable[[int, Sequence[Tuple[int, int]]], AnonymousNetwork]
+
+
+def _edge_end_slots(
+    num_nodes: int, pairs: Sequence[Tuple[int, int]]
+) -> List[List[Tuple[int, int]]]:
+    """For each node, the list of (edge index, side) edge-ends at that node."""
+    slots: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
+    for idx, (u, v) in enumerate(pairs):
+        slots[u].append((idx, 0))
+        slots[v].append((idx, 1))
+    return slots
+
+
+def _assemble(
+    num_nodes: int,
+    pairs: Sequence[Tuple[int, int]],
+    end_labels: Dict[Tuple[int, int], PortLabel],
+    name: Optional[str] = None,
+) -> AnonymousNetwork:
+    """Build a network from per-edge-end labels keyed by (edge index, side)."""
+    edges = [
+        (u, end_labels[(idx, 0)], v, end_labels[(idx, 1)])
+        for idx, (u, v) in enumerate(pairs)
+    ]
+    return AnonymousNetwork(num_nodes, edges, name=name)
+
+
+def integer_labeling(
+    num_nodes: int,
+    pairs: Sequence[Tuple[int, int]],
+    name: Optional[str] = None,
+) -> AnonymousNetwork:
+    """Quantitative labeling: ports ``1..deg(x)`` in edge-insertion order."""
+    slots = _edge_end_slots(num_nodes, pairs)
+    end_labels: Dict[Tuple[int, int], PortLabel] = {}
+    for ends in slots:
+        for port, end in enumerate(ends, start=1):
+            end_labels[end] = port
+    return _assemble(num_nodes, pairs, end_labels, name)
+
+
+def random_integer_labeling(
+    num_nodes: int,
+    pairs: Sequence[Tuple[int, int]],
+    rng: Optional[random.Random] = None,
+    name: Optional[str] = None,
+) -> AnonymousNetwork:
+    """Quantitative labeling with a random port order at each node."""
+    rng = rng or random.Random()
+    slots = _edge_end_slots(num_nodes, pairs)
+    end_labels: Dict[Tuple[int, int], PortLabel] = {}
+    for ends in slots:
+        port_order = list(range(1, len(ends) + 1))
+        rng.shuffle(port_order)
+        for port, end in zip(port_order, ends):
+            end_labels[end] = port
+    return _assemble(num_nodes, pairs, end_labels, name)
+
+
+def qualitative_labeling(
+    num_nodes: int,
+    pairs: Sequence[Tuple[int, int]],
+    rng: Optional[random.Random] = None,
+    pool_size: Optional[int] = None,
+    name: Optional[str] = None,
+) -> AnonymousNetwork:
+    """Qualitative labeling from a shared pool of incomparable symbols.
+
+    The pool has ``pool_size`` symbols (default: the maximum degree), shared
+    across nodes; each node draws a random injective assignment from the
+    pool to its edge-ends.
+    """
+    rng = rng or random.Random()
+    slots = _edge_end_slots(num_nodes, pairs)
+    max_degree = max((len(s) for s in slots), default=0)
+    size = pool_size if pool_size is not None else max_degree
+    if size < max_degree:
+        raise GraphError(
+            f"symbol pool of size {size} cannot label a node of degree {max_degree}"
+        )
+    pool = ColorSpace(prefix="port").fresh_many(size)
+    end_labels: Dict[Tuple[int, int], PortLabel] = {}
+    for ends in slots:
+        chosen = rng.sample(pool, len(ends))
+        for symbol, end in zip(chosen, ends):
+            end_labels[end] = symbol
+    return _assemble(num_nodes, pairs, end_labels, name)
+
+
+def fresh_symbol_labeling(
+    num_nodes: int,
+    pairs: Sequence[Tuple[int, int]],
+    name: Optional[str] = None,
+) -> AnonymousNetwork:
+    """Qualitative labeling in which every edge-end is a fresh symbol."""
+    space = ColorSpace(prefix="end")
+    slots = _edge_end_slots(num_nodes, pairs)
+    end_labels: Dict[Tuple[int, int], PortLabel] = {}
+    for ends in slots:
+        for end in ends:
+            end_labels[end] = space.fresh()
+    return _assemble(num_nodes, pairs, end_labels, name)
+
+
+def relabeled_randomly(
+    network: AnonymousNetwork,
+    rng: Optional[random.Random] = None,
+    qualitative: bool = False,
+) -> AnonymousNetwork:
+    """Scramble an existing network's port labels.
+
+    With ``qualitative=False`` each node's labels are permuted among its own
+    ports (label *values* are preserved, their attachment scrambled).  With
+    ``qualitative=True`` labels are replaced by fresh incomparable symbols
+    from a shared pool sized to the maximum degree.
+    """
+    rng = rng or random.Random()
+    if qualitative:
+        pairs = [(u, v) for (u, pu, v, pv) in network.edges()]
+        return qualitative_labeling(
+            network.num_nodes, pairs, rng=rng, name=network.name
+        )
+    relabeling: Dict[int, Dict[PortLabel, PortLabel]] = {}
+    for x in network.nodes():
+        labels = list(network.ports(x))
+        shuffled = labels[:]
+        rng.shuffle(shuffled)
+        relabeling[x] = dict(zip(labels, shuffled))
+    return network.with_ports_relabeled(relabeling)
+
+
+def apply_global_symbol_renaming(
+    network: AnonymousNetwork,
+    renaming: Optional[Dict[PortLabel, PortLabel]] = None,
+) -> Tuple[AnonymousNetwork, Dict[PortLabel, PortLabel]]:
+    """Rename every distinct symbol consistently across the whole network.
+
+    In the qualitative model a global bijective renaming of port symbols is
+    unobservable to agents; protocol outcomes must be invariant under it.
+    Returns the renamed network and the renaming used (fresh colors if none
+    was supplied).
+    """
+    symbols: List[PortLabel] = []
+    seen = set()
+    for (u, pu, v, pv) in network.edges():
+        for s in (pu, pv):
+            if s not in seen:
+                seen.add(s)
+                symbols.append(s)
+    if renaming is None:
+        space = ColorSpace(prefix="ren")
+        renaming = {s: space.fresh() for s in symbols}
+    missing = [s for s in symbols if s not in renaming]
+    if missing:
+        raise GraphError(f"renaming does not cover symbols: {missing!r}")
+    new_edges = [
+        (u, renaming[pu], v, renaming[pv]) for (u, pu, v, pv) in network.edges()
+    ]
+    return (
+        AnonymousNetwork(network.num_nodes, new_edges, name=network.name),
+        renaming,
+    )
+
+
+def is_quantitative(network: AnonymousNetwork) -> bool:
+    """Whether every port label is an ``int`` (comparable labeling)."""
+    return all(
+        isinstance(pu, int) and isinstance(pv, int)
+        for (u, pu, v, pv) in network.edges()
+    )
+
+
+def is_qualitative(network: AnonymousNetwork) -> bool:
+    """Whether every port label is an incomparable :class:`Color`."""
+    return all(
+        isinstance(pu, Color) and isinstance(pv, Color)
+        for (u, pu, v, pv) in network.edges()
+    )

@@ -1,0 +1,178 @@
+"""Adversarial symmetric labelings: impossibility certificates for any graph.
+
+Theorem 2.1 makes election impossible whenever *some* edge-labeling has
+label-equivalence classes of size > 1.  This module decides a broad
+sufficient condition constructively, generalising the translation-based
+construction in Theorem 4.1's proof beyond Cayley graphs:
+
+**Criterion.**  Let ``φ`` be a color-preserving automorphism of ``(G, p)``
+such that every non-identity power of ``φ`` is fixed-point-free (the cyclic
+group ``⟨φ⟩`` acts freely).  Then the edge-ends of ``G`` can be labeled
+constantly along ``⟨φ⟩``-orbits — freeness guarantees two ends at the same
+node never share an orbit, so per-node distinctness holds — and ``φ``
+becomes label-preserving.  By Lemma 2.1 all label classes then share a size
+``≥ ord(φ) ≥ 2``, and Theorem 2.1 applies: election is impossible.
+
+Conversely, freeness is *necessary* for a single automorphism to be made
+label-preserving: if ``φ^k`` fixes a node ``x``, it must fix every labeled
+edge-end at ``x`` (labels at ``x`` are distinct), hence every neighbor of
+``x``, hence — by connectivity — be the identity.
+
+For Cayley graphs this criterion subsumes the regular-subgroup test (a
+black-preserving translation *is* such a ``φ``); for the Petersen instance
+of Figure 5 no such ``φ`` exists (consistent with the paper's remark that
+every labeling there has singleton label classes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..colors import ColorSpace
+from ..errors import GraphError
+from ..groups.symmetric import Permutation, compose, identity_permutation
+from .automorphisms import (
+    equitable_refinement,
+    find_automorphism_mapping,
+)
+from .network import AnonymousNetwork
+from .views import _normalize_colors
+
+NodeColoring = Sequence[Sequence]
+
+
+def cyclic_group_acts_freely(phi: Permutation) -> bool:
+    """Whether every non-identity power of ``phi`` is fixed-point-free."""
+    n = len(phi)
+    identity = identity_permutation(n)
+    current = phi
+    while current != identity:
+        if any(current[i] == i for i in range(n)):
+            return False
+        current = compose(phi, current)
+    return True
+
+
+def find_free_automorphism(
+    network: AnonymousNetwork,
+    node_colors: Optional[Sequence[int]] = None,
+) -> Optional[Permutation]:
+    """A color-preserving automorphism generating a free cyclic group.
+
+    Search strategy: for each candidate image ``v`` of a base node (within
+    its refinement cell), ask the witness search for an automorphism
+    mapping base → v and test freeness; if the witness is not free, retry
+    exhaustively only on small graphs via full enumeration fallback.
+    Returns ``None`` when no free automorphism exists (exhaustively correct
+    for networks small enough to enumerate; see ``exhaustive`` fallback).
+    """
+    if not network.is_simple:
+        raise GraphError("automorphism search requires a simple network")
+    n = network.num_nodes
+    colors = _normalize_colors(network, node_colors)
+
+    # Fast path: individual witnesses.  A free automorphism moves every
+    # node, so candidates send node 0 to some other node in its cell.
+    adjacency = network.adjacency_sets()
+    refined = equitable_refinement(adjacency, colors)
+    for v in range(1, n):
+        if refined[v] != refined[0]:
+            continue
+        witness = find_automorphism_mapping(network, node_colors, 0, v)
+        if witness is not None and cyclic_group_acts_freely(witness):
+            return witness
+
+    # Exhaustive fallback: the witness for 0 → v is just *one* automorphism
+    # with that property; a free one may exist elsewhere in the group.
+    from .automorphisms import color_preserving_automorphisms
+
+    identity = identity_permutation(n)
+    try:
+        autos = color_preserving_automorphisms(
+            network, node_colors, limit=100_000
+        )
+    except GraphError:
+        return None  # group too large to settle exhaustively
+    for phi in autos:
+        if phi != identity and cyclic_group_acts_freely(phi):
+            return phi
+    return None
+
+
+def labeling_from_free_automorphism(
+    network: AnonymousNetwork,
+    phi: Permutation,
+) -> AnonymousNetwork:
+    """The symmetric labeling that makes ``phi`` label-preserving.
+
+    Edge-ends are grouped into ``⟨φ⟩``-orbits; each orbit receives one
+    fresh incomparable symbol.  Freeness guarantees per-node distinctness.
+    This is the generalization of the Theorem 4.1 proof construction.
+    """
+    if not cyclic_group_acts_freely(phi):
+        raise GraphError("automorphism does not act freely; labeling impossible")
+    # Edge-ends are identified by (node, neighbor-set-position): for simple
+    # graphs an end is just the ordered pair (x, y) of an edge {x, y}.
+    if not network.is_simple:
+        raise GraphError("construction implemented for simple networks")
+
+    space = ColorSpace(prefix="symlab")
+    end_symbol: Dict[Tuple[int, int], object] = {}
+
+    def orbit_of(end: Tuple[int, int]) -> List[Tuple[int, int]]:
+        orbit = [end]
+        x, y = phi[end[0]], phi[end[1]]
+        while (x, y) != end:
+            orbit.append((x, y))
+            x, y = phi[x], phi[y]
+        return orbit
+
+    for (u, _, v, _) in network.edges():
+        for end in ((u, v), (v, u)):
+            if end not in end_symbol:
+                symbol = space.fresh()
+                for member in orbit_of(end):
+                    end_symbol[member] = symbol
+
+    new_edges = [
+        (u, end_symbol[(u, v)], v, end_symbol[(v, u)])
+        for (u, _, v, _) in network.edges()
+    ]
+    return AnonymousNetwork(network.num_nodes, new_edges, name=network.name)
+
+
+def free_automorphism_certificate(
+    network: AnonymousNetwork,
+    node_colors: Optional[Sequence[int]] = None,
+) -> Optional[Tuple[Permutation, AnonymousNetwork]]:
+    """Impossibility certificate: (free automorphism, symmetric labeling).
+
+    Returns ``None`` when no free color-preserving automorphism exists.
+    When a certificate is returned, the labeled network's label-equivalence
+    classes provably all have size ≥ 2 (checked by the caller/tests via
+    :func:`repro.core.feasibility.theorem21_certificate`).
+    """
+    phi = find_free_automorphism(network, node_colors)
+    if phi is None:
+        return None
+    return phi, labeling_from_free_automorphism(network, phi)
+
+
+def max_symmetricity_estimate(
+    network: AnonymousNetwork,
+    node_colors: Optional[Sequence[int]] = None,
+) -> int:
+    """A lower bound on σ(G, p) = max over labelings of σ_ℓ.
+
+    Uses the free-automorphism construction (σ ≥ ord(φ) when available)
+    and falls back to 1.  Exact maximization over all labelings is
+    exponential; this estimate is what the experiments need (a value > 1
+    already certifies impossibility via Theorem 2.1).
+    """
+    from .views import symmetricity_of_labeling
+
+    cert = free_automorphism_certificate(network, node_colors)
+    if cert is None:
+        return 1
+    _, labeled = cert
+    return symmetricity_of_labeling(labeled, node_colors)

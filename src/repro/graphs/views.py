@@ -1,0 +1,390 @@
+"""Views and symmetricity (Yamashita–Kameda) for port-labeled networks.
+
+The *view* of an edge-labeled (bi-colored) graph from node ``v`` is the
+infinite labeled rooted tree of all label-preserving walks out of ``v``
+(paper, proof of Theorem 2.1).  Two nodes are view-equivalent,
+``x ~view y``, when their views are label-isomorphic; by Norris's theorem it
+suffices to compare views truncated at depth ``n - 1``.
+
+Implementation notes
+--------------------
+* View equivalence is computed by **partition refinement**: start from the
+  partition by node color, then repeatedly split classes by the multiset of
+  ``(exit-port, entry-port, neighbor's class)`` triples.  The fixpoint is
+  reached within ``n - 1`` rounds (this *is* Norris's bound) and equals view
+  equivalence.  This handles loops and parallel edges, so the Figure 2(c)
+  counterexample works unmodified.
+* Port labels may be incomparable :class:`~repro.colors.Color` symbols.
+  Analysis code is allowed to index them arbitrarily (this is the outside
+  observer's view, not an agent's): a deterministic *symbol index* built
+  from edge-insertion order serves as the encoding.  Label-preserving
+  isomorphism requires exact label equality, so any injective indexing is
+  sound.
+* :func:`view_tree` additionally materialises truncated views as explicit
+  trees for the Figure 2 demonstrations and for property tests
+  cross-checking the refinement fixpoint.
+
+The paper's symmetricity results reproduced here:
+
+* all view classes of a connected network have the same size
+  ``σ_ℓ(G)`` (checked by :func:`symmetricity_of_labeling`);
+* ``x ~lab y ⇒ x ~view y`` (Equation (1); property-tested);
+* election is impossible in a network whose symmetricity exceeds 1
+  (Theorem 2.1 via the Figure 1 transformation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from .network import AnonymousNetwork, PortLabel
+
+NodeColoring = Sequence[Hashable]
+
+
+def symbol_index(network: AnonymousNetwork) -> Dict[PortLabel, int]:
+    """Deterministic injective indexing of all port symbols in the network.
+
+    Integer labels index as themselves — in the quantitative world the
+    labels *are* the agreed encoding, which makes downstream orderings
+    (e.g. :func:`view_order_leader`) equivariant across isomorphic copies.
+    Incomparable symbols are numbered in order of first appearance scanning
+    edge records: any injection yields the same *equivalences*, and no
+    cross-copy order exists for them anyway (that is the paper's point).
+    """
+    symbols: List[PortLabel] = []
+    seen = set()
+    for (u, pu, v, pv) in network.edges():
+        for s in (pu, pv):
+            if s not in seen:
+                seen.add(s)
+                symbols.append(s)
+    if all(isinstance(s, int) for s in symbols):
+        return {s: s for s in symbols}
+    return {s: i for i, s in enumerate(symbols)}
+
+
+def _normalize_colors(
+    network: AnonymousNetwork, node_colors: Optional[NodeColoring]
+) -> List[int]:
+    """Convert arbitrary hashable node colors to ints (None = uncolored).
+
+    Integer colorings (the paper's black/white 0/1) pass through unchanged —
+    this matters for cross-graph comparisons (surrounding keys must agree on
+    isomorphic copies with different node numberings, so the palette cannot
+    depend on node order).  Non-integer palettes are ranked by ``repr``.
+    """
+    if node_colors is None:
+        return [0] * network.num_nodes
+    if len(node_colors) != network.num_nodes:
+        raise GraphError(
+            f"node coloring has {len(node_colors)} entries for "
+            f"{network.num_nodes} nodes"
+        )
+    if all(isinstance(c, int) for c in node_colors):
+        return [int(c) for c in node_colors]
+    ranked: Dict[Hashable, int] = {
+        c: i for i, c in enumerate(sorted(set(node_colors), key=repr))
+    }
+    return [ranked[c] for c in node_colors]
+
+
+def view_refinement(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring] = None,
+    max_rounds: Optional[int] = None,
+) -> List[int]:
+    """The view-equivalence partition, as a class id per node.
+
+    Runs partition refinement to fixpoint (at most ``n - 1`` rounds by
+    Norris's theorem; ``max_rounds`` can truncate earlier to obtain the
+    depth-``max_rounds`` view classes).
+    """
+    n = network.num_nodes
+    sym = symbol_index(network)
+    classes = _normalize_colors(network, node_colors)
+    rounds = (n - 1) if max_rounds is None else max_rounds
+    for _ in range(max(rounds, 0)):
+        signatures: List[Tuple] = []
+        for x in network.nodes():
+            triples = []
+            for port in network.ports(x):
+                y, back = network.traverse(x, port)
+                triples.append((sym[port], sym[back], classes[y]))
+            triples.sort()
+            signatures.append((classes[x], tuple(triples)))
+        # Ids assigned by *sorted* signature: isomorphic copies (with
+        # corresponding symbol encodings) receive structurally identical
+        # class-id vectors, making id-based view orders equivariant.
+        palette = {sig: i for i, sig in enumerate(sorted(set(signatures)))}
+        new_classes = [palette[sig] for sig in signatures]
+        if new_classes == classes:
+            break
+        classes = new_classes
+    return classes
+
+
+def view_classes(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring] = None,
+) -> List[List[int]]:
+    """View-equivalence classes as sorted lists of node indices."""
+    ids = view_refinement(network, node_colors)
+    buckets: Dict[int, List[int]] = {}
+    for node, cid in enumerate(ids):
+        buckets.setdefault(cid, []).append(node)
+    return sorted(buckets.values())
+
+
+def views_equal(
+    network: AnonymousNetwork,
+    x: int,
+    y: int,
+    node_colors: Optional[NodeColoring] = None,
+) -> bool:
+    """Whether ``x ~view y`` (label-isomorphic infinite views)."""
+    ids = view_refinement(network, node_colors)
+    return ids[x] == ids[y]
+
+
+def symmetricity_of_labeling(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring] = None,
+) -> int:
+    """``σ_ℓ(G)`` — the common size of the view classes of this labeling.
+
+    The paper (after [33]) notes all view classes have the same size; this
+    function verifies that invariant and returns the size.
+    """
+    classes = view_classes(network, node_colors)
+    sizes = {len(c) for c in classes}
+    if len(sizes) != 1:
+        raise GraphError(
+            f"view classes have unequal sizes {sorted(len(c) for c in classes)}; "
+            "this contradicts the Yamashita-Kameda equal-fiber property"
+        )
+    return sizes.pop()
+
+
+def election_feasible_by_views(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring] = None,
+) -> bool:
+    """Yamashita–Kameda feasibility for *this* labeling: ``σ_ℓ(G) == 1``.
+
+    Election in the processor-network model with complete knowledge is
+    possible under labeling ℓ iff the symmetricity of ℓ is 1.  (Theorem 2.1
+    transfers the impossibility side to mobile agents.)
+    """
+    return symmetricity_of_labeling(network, node_colors) == 1
+
+
+# ----------------------------------------------------------------------
+# Explicit truncated view trees (Figure 2 demonstrations, cross-checks)
+# ----------------------------------------------------------------------
+
+
+class ViewTree:
+    """A truncated view ``V^(k)(v)``: rooted tree of label-preserving walks.
+
+    ``encoding`` is a canonical nested tuple; two truncated views are
+    label-isomorphic iff their encodings are equal.  Port symbols are
+    encoded through the supplied symbol index (exact-label comparison).
+    """
+
+    __slots__ = ("root", "depth", "encoding")
+
+    def __init__(self, root: int, depth: int, encoding: Tuple):
+        self.root = root
+        self.depth = depth
+        self.encoding = encoding
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ViewTree):
+            return self.encoding == other.encoding
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.encoding)
+
+    def __repr__(self) -> str:
+        return f"ViewTree(root={self.root}, depth={self.depth})"
+
+
+def view_tree(
+    network: AnonymousNetwork,
+    root: int,
+    depth: int,
+    node_colors: Optional[NodeColoring] = None,
+) -> ViewTree:
+    """Materialise the depth-``depth`` view from ``root``.
+
+    Cost is O(Δ^depth); intended for small demos and property tests.  The
+    child order inside the encoding is sorted, making the encoding canonical
+    under label-preserving isomorphism.
+    """
+    sym = symbol_index(network)
+    colors = _normalize_colors(network, node_colors)
+
+    def encode(v: int, d: int) -> Tuple:
+        if d == 0:
+            return (colors[v],)
+        children = []
+        for port in network.ports(v):
+            w, back = network.traverse(v, port)
+            children.append((sym[port], sym[back], encode(w, d - 1)))
+        children.sort()
+        return (colors[v], tuple(children))
+
+    return ViewTree(root, depth, encode(root, depth))
+
+
+def view_order_leader(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring] = None,
+) -> Optional[int]:
+    """The quantitative world's view-ordering election (converse of Thm 2.1).
+
+    The paper notes that in *quantitative* computing the Theorem 2.1
+    condition is also sufficient: when ``σ_ℓ(G) = 1`` all views are
+    distinct, an a-priori total order on integer-encoded views exists, and
+    everyone elects the minimum view.  This function returns that leader
+    node, or ``None`` when ``σ_ℓ(G) > 1`` (no labeling-only election).
+
+    The order used is the refinement's canonical class numbering, which is
+    a total order on (distinct) views that every party computes identically
+    — the "fix an arbitrary ordering of the views" step of the paper.
+    Qualitative labelings admit no such shared order; this function is the
+    quantitative baseline the paper contrasts against.
+    """
+    ids = view_refinement(network, node_colors)
+    if len(set(ids)) != network.num_nodes:
+        return None  # some views coincide: σ_ℓ > 1
+    return min(network.nodes(), key=lambda v: ids[v])
+
+
+class QuotientStructure:
+    """The minimum base of the view covering (Yamashita–Kameda quotient).
+
+    Nodes are the view classes; each class keeps the port set of one
+    representative, and ``links`` records, for every (class, port) end,
+    the (class, port) end it is glued to.  Unlike a plain graph, a
+    quotient may contain *half-edges* — an end glued to itself (e.g. the
+    quotient of symmetric ``K_2`` is one node with a half-edge) — which is
+    why this is its own structure rather than an
+    :class:`AnonymousNetwork`.
+
+    The defining property (validated by :meth:`check_covering`): the map
+    "node ↦ its class" is a covering: it is a local bijection on ports
+    that commutes with traversal.  All fibers have equal size σ_ℓ(G).
+    """
+
+    def __init__(
+        self,
+        network: AnonymousNetwork,
+        node_colors: Optional[NodeColoring] = None,
+    ):
+        self.network = network
+        self.class_ids = view_refinement(network, node_colors)
+        buckets: Dict[int, List[int]] = {}
+        for node, cid in enumerate(self.class_ids):
+            buckets.setdefault(cid, []).append(node)
+        self.classes: List[List[int]] = [
+            sorted(buckets[cid]) for cid in sorted(buckets)
+        ]
+        self._cid_index = {cid: i for i, cid in enumerate(sorted(buckets))}
+        self.representatives = [cls[0] for cls in self.classes]
+        #: links[(class index, port)] = (class index, port) of the glued end.
+        self.links: Dict[Tuple[int, PortLabel], Tuple[int, PortLabel]] = {}
+        for qi, rep in enumerate(self.representatives):
+            for port in network.ports(rep):
+                w, back = network.traverse(rep, port)
+                qj = self._cid_index[self.class_ids[w]]
+                self.links[(qi, port)] = (qj, back)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def fiber_size(self) -> int:
+        """σ_ℓ(G): the common size of all fibers."""
+        sizes = {len(c) for c in self.classes}
+        if len(sizes) != 1:
+            raise GraphError("unequal fibers: not a covering quotient")
+        return sizes.pop()
+
+    def class_of(self, node: int) -> int:
+        """Quotient node (class index) of a network node."""
+        return self._cid_index[self.class_ids[node]]
+
+    def ports_of(self, qnode: int) -> Tuple[PortLabel, ...]:
+        """Port labels of a quotient node (= its representative's ports)."""
+        return self.network.ports(self.representatives[qnode])
+
+    def half_edges(self) -> List[Tuple[int, PortLabel]]:
+        """Ends glued to themselves (self-paired half-edges)."""
+        return [end for end, other in self.links.items() if other == end]
+
+    def check_covering(self) -> None:
+        """Validate the covering property for *every* node, not just reps.
+
+        For each network node v and port λ: the quotient link of
+        (class(v), λ) must equal (class(traverse(v, λ)), entry port).
+        Raises :class:`GraphError` on any violation.
+        """
+        for v in self.network.nodes():
+            qv = self.class_of(v)
+            if set(self.network.ports(v)) != set(self.ports_of(qv)):
+                raise GraphError(f"port mismatch between node {v} and class {qv}")
+            for port in self.network.ports(v):
+                w, back = self.network.traverse(v, port)
+                expected = (self.class_of(w), back)
+                if self.links[(qv, port)] != expected:
+                    raise GraphError(
+                        f"covering violated at node {v}, port {port!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuotientStructure(classes={self.num_classes}, "
+            f"fiber={self.fiber_size})"
+        )
+
+
+def view_quotient(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring] = None,
+) -> QuotientStructure:
+    """Build (and validate) the minimum base of the view covering."""
+    quotient = QuotientStructure(network, node_colors)
+    quotient.check_covering()
+    return quotient
+
+
+def walk_symbol_sequence(
+    network: AnonymousNetwork,
+    start: int,
+    ports: Sequence[PortLabel],
+) -> List[PortLabel]:
+    """The symbols an agent *sees* along a walk (Figure 2(b) demonstration).
+
+    Starting at ``start`` and leaving through each listed port in turn, the
+    agent observes, alternately, the exit symbol and the entry symbol of
+    each traversed edge.  The paper's example: walking the Fig. 2(b) path
+    from x to z reads ``*, ∘, •, *`` while the reverse walk reads
+    ``*, •, ∘, *`` — distinct sequences whose first-seen integer encodings
+    coincide.
+    """
+    seen: List[PortLabel] = []
+    current = start
+    for port in ports:
+        if port not in network.ports(current):
+            raise GraphError(
+                f"walk leaves node {current} through missing port {port!r}"
+            )
+        seen.append(port)
+        current, entry = network.traverse(current, port)
+        seen.append(entry)
+    return seen

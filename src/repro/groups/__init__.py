@@ -1,0 +1,45 @@
+"""Finite group substrate for Cayley-graph construction and recognition."""
+
+from .base import FiniteGroup, GroupElement
+from .cyclic import CyclicGroup
+from .dihedral import DihedralGroup
+from .product import DirectProductGroup
+from .permgroup import (
+    GeneratedPermutationGroup,
+    canonical_regular_subgroup,
+    find_regular_subgroups,
+    left_translations,
+    orbits_of,
+)
+from .semidirect import SemidirectProductGroup, hypercube_rotation_group
+from .symmetric import (
+    Permutation,
+    SymmetricGroup,
+    compose,
+    cycle_type,
+    identity_permutation,
+    invert,
+    transposition,
+)
+
+__all__ = [
+    "FiniteGroup",
+    "GroupElement",
+    "CyclicGroup",
+    "DihedralGroup",
+    "DirectProductGroup",
+    "SemidirectProductGroup",
+    "hypercube_rotation_group",
+    "SymmetricGroup",
+    "GeneratedPermutationGroup",
+    "Permutation",
+    "compose",
+    "invert",
+    "identity_permutation",
+    "transposition",
+    "cycle_type",
+    "orbits_of",
+    "find_regular_subgroups",
+    "canonical_regular_subgroup",
+    "left_translations",
+]

@@ -1,0 +1,53 @@
+"""Cyclic groups ℤ_n — the building block of rings, tori and circulants."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import GroupError
+from .base import FiniteGroup, GroupElement
+
+
+class CyclicGroup(FiniteGroup):
+    """The additive group of integers modulo ``n``.
+
+    Elements are the Python ints ``0..n-1``.  ``Cay(ℤ_n, {+1, -1})`` is the
+    ``n``-cycle used throughout the paper; ``Cay(ℤ_n, S)`` for a general
+    symmetric ``S`` is a circulant graph.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise GroupError(f"cyclic group order must be >= 1, got {n}")
+        self.n = n
+        self._elements: List[int] = list(range(n))
+
+    def elements(self) -> Sequence[GroupElement]:
+        return self._elements
+
+    def operate(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        return (a + b) % self.n
+
+    def inverse(self, a: GroupElement) -> GroupElement:
+        return (-a) % self.n
+
+    def identity(self) -> GroupElement:
+        return 0
+
+    def contains(self, a: GroupElement) -> bool:
+        return isinstance(a, int) and 0 <= a < self.n
+
+    def standard_generators(self) -> List[int]:
+        """The ``{+1, -1}`` generating set giving the ``n``-cycle.
+
+        For ``n == 2`` the two coincide (1 is an involution) and the set is
+        ``{1}``; for ``n == 1`` it is empty.
+        """
+        if self.n == 1:
+            return []
+        if self.n == 2:
+            return [1]
+        return [1, self.n - 1]
+
+    def __repr__(self) -> str:
+        return f"CyclicGroup(n={self.n})"

@@ -1,0 +1,78 @@
+"""Dihedral groups D_n — the smallest natural non-abelian Cayley substrates.
+
+Elements are pairs ``(k, f)`` with rotation index ``k ∈ ℤ_n`` and flip flag
+``f ∈ {0, 1}``; the element represents the map ``x ↦ (-1)^f · x + k`` on
+ℤ_n.  Multiplication follows from composing those maps:
+
+``(k1, f1) · (k2, f2) = (k1 + (-1)^{f1} k2 mod n, f1 xor f2)``.
+
+``Cay(D_n, {r, r⁻¹, s})`` (rotation steps and one reflection) is a prism-like
+cubic Cayley graph, a useful non-abelian test subject for Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import GroupError
+from .base import FiniteGroup, GroupElement
+
+DihedralElement = Tuple[int, int]
+
+
+class DihedralGroup(FiniteGroup):
+    """The dihedral group of order ``2n`` (symmetries of the ``n``-gon)."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise GroupError(f"dihedral parameter must be >= 1, got {n}")
+        self.n = n
+        self._elements: List[DihedralElement] = [
+            (k, f) for f in (0, 1) for k in range(n)
+        ]
+
+    def elements(self) -> Sequence[GroupElement]:
+        return self._elements
+
+    def operate(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        k1, f1 = a
+        k2, f2 = b
+        sign = -1 if f1 else 1
+        return ((k1 + sign * k2) % self.n, f1 ^ f2)
+
+    def inverse(self, a: GroupElement) -> GroupElement:
+        k, f = a
+        if f:
+            return (k, 1)  # reflections are involutions
+        return ((-k) % self.n, 0)
+
+    def identity(self) -> GroupElement:
+        return (0, 0)
+
+    def contains(self, a: GroupElement) -> bool:
+        return (
+            isinstance(a, tuple)
+            and len(a) == 2
+            and isinstance(a[0], int)
+            and 0 <= a[0] < self.n
+            and a[1] in (0, 1)
+        )
+
+    def rotation(self, k: int = 1) -> DihedralElement:
+        """The rotation by ``k`` steps."""
+        return (k % self.n, 0)
+
+    def reflection(self, k: int = 0) -> DihedralElement:
+        """The reflection ``x ↦ -x + k``."""
+        return (k % self.n, 1)
+
+    def standard_generators(self) -> List[DihedralElement]:
+        """Symmetric generating set ``{r, r⁻¹, s}`` (just ``{r, s}`` if n<=2)."""
+        r = self.rotation(1)
+        s = self.reflection(0)
+        if self.n <= 2:
+            return [g for g in (r, s) if g != self.identity()]
+        return [r, self.inverse(r), s]
+
+    def __repr__(self) -> str:
+        return f"DihedralGroup(n={self.n})"

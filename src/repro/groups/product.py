@@ -1,0 +1,85 @@
+"""Direct products of finite groups — hypercubes, tori, and friends.
+
+``Cay(ℤ_2^d, {e_1, …, e_d})`` is the ``d``-dimensional hypercube and
+``Cay(ℤ_a × ℤ_b, {(±1,0), (0,±1)})`` the 2-D torus, both named in the paper
+as canonical Cayley-graph interconnection networks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from ..errors import GroupError
+from .base import FiniteGroup, GroupElement
+
+
+class DirectProductGroup(FiniteGroup):
+    """The direct product ``G_1 × G_2 × … × G_k`` with componentwise operation.
+
+    Elements are tuples whose *i*-th entry is an element of the *i*-th
+    factor.
+    """
+
+    def __init__(self, *factors: FiniteGroup):
+        if not factors:
+            raise GroupError("direct product needs at least one factor")
+        self.factors: Tuple[FiniteGroup, ...] = tuple(factors)
+        self._elements: List[Tuple[GroupElement, ...]] = [
+            tuple(combo)
+            for combo in itertools.product(*(f.elements() for f in factors))
+        ]
+
+    def elements(self) -> Sequence[GroupElement]:
+        return self._elements
+
+    def operate(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        return tuple(
+            f.operate(x, y) for f, x, y in zip(self.factors, a, b)
+        )
+
+    def inverse(self, a: GroupElement) -> GroupElement:
+        return tuple(f.inverse(x) for f, x in zip(self.factors, a))
+
+    def identity(self) -> GroupElement:
+        return tuple(f.identity() for f in self.factors)
+
+    def contains(self, a: GroupElement) -> bool:
+        if not isinstance(a, tuple) or len(a) != len(self.factors):
+            return False
+        return all(f.contains(x) for f, x in zip(self.factors, a))
+
+    def embed(self, index: int, element: GroupElement) -> Tuple[GroupElement, ...]:
+        """Embed ``element`` of factor ``index`` into the product.
+
+        All other coordinates are the respective identities — this is how the
+        standard generator sets of hypercubes and tori are produced.
+        """
+        if not 0 <= index < len(self.factors):
+            raise GroupError(f"factor index {index} out of range")
+        return tuple(
+            element if i == index else f.identity()
+            for i, f in enumerate(self.factors)
+        )
+
+    def axis_generators(self) -> List[Tuple[GroupElement, ...]]:
+        """Standard generators: each factor's standard generators, embedded.
+
+        Requires every factor to provide ``standard_generators``; cyclic
+        factors do.  For ``ℤ_2^d`` this yields the ``d`` unit vectors, for a
+        torus the four ``(±1, 0), (0, ±1)`` steps.
+        """
+        gens: List[Tuple[GroupElement, ...]] = []
+        for i, f in enumerate(self.factors):
+            factor_gens = getattr(f, "standard_generators", None)
+            if factor_gens is None:
+                raise GroupError(
+                    f"factor {f!r} has no standard_generators; pass explicit generators"
+                )
+            for g in factor_gens():
+                gens.append(self.embed(i, g))
+        return gens
+
+    def __repr__(self) -> str:
+        inner = " x ".join(repr(f) for f in self.factors)
+        return f"DirectProductGroup({inner})"

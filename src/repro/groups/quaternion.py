@@ -1,0 +1,102 @@
+"""The quaternion group Q₈ — a non-abelian group with a cyclic center.
+
+Adds a structurally distinctive Cayley substrate to the battery: unlike the
+dihedral groups, every subgroup of Q₈ is normal, and its Cayley graph with
+generators ``{i, -i, j, -j}`` is 4-regular on 8 nodes with girth 3 triangles
+absent — useful variety for the recognition and effectualness sweeps.
+
+Elements are encoded as pairs ``(axis, sign)`` with axis ∈ {1, i, j, k}
+(indices 0–3) and sign ∈ {+1, −1}; multiplication follows the quaternion
+relations ``i² = j² = k² = ijk = −1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import GroupError
+from .base import FiniteGroup, GroupElement
+
+#: axis indices
+_ONE, _I, _J, _K = 0, 1, 2, 3
+
+#: multiplication table on axes: _MUL[a][b] = (axis, sign) of a·b.
+_MUL = {
+    (_ONE, _ONE): (_ONE, 1),
+    (_ONE, _I): (_I, 1),
+    (_ONE, _J): (_J, 1),
+    (_ONE, _K): (_K, 1),
+    (_I, _ONE): (_I, 1),
+    (_J, _ONE): (_J, 1),
+    (_K, _ONE): (_K, 1),
+    (_I, _I): (_ONE, -1),
+    (_J, _J): (_ONE, -1),
+    (_K, _K): (_ONE, -1),
+    (_I, _J): (_K, 1),
+    (_J, _K): (_I, 1),
+    (_K, _I): (_J, 1),
+    (_J, _I): (_K, -1),
+    (_K, _J): (_I, -1),
+    (_I, _K): (_J, -1),
+}
+
+QuaternionElement = Tuple[int, int]
+
+
+class QuaternionGroup(FiniteGroup):
+    """Q₈ = {±1, ±i, ±j, ±k} under quaternion multiplication."""
+
+    def __init__(self) -> None:
+        self._elements: List[QuaternionElement] = [
+            (axis, sign) for axis in range(4) for sign in (1, -1)
+        ]
+
+    def elements(self) -> Sequence[GroupElement]:
+        return self._elements
+
+    def operate(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        axis_a, sign_a = a
+        axis_b, sign_b = b
+        axis, sign = _MUL[(axis_a, axis_b)]
+        return (axis, sign * sign_a * sign_b)
+
+    def inverse(self, a: GroupElement) -> GroupElement:
+        axis, sign = a
+        if axis == _ONE:
+            return (axis, sign)  # ±1 are self-inverse
+        return (axis, -sign)  # i⁻¹ = -i, etc.
+
+    def identity(self) -> GroupElement:
+        return (_ONE, 1)
+
+    def contains(self, a: GroupElement) -> bool:
+        return (
+            isinstance(a, tuple)
+            and len(a) == 2
+            and a[0] in range(4)
+            and a[1] in (1, -1)
+        )
+
+    def standard_generators(self) -> List[QuaternionElement]:
+        """The symmetric generating set ``{i, -i, j, -j}``."""
+        return [(_I, 1), (_I, -1), (_J, 1), (_J, -1)]
+
+    def center(self) -> List[QuaternionElement]:
+        """The center {±1}."""
+        elems = self._elements
+        return [
+            z
+            for z in elems
+            if all(self.operate(z, g) == self.operate(g, z) for g in elems)
+        ]
+
+    def __repr__(self) -> str:
+        return "QuaternionGroup()"
+
+
+def quaternion_cayley():
+    """``Cay(Q₈, {±i, ±j})`` — 8 nodes, 4-regular, non-abelian substrate."""
+    from ..graphs.cayley import CayleyGraph
+
+    group = QuaternionGroup()
+    return CayleyGraph(group, group.standard_generators(), name="Q8Cay")

@@ -1,0 +1,142 @@
+"""Semidirect products — the algebra behind CCC and wrapped butterflies.
+
+The cube-connected-cycles and wrapped-butterfly networks the paper lists
+among classical Cayley interconnection topologies are Cayley graphs of the
+semidirect product ``ℤ_2^d ⋊ ℤ_d``, where ℤ_d acts on the hypercube group
+by cyclically rotating coordinates.
+
+:class:`SemidirectProductGroup` implements the general construction
+``N ⋊_φ H``: elements are pairs ``(n, h)`` with
+
+    ``(n1, h1) · (n2, h2) = (n1 · φ_{h1}(n2),  h1 · h2)``
+
+for a homomorphism ``φ : H → Aut(N)`` supplied as a callable.  The inverse
+is ``(n, h)⁻¹ = (φ_{h⁻¹}(n⁻¹), h⁻¹)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import GroupError
+from .base import FiniteGroup, GroupElement
+from .cyclic import CyclicGroup
+from .product import DirectProductGroup
+
+#: The action: maps an H-element to an automorphism of N (a callable on
+#: N-elements).  Homomorphism-ness is validated on construction for small
+#: groups via :meth:`SemidirectProductGroup.check_action`.
+Action = Callable[[GroupElement], Callable[[GroupElement], GroupElement]]
+
+
+class SemidirectProductGroup(FiniteGroup):
+    """The outer semidirect product ``N ⋊_φ H``."""
+
+    def __init__(
+        self,
+        normal: FiniteGroup,
+        acting: FiniteGroup,
+        action: Action,
+        validate: bool = True,
+    ):
+        self.normal = normal
+        self.acting = acting
+        self.action = action
+        self._elements: List[Tuple[GroupElement, GroupElement]] = [
+            (n, h) for h in acting.elements() for n in normal.elements()
+        ]
+        if validate:
+            self.check_action()
+
+    # -- FiniteGroup interface ------------------------------------------
+
+    def elements(self) -> Sequence[GroupElement]:
+        return self._elements
+
+    def operate(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        n1, h1 = a
+        n2, h2 = b
+        return (
+            self.normal.operate(n1, self.action(h1)(n2)),
+            self.acting.operate(h1, h2),
+        )
+
+    def inverse(self, a: GroupElement) -> GroupElement:
+        n, h = a
+        h_inv = self.acting.inverse(h)
+        return (self.action(h_inv)(self.normal.inverse(n)), h_inv)
+
+    def identity(self) -> GroupElement:
+        return (self.normal.identity(), self.acting.identity())
+
+    def contains(self, a: GroupElement) -> bool:
+        if not isinstance(a, tuple) or len(a) != 2:
+            return False
+        n, h = a
+        return self.normal.contains(n) and self.acting.contains(h)
+
+    # -- validation -------------------------------------------------------
+
+    def check_action(self) -> None:
+        """Verify φ maps into Aut(N) homomorphically (small groups only).
+
+        Checks, exhaustively: each ``φ_h`` is a bijective homomorphism of
+        ``N``; ``φ_{h1·h2} = φ_{h1} ∘ φ_{h2}``; and ``φ_e = id``.
+        """
+        n_elems = list(self.normal.elements())
+        h_elems = list(self.acting.elements())
+        e_h = self.acting.identity()
+        for n in n_elems:
+            if self.action(e_h)(n) != n:
+                raise GroupError("action of the identity is not the identity map")
+        for h in h_elems:
+            phi = self.action(h)
+            images = [phi(n) for n in n_elems]
+            if len(set(images)) != len(n_elems):
+                raise GroupError(f"action of {h!r} is not a bijection of N")
+            for a in n_elems:
+                for b in n_elems:
+                    if phi(self.normal.operate(a, b)) != self.normal.operate(
+                        phi(a), phi(b)
+                    ):
+                        raise GroupError(f"action of {h!r} is not a homomorphism")
+        for h1 in h_elems:
+            for h2 in h_elems:
+                combined = self.action(self.acting.operate(h1, h2))
+                composed = self.action(h1)
+                inner = self.action(h2)
+                for n in n_elems:
+                    if combined(n) != composed(inner(n)):
+                        raise GroupError(
+                            "action is not a homomorphism H -> Aut(N): "
+                            f"φ_(h1 h2) != φ_h1 ∘ φ_h2 at ({h1!r}, {h2!r})"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SemidirectProductGroup(|N|={self.normal.order}, "
+            f"|H|={self.acting.order})"
+        )
+
+
+def hypercube_rotation_group(d: int, validate: bool = False) -> SemidirectProductGroup:
+    """``ℤ_2^d ⋊ ℤ_d`` with ℤ_d cyclically rotating hypercube coordinates.
+
+    The common algebraic substrate of CCC(d) and the wrapped butterfly
+    BF(d).  ``validate=True`` runs the exhaustive action check — O(|N|²·
+    |H|²) — so it defaults off for d ≥ 4 and is exercised by tests at d=3.
+    """
+    if d < 2:
+        raise GroupError("need dimension >= 2")
+    cube = DirectProductGroup(*(CyclicGroup(2) for _ in range(d)))
+    shifts = CyclicGroup(d)
+
+    def action(h: GroupElement) -> Callable[[GroupElement], GroupElement]:
+        def rotate(v: GroupElement) -> GroupElement:
+            # Rotate coordinates by h: bit j of the result is bit j-h of v,
+            # i.e. e_j ↦ e_{j+h}.
+            return tuple(v[(j - h) % d] for j in range(d))
+
+        return rotate
+
+    return SemidirectProductGroup(cube, shifts, action, validate=validate)

@@ -1,0 +1,109 @@
+"""Symmetric groups S_n and permutation utilities.
+
+Permutations are represented as tuples ``p`` of length ``n`` with
+``p[i] = image of i`` (zero-based, one-line notation).  ``Cay(S_n, T)`` for
+``T`` the set of "star transpositions" ``(0 i)`` is the *star graph*
+interconnection network the paper cites among classical Cayley topologies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from ..errors import GroupError
+from .base import FiniteGroup, GroupElement
+
+Permutation = Tuple[int, ...]
+
+
+def identity_permutation(n: int) -> Permutation:
+    """The identity of S_n in one-line notation."""
+    return tuple(range(n))
+
+
+def compose(p: Permutation, q: Permutation) -> Permutation:
+    """Return the composition ``p ∘ q`` (apply ``q`` first, then ``p``)."""
+    return tuple(p[q[i]] for i in range(len(p)))
+
+
+def invert(p: Permutation) -> Permutation:
+    """Return the inverse permutation."""
+    inv = [0] * len(p)
+    for i, img in enumerate(p):
+        inv[img] = i
+    return tuple(inv)
+
+
+def transposition(n: int, i: int, j: int) -> Permutation:
+    """The transposition swapping ``i`` and ``j`` in S_n."""
+    if i == j:
+        raise GroupError("a transposition must swap two distinct points")
+    p = list(range(n))
+    p[i], p[j] = p[j], p[i]
+    return tuple(p)
+
+
+def cycle_type(p: Permutation) -> Tuple[int, ...]:
+    """The sorted cycle type of ``p`` (a partition of n, descending)."""
+    n = len(p)
+    seen = [False] * n
+    lengths: List[int] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        length = 0
+        i = start
+        while not seen[i]:
+            seen[i] = True
+            i = p[i]
+            length += 1
+        lengths.append(length)
+    return tuple(sorted(lengths, reverse=True))
+
+
+def is_permutation(p: Sequence[int], n: int) -> bool:
+    """Whether ``p`` is a valid one-line permutation of ``0..n-1``."""
+    return len(p) == n and sorted(p) == list(range(n))
+
+
+class SymmetricGroup(FiniteGroup):
+    """The full symmetric group on ``n`` points (use only for small ``n``)."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise GroupError(f"symmetric group degree must be >= 1, got {n}")
+        if n > 8:
+            raise GroupError(
+                f"S_{n} has {n}! elements; enumeration beyond n=8 is unsupported"
+            )
+        self.n = n
+        self._elements: List[Permutation] = [
+            tuple(p) for p in itertools.permutations(range(n))
+        ]
+
+    def elements(self) -> Sequence[GroupElement]:
+        return self._elements
+
+    def operate(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        return compose(a, b)
+
+    def inverse(self, a: GroupElement) -> GroupElement:
+        return invert(a)
+
+    def identity(self) -> GroupElement:
+        return identity_permutation(self.n)
+
+    def contains(self, a: GroupElement) -> bool:
+        return isinstance(a, tuple) and is_permutation(a, self.n)
+
+    def star_generators(self) -> List[Permutation]:
+        """Star-graph generators: transpositions ``(0 i)`` for ``i = 1..n-1``."""
+        return [transposition(self.n, 0, i) for i in range(1, self.n)]
+
+    def adjacent_transposition_generators(self) -> List[Permutation]:
+        """Bubble-sort generators: transpositions ``(i, i+1)``."""
+        return [transposition(self.n, i, i + 1) for i in range(self.n - 1)]
+
+    def __repr__(self) -> str:
+        return f"SymmetricGroup(n={self.n})"

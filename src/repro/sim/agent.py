@@ -1,0 +1,52 @@
+"""The agent abstraction: a colored generator of actions.
+
+Concrete protocols subclass :class:`Agent` and implement
+:meth:`Agent.protocol` as a generator.  The generator yields
+:mod:`repro.sim.actions` actions and receives their results through
+``send``; its ``return`` value becomes the agent's final result in the
+:class:`~repro.sim.runtime.SimulationResult`.
+
+What an agent may use (and nothing else):
+
+* its own color (``self.color``) — equality-testable only;
+* the :class:`~repro.sim.actions.NodeView` values the runtime hands it
+  (degree, port labels, whiteboard signs, entry port);
+* its own unbounded local memory.
+
+Node indices, the global clock, other agents' objects, and the network
+object itself are *not* reachable from protocol code; this is enforced
+structurally (the runtime only ever passes ``NodeView`` values in).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Optional
+
+from ..colors import Color
+from .actions import Action, NodeView
+
+#: The type of a protocol generator.
+ProtocolGen = Generator[Action, Any, Any]
+
+
+class Agent(ABC):
+    """A mobile computing entity with a distinct, incomparable color."""
+
+    def __init__(self, color: Color, rng: Optional[random.Random] = None):
+        self.color = color
+        #: Private randomness for tie-breaking choices the model leaves free
+        #: (e.g. which unexplored port to try first).  Correctness of the
+        #: shipped protocols never depends on it; tests vary the seed.
+        self.rng = rng or random.Random(0)
+
+    @abstractmethod
+    def protocol(self, start: NodeView) -> ProtocolGen:
+        """The agent's behavior, as an action generator.
+
+        ``start`` is the view of the agent's home-base at wake-up time.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(color={self.color!r})"

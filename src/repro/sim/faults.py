@@ -1,0 +1,75 @@
+"""Fault injection: crash wrappers for robustness testing.
+
+The paper's model has no crash faults — protocol correctness assumes every
+agent keeps taking steps.  These wrappers let the test-suite verify the
+*diagnostic* behavior of the runtime when that assumption breaks: a crashed
+agent should never cause silent wrong answers, only a detectable stall
+(:class:`~repro.errors.DeadlockError` naming the blocked waiters, or a
+``deadlocked`` result under ``deadlock_ok``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .actions import NodeView, WaitUntil
+from .agent import Agent, ProtocolGen
+
+
+class CrashAfter(Agent):
+    """Run the wrapped agent's protocol, then crash after N actions.
+
+    A "crash" is modeled as blocking forever (the agent stops taking
+    steps but does not terminate); that is the observable behavior of a
+    failed mobile agent in the whiteboard model.
+    """
+
+    def __init__(self, inner: Agent, actions: int):
+        super().__init__(inner.color, rng=inner.rng)
+        self.inner = inner
+        self.crash_at = actions
+
+    def protocol(self, start: NodeView) -> ProtocolGen:
+        gen = self.inner.protocol(start)
+        taken = 0
+        send_value: Any = None
+        while True:
+            try:
+                action = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            if taken >= self.crash_at:
+                yield WaitUntil(
+                    lambda view: False,
+                    reason=f"agent crashed after {self.crash_at} actions",
+                )
+                raise AssertionError("unreachable: crash wait satisfied")
+            taken += 1
+            send_value = yield action
+
+
+class CrashOnKind(Agent):
+    """Crash the wrapped agent the first time it performs a given action
+    type (e.g. its first ``TryAcquire``) — targets protocol-critical
+    moments rather than a step count."""
+
+    def __init__(self, inner: Agent, action_type: type):
+        super().__init__(inner.color, rng=inner.rng)
+        self.inner = inner
+        self.action_type = action_type
+
+    def protocol(self, start: NodeView) -> ProtocolGen:
+        gen = self.inner.protocol(start)
+        send_value: Any = None
+        while True:
+            try:
+                action = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            if isinstance(action, self.action_type):
+                yield WaitUntil(
+                    lambda view: False,
+                    reason=f"agent crashed at first {self.action_type.__name__}",
+                )
+                raise AssertionError("unreachable")
+            send_value = yield action

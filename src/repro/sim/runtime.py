@@ -1,0 +1,392 @@
+"""The asynchronous mobile-agent runtime.
+
+Executes a set of :class:`~repro.sim.agent.Agent` protocols on an
+:class:`~repro.graphs.network.AnonymousNetwork` under a
+:class:`~repro.sim.scheduler.Scheduler`.  Model fidelity points:
+
+* **One atomic action per step** — whiteboard accesses are mutually
+  exclusive; between any two actions of one agent, arbitrarily many actions
+  of others may occur (asynchrony).
+* **Home-base marks** — before the run, each home-base whiteboard receives a
+  ``homebase`` sign in its agent's color (paper Section 1.2).
+* **Wake-up** — agents start asleep except an ``initially_awake`` subset
+  (default: all).  A sleeping agent wakes when another agent *arrives at*
+  its home-base (paper: a traversing agent "wakes up this agent").
+* **No node identities** — agents receive only :class:`NodeView` values;
+  the port tuple is presented in a per-(agent, node) shuffled order so that
+  construction order cannot act as a covert shared total order.
+* **Deadlock & budget** — a run where no agent can ever progress again
+  raises :class:`~repro.errors.DeadlockError` (or returns a result flagged
+  ``deadlocked=True`` when ``deadlock_ok`` is set, for impossibility-side
+  experiments); runs exceeding ``max_steps`` raise
+  :class:`~repro.errors.StepBudgetExceeded`.
+
+Metrics: per-agent move counts and whiteboard-access counts — the two
+quantities Theorem 3.1 bounds by ``O(r·|E|)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..colors import Color
+from ..errors import (
+    DeadlockError,
+    PlacementError,
+    ProtocolError,
+    SimulationError,
+    StepBudgetExceeded,
+)
+from ..graphs.network import AnonymousNetwork, PortLabel
+from .actions import (
+    Action,
+    Erase,
+    Log,
+    Move,
+    NodeView,
+    Read,
+    TryAcquire,
+    WaitUntil,
+    Write,
+)
+from .agent import Agent
+from .scheduler import RandomScheduler, Scheduler
+from .signs import HOMEBASE, Sign
+from .whiteboard import Whiteboard
+
+
+class AgentState(Enum):
+    """Lifecycle of an agent inside the runtime."""
+
+    ASLEEP = "asleep"
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class AgentRecord:
+    """Runtime bookkeeping for one agent."""
+
+    agent: Agent
+    home: int
+    node: int
+    state: AgentState = AgentState.ASLEEP
+    gen: Any = None
+    pending: Any = None  # value to send into the generator next step
+    blocked_on: Optional[WaitUntil] = None
+    result: Any = None
+    moves: int = 0
+    accesses: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a completed run."""
+
+    results: List[Any]
+    moves: List[int]
+    accesses: List[int]
+    steps: int
+    positions: List[int] = field(default_factory=list)
+    deadlocked: bool = False
+    blocked_reasons: List[str] = field(default_factory=list)
+    trace: List[Tuple[int, str, Tuple[int, ...]]] = field(default_factory=list)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(self.moves)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses)
+
+
+class Simulation:
+    """One run of a set of agents on a network.
+
+    Parameters
+    ----------
+    network:
+        The anonymous network (agents never see it directly).
+    placements:
+        ``(agent, home_node)`` pairs; home nodes must be pairwise distinct
+        (the paper's simplifying assumption) and agent colors distinct.
+    scheduler:
+        Interleaving policy; default seeded :class:`RandomScheduler`.
+    initially_awake:
+        Indices (into ``placements``) of spontaneously waking agents;
+        default all.  Must be non-empty.
+    max_steps:
+        Step budget; ``None`` picks a generous bound scaled to the instance.
+    deadlock_ok:
+        If True, a deadlock ends the run with ``deadlocked=True`` instead of
+        raising — used by impossibility-side experiments where symmetric
+        executions legitimately get stuck.
+    collect_trace:
+        Record :class:`~repro.sim.actions.Log` events.
+    port_shuffle_seed:
+        Seed of the per-(agent, node) port-presentation shuffle.
+    """
+
+    def __init__(
+        self,
+        network: AnonymousNetwork,
+        placements: Sequence[Tuple[Agent, int]],
+        scheduler: Optional[Scheduler] = None,
+        initially_awake: Optional[Sequence[int]] = None,
+        max_steps: Optional[int] = None,
+        deadlock_ok: bool = False,
+        collect_trace: bool = False,
+        port_shuffle_seed: int = 0,
+    ):
+        if not placements:
+            raise PlacementError("at least one agent is required")
+        homes = [home for (_, home) in placements]
+        if len(set(homes)) != len(homes):
+            raise PlacementError("home-bases must be pairwise distinct")
+        colors = [agent.color for (agent, _) in placements]
+        if len(set(colors)) != len(colors):
+            raise PlacementError("agent colors must be pairwise distinct")
+        for home in homes:
+            if not 0 <= home < network.num_nodes:
+                raise PlacementError(f"home node {home} out of range")
+
+        self.network = network
+        self.scheduler = scheduler or RandomScheduler(seed=0)
+        self.records: List[AgentRecord] = [
+            AgentRecord(agent=a, home=h, node=h) for (a, h) in placements
+        ]
+        self.boards: List[Whiteboard] = [
+            Whiteboard() for _ in range(network.num_nodes)
+        ]
+        self._blocked_by_node: Dict[int, Set[int]] = {}
+        self._sleepers_by_node: Dict[int, int] = {
+            home: idx for idx, (_, home) in enumerate(placements)
+        }
+        if initially_awake is None:
+            self._initially_awake = list(range(len(placements)))
+        else:
+            self._initially_awake = list(initially_awake)
+        if not self._initially_awake:
+            raise PlacementError("at least one agent must be initially awake")
+        if max_steps is None:
+            r = len(placements)
+            m = network.num_edges
+            n = network.num_nodes
+            max_steps = 2_000 + 600 * r * r * (m + n)
+        self.max_steps = max_steps
+        self.deadlock_ok = deadlock_ok
+        self.collect_trace = collect_trace
+        self._trace: List[Tuple[int, str, Tuple[int, ...]]] = []
+        self._port_seed = port_shuffle_seed
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def _port_order(self, agent_idx: int, node: int) -> Tuple[PortLabel, ...]:
+        ports = list(self.network.ports(node))
+        rng = random.Random(f"{self._port_seed}:{agent_idx}:{node}")
+        rng.shuffle(ports)
+        return tuple(ports)
+
+    def _view(
+        self, agent_idx: int, node: int, entry_port: Optional[PortLabel] = None
+    ) -> NodeView:
+        return NodeView(
+            degree=self.network.degree(node),
+            ports=self._port_order(agent_idx, node),
+            signs=self.boards[node].snapshot(),
+            entry_port=entry_port,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _wake(self, idx: int) -> None:
+        rec = self.records[idx]
+        if rec.state is not AgentState.ASLEEP:
+            return
+        rec.gen = rec.agent.protocol(self._view(idx, rec.node))
+        rec.pending = None
+        rec.state = AgentState.READY
+        self._sleepers_by_node.pop(rec.node, None)
+
+    def _board_changed(self, node: int) -> None:
+        """Re-check WaitUntil predicates of agents blocked at ``node``."""
+        for idx in list(self._blocked_by_node.get(node, ())):
+            rec = self.records[idx]
+            assert rec.blocked_on is not None
+            view = self._view(idx, rec.node)
+            if rec.blocked_on.predicate(view):
+                rec.pending = view
+                rec.blocked_on = None
+                rec.state = AgentState.READY
+                self._blocked_by_node[node].discard(idx)
+
+    def _finish(self, idx: int, result: Any) -> None:
+        rec = self.records[idx]
+        rec.state = AgentState.DONE
+        rec.result = result
+        rec.gen = None
+
+    # ------------------------------------------------------------------
+    # Action dispatch
+    # ------------------------------------------------------------------
+
+    def _execute(self, idx: int, action: Action) -> Any:
+        rec = self.records[idx]
+        board = self.boards[rec.node]
+        color = rec.agent.color
+        if isinstance(action, Move):
+            if action.port not in self.network.ports(rec.node):
+                raise ProtocolError(
+                    f"agent {idx} used missing port {action.port!r}"
+                )
+            new_node, entry = self.network.traverse(rec.node, action.port)
+            rec.node = new_node
+            rec.moves += 1
+            sleeper = self._sleepers_by_node.get(new_node)
+            if sleeper is not None and sleeper != idx:
+                self._wake(sleeper)
+            return self._view(idx, new_node, entry_port=entry)
+        if isinstance(action, Read):
+            rec.accesses += 1
+            return self._view(idx, rec.node)
+        if isinstance(action, Write):
+            sign = action.sign
+            if sign.color is None:
+                sign = Sign(kind=sign.kind, color=color, payload=sign.payload)
+            elif sign.color != color:
+                raise ProtocolError(
+                    f"agent {idx} attempted to forge a sign of another color"
+                )
+            rec.accesses += 1
+            board.append(sign)
+            self._board_changed(rec.node)
+            return None
+        if isinstance(action, Erase):
+            rec.accesses += 1
+            removed = board.erase_own(color, action.kind, action.payload)
+            if removed:
+                self._board_changed(rec.node)
+            return removed
+        if isinstance(action, TryAcquire):
+            rec.accesses += 1
+            ok = board.try_acquire(color, action.kind, action.payload, action.capacity)
+            if ok:
+                self._board_changed(rec.node)
+            return ok
+        if isinstance(action, WaitUntil):
+            rec.accesses += 1
+            view = self._view(idx, rec.node)
+            if action.predicate(view):
+                return view
+            rec.blocked_on = action
+            rec.state = AgentState.BLOCKED
+            self._blocked_by_node.setdefault(rec.node, set()).add(idx)
+            return None  # no value sent until unblocked
+        if isinstance(action, Log):
+            if self.collect_trace:
+                self._trace.append((idx, action.event, tuple(action.data)))
+            return None
+        raise ProtocolError(f"unknown action {action!r}")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute until all agents are done (or deadlock / budget)."""
+        self.scheduler.reset()
+        # Mark every home-base with a sign of its agent's color (paper
+        # Section 1.2: "The home-base of a ∈ A is marked with a sign of
+        # color c(a)").
+        for rec in self.records:
+            self.boards[rec.home].append(
+                Sign(kind=HOMEBASE, color=rec.agent.color)
+            )
+        for idx in self._initially_awake:
+            self._wake(idx)
+
+        steps = 0
+        while True:
+            runnable = [
+                i
+                for i, rec in enumerate(self.records)
+                if rec.state is AgentState.READY
+            ]
+            if not runnable:
+                if all(rec.state is AgentState.DONE for rec in self.records):
+                    break
+                reasons = self._stall_reasons()
+                if self.deadlock_ok:
+                    return self._result(steps, deadlocked=True, reasons=reasons)
+                raise DeadlockError(
+                    "no agent can make progress; stalled agents: "
+                    + "; ".join(reasons)
+                )
+            if steps >= self.max_steps:
+                raise StepBudgetExceeded(
+                    f"simulation exceeded max_steps={self.max_steps}"
+                )
+            idx = self.scheduler.choose(runnable, steps)
+            if idx not in runnable:
+                raise SimulationError(
+                    f"scheduler chose non-runnable agent {idx}"
+                )
+            rec = self.records[idx]
+            try:
+                action = rec.gen.send(rec.pending)
+            except StopIteration as stop:
+                self._finish(idx, stop.value)
+                steps += 1
+                continue
+            rec.pending = self._execute(idx, action)
+            if rec.state is AgentState.BLOCKED:
+                rec.pending = None
+            steps += 1
+        return self._result(steps)
+
+    def _stall_reasons(self) -> List[str]:
+        reasons = []
+        for i, rec in enumerate(self.records):
+            if rec.state is AgentState.BLOCKED and rec.blocked_on is not None:
+                reasons.append(
+                    f"agent {i} blocked at a node: {rec.blocked_on.reason or 'waiting'}"
+                )
+            elif rec.state is AgentState.ASLEEP:
+                reasons.append(f"agent {i} still asleep at its home-base")
+        return reasons
+
+    def _result(
+        self,
+        steps: int,
+        deadlocked: bool = False,
+        reasons: Optional[List[str]] = None,
+    ) -> SimulationResult:
+        return SimulationResult(
+            results=[rec.result for rec in self.records],
+            moves=[rec.moves for rec in self.records],
+            accesses=[rec.accesses for rec in self.records],
+            steps=steps,
+            positions=[rec.node for rec in self.records],
+            deadlocked=deadlocked,
+            blocked_reasons=reasons or [],
+            trace=self._trace,
+        )
+
+
+def run_agents(
+    network: AnonymousNetwork,
+    placements: Sequence[Tuple[Agent, int]],
+    scheduler: Optional[Scheduler] = None,
+    **kwargs: Any,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    return Simulation(network, placements, scheduler=scheduler, **kwargs).run()

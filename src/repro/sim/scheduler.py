@@ -1,0 +1,137 @@
+"""Schedulers: the asynchrony adversary.
+
+The paper's agents are asynchronous — every action takes a finite but
+unpredictable time.  In the simulation this becomes: at each step, a
+*scheduler* picks which runnable agent executes its next (atomic) action.
+Protocol correctness must hold for **every** fair schedule; the test-suite
+sweeps the schedulers below.
+
+* :class:`RandomScheduler` — uniformly random fair interleaving (seeded).
+* :class:`RoundRobinScheduler` — deterministic cyclic order; on fully
+  symmetric configurations this behaves like the synchronous adversary the
+  paper uses in its impossibility argument (all agents advance in lockstep,
+  preserving symmetry).
+* :class:`GreedyAgentScheduler` — runs one agent as long as possible before
+  switching (maximally bursty asynchrony).
+* :class:`BiasedScheduler` — random but heavily favoring low-index agents
+  (starvation-adjacent but still fair).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+
+class Scheduler(ABC):
+    """Chooses which runnable agent executes the next atomic action."""
+
+    @abstractmethod
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        """Return one element of ``runnable`` (non-empty) to execute."""
+
+    def reset(self) -> None:
+        """Called once when a simulation starts (stateful schedulers)."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice; fair with probability 1."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def __repr__(self) -> str:
+        return f"RandomScheduler(seed={self.seed})"
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cyclic deterministic order over agent indices."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        ordered = sorted(runnable)
+        for agent_id in ordered:
+            if agent_id >= self._next:
+                self._next = agent_id + 1
+                return agent_id
+        self._next = ordered[0] + 1
+        return ordered[0]
+
+    def __repr__(self) -> str:
+        return "RoundRobinScheduler()"
+
+
+class GreedyAgentScheduler(Scheduler):
+    """Keep running the same agent until it blocks or terminates.
+
+    Exercises maximal burstiness: one agent can complete an entire traversal
+    while all others are frozen — a legal asynchronous execution.
+    """
+
+    def __init__(self) -> None:
+        self._current: Optional[int] = None
+
+    def reset(self) -> None:
+        self._current = None
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        if self._current in runnable:
+            return self._current
+        self._current = min(runnable)
+        return self._current
+
+    def __repr__(self) -> str:
+        return "GreedyAgentScheduler()"
+
+
+class BiasedScheduler(Scheduler):
+    """Random choice geometrically biased toward low agent indices.
+
+    Still fair (every runnable agent has positive probability each step) but
+    produces highly skewed relative speeds, a good stressor for protocols
+    whose correctness must not depend on relative progress rates.
+    """
+
+    def __init__(self, seed: int = 0, bias: float = 0.7):
+        if not 0.0 < bias < 1.0:
+            raise ValueError("bias must be in (0, 1)")
+        self.seed = seed
+        self.bias = bias
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        ordered = sorted(runnable)
+        for agent_id in ordered[:-1]:
+            if self._rng.random() < self.bias:
+                return agent_id
+        return ordered[-1]
+
+    def __repr__(self) -> str:
+        return f"BiasedScheduler(seed={self.seed}, bias={self.bias})"
+
+
+def default_scheduler_suite(seed: int = 0) -> List[Scheduler]:
+    """The scheduler battery the integration tests sweep."""
+    return [
+        RandomScheduler(seed=seed),
+        RandomScheduler(seed=seed + 1),
+        RoundRobinScheduler(),
+        GreedyAgentScheduler(),
+        BiasedScheduler(seed=seed),
+    ]

@@ -1,0 +1,82 @@
+"""Colored signs — the unit of whiteboard communication.
+
+Paper Section 1.2: "the basic unit of information is the *colored sign*,
+i.e., a string of bits with a color".  A sign therefore carries
+
+* a ``kind`` plus an integer-only ``payload`` (together they are the "string
+  of bits"), and
+* the ``color`` of the writing agent (or ``None`` for pre-placed anonymous
+  marks; the paper's home-base marks are colored).
+
+The model restriction that matters: **an agent can only write signs of its
+own color, and payloads cannot encode colors** (colors have no agreed bit
+encoding — that is the whole premise of the qualitative world).  The
+:class:`Sign` constructor enforces the integer-payload rule; the runtime
+enforces the own-color rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..colors import Color
+from ..errors import ProtocolError
+
+#: Well-known sign kinds used by the shipped protocols.  Protocols may mint
+#: their own kinds; these constants just avoid typo bugs.
+HOMEBASE = "homebase"
+DFS_VISITED = "dfs-visited"
+STATUS = "status"
+MATCH = "match"
+ROUND_DONE = "round-done"
+ACTIVATE = "activate"
+NODE_ACQUIRED = "node-acquired"
+NODE_ROUND_DONE = "node-round-done"
+LEADER_ANNOUNCE = "leader-announce"
+FAILURE_ANNOUNCE = "failure-announce"
+SYNC = "sync"
+MARK = "mark"
+
+
+@dataclass(frozen=True)
+class Sign:
+    """An immutable colored sign.
+
+    Parameters
+    ----------
+    kind:
+        Sign type tag (a short string; part of the bit-string content).
+    color:
+        The writer's color; ``None`` only for runtime-placed neutral marks.
+    payload:
+        A tuple of ints (phase numbers, round numbers, role codes…).  Colors
+        are deliberately unrepresentable here.
+    """
+
+    kind: str
+    color: Optional[Color] = None
+    payload: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(x, int) for x in self.payload):
+            raise ProtocolError(
+                "sign payloads may contain only ints: colors have no agreed "
+                "encoding in the qualitative model"
+            )
+
+    def matches(self, kind: str, payload: Optional[Tuple[int, ...]] = None) -> bool:
+        """Filter helper: same kind and (if given) exact payload."""
+        if self.kind != kind:
+            return False
+        return payload is None or self.payload == tuple(payload)
+
+
+def signs_of_kind(signs, kind: str, payload: Optional[Tuple[int, ...]] = None):
+    """All signs in an iterable matching ``kind`` (and payload, if given)."""
+    return [s for s in signs if s.matches(kind, payload)]
+
+
+def distinct_colors(signs) -> set:
+    """The set of distinct writer colors among the given signs."""
+    return {s.color for s in signs if s.color is not None}

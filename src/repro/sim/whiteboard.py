@@ -1,0 +1,81 @@
+"""Whiteboards: per-node sign stores with atomic access.
+
+One whiteboard per node (paper Section 1.2).  Atomicity is provided by the
+runtime executing one agent action per step; the board itself is a plain
+append-list with filtered reads and the test-and-write primitive used for
+races (:meth:`Whiteboard.try_acquire`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..colors import Color
+from .signs import Sign
+
+
+class Whiteboard:
+    """The sign store of a single node."""
+
+    __slots__ = ("_signs", "_version")
+
+    def __init__(self) -> None:
+        self._signs: List[Sign] = []
+        # Version counter lets blocked agents re-check predicates only when
+        # the board actually changed.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter incremented on every mutation."""
+        return self._version
+
+    def snapshot(self) -> Tuple[Sign, ...]:
+        """All signs, in write order."""
+        return tuple(self._signs)
+
+    def append(self, sign: Sign) -> None:
+        """Write a sign (atomic under the runtime's one-action-per-step)."""
+        self._signs.append(sign)
+        self._version += 1
+
+    def erase_own(
+        self,
+        color: Color,
+        kind: str,
+        payload: Optional[Tuple[int, ...]] = None,
+    ) -> int:
+        """Remove the given agent's signs matching kind/payload."""
+        before = len(self._signs)
+        self._signs = [
+            s
+            for s in self._signs
+            if not (s.color == color and s.matches(kind, payload))
+        ]
+        removed = before - len(self._signs)
+        if removed:
+            self._version += 1
+        return removed
+
+    def count(self, kind: str, payload: Optional[Tuple[int, ...]] = None) -> int:
+        """Number of signs matching kind/payload."""
+        return sum(1 for s in self._signs if s.matches(kind, payload))
+
+    def try_acquire(
+        self,
+        color: Color,
+        kind: str,
+        payload: Tuple[int, ...],
+        capacity: int,
+    ) -> bool:
+        """Atomic test-and-write (see :class:`repro.sim.actions.TryAcquire`)."""
+        if self.count(kind, payload) >= capacity:
+            return False
+        self.append(Sign(kind=kind, color=color, payload=tuple(payload)))
+        return True
+
+    def __len__(self) -> int:
+        return len(self._signs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Whiteboard({len(self._signs)} signs, v{self._version})"

@@ -1,0 +1,193 @@
+"""Tests for the experiment harness (instances, Table 1, complexity)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    asymmetric_instances,
+    cayley_effectualness_instances,
+    complexity_sweep,
+    impossibility_instances,
+    instances_for,
+    max_ratio,
+    petersen_duel_instances,
+    quantitative_battery,
+    ratio_table,
+    render_kv,
+    render_table,
+    reproduce_table1,
+    small_cayley_graphs,
+)
+from repro.core import Feasibility, Placement, classify
+from repro.graphs import cycle_graph
+
+
+class TestInstances:
+    def test_instances_for_counts(self):
+        net = cycle_graph(5)
+        insts = instances_for(net, "C5", agent_counts=(1, 2))
+        assert len(insts) == 5 + 10
+        assert all(i.family == "C5" for i in insts)
+
+    def test_instances_for_sampling(self):
+        net = cycle_graph(6)
+        insts = instances_for(net, "C6", agent_counts=(2,), max_per_count=4)
+        assert len(insts) == 4
+
+    def test_instance_label(self):
+        net = cycle_graph(5)
+        inst = instances_for(net, "C5", agent_counts=(2,))[0]
+        assert inst.label.startswith("C5[")
+
+    def test_small_cayley_battery_is_cayley(self):
+        from repro.graphs import is_cayley_graph
+
+        for cg in small_cayley_graphs()[:4]:
+            assert is_cayley_graph(cg.network)
+
+    def test_impossibility_instances_are_impossible(self):
+        for inst in impossibility_instances():
+            c = classify(inst.network, inst.placement)
+            assert c.verdict in (Feasibility.IMPOSSIBLE, Feasibility.UNKNOWN)
+            assert not c.elect.succeeds
+
+    def test_petersen_duel_instances_are_adjacent(self):
+        for inst in petersen_duel_instances():
+            u, v = inst.placement.homes
+            assert v in inst.network.neighbors(u)
+
+    def test_asymmetric_instances_nonempty(self):
+        assert len(asymmetric_instances(seed=1)) > 10
+
+    def test_quantitative_battery_nonempty(self):
+        assert len(quantitative_battery()) >= 5
+
+
+class TestTable1:
+    def test_quick_reproduction_matches_paper(self):
+        result = reproduce_table1(quick=True)
+        assert result.all_match
+        for key, verdict in PAPER_TABLE1.items():
+            assert result.cells[key].verdict == verdict
+
+    def test_render_contains_rows(self):
+        result = reproduce_table1(quick=True)
+        text = result.render()
+        assert "qualitative" in text and "quantitative" in text
+
+    def test_evidence_recorded(self):
+        result = reproduce_table1(quick=True)
+        cell = result.cells[("qualitative", "effectual_cayley")]
+        assert cell.instances_checked > 0
+        assert cell.evidence
+
+
+class TestComplexity:
+    def test_sweep_points_and_bound(self):
+        points = complexity_sweep(
+            families=None, agent_counts=(1, 2), seed=0
+        )
+        assert len(points) >= 10
+        assert all(p.elected for p in points)
+        assert max_ratio(points) < 20.0
+
+    def test_ratio_table_renders(self):
+        points = complexity_sweep(agent_counts=(1,), seed=0)
+        text = ratio_table(points)
+        assert "moves/(r|E|)" in text
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all same width
+
+    def test_render_kv(self):
+        text = render_kv("Title", [["key", 1], ["longer-key", "two"]])
+        assert text.startswith("Title")
+        assert "longer-key" in text
+
+
+class TestComplexityFit:
+    def test_fit_is_linear_with_bounded_slope(self):
+        from repro.analysis import complexity_sweep, fit_complexity
+
+        points = complexity_sweep(agent_counts=(1, 2, 3), seed=0)
+        fit = fit_complexity(points)
+        # The fitted constant must be a small positive number (Theorem 3.1)
+        assert 0 < fit.slope < 10
+        # The linear model should explain a meaningful share of variance.
+        assert fit.r_squared > 0.4
+
+    def test_fit_requires_enough_points(self):
+        import pytest
+
+        from repro.analysis import fit_complexity
+        from repro.analysis.complexity import ComplexityPoint
+
+        p = ComplexityPoint("x", 4, 4, 1, 10, 5, True)
+        with pytest.raises(ValueError):
+            fit_complexity([p, p])
+
+    def test_fit_on_exact_line(self):
+        from repro.analysis import fit_complexity
+        from repro.analysis.complexity import ComplexityPoint
+
+        points = [
+            ComplexityPoint("x", 0, m, r, 3 * r * m + 7, 0, True)
+            for m in (5, 10, 20)
+            for r in (1, 2, 3)
+        ]
+        fit = fit_complexity(points)
+        assert abs(fit.slope - 3.0) < 1e-9
+        assert abs(fit.intercept - 7.0) < 1e-6
+        assert fit.r_squared > 0.999999
+
+
+class TestFeasibilityProfiles:
+    def test_profiles_cover_requested_counts(self):
+        from repro.analysis import feasibility_profile
+        from repro.graphs import cycle_cayley
+
+        profiles = feasibility_profile(cycle_cayley(6), agent_counts=(1, 2, 3))
+        assert [p.agents for p in profiles] == [1, 2, 3]
+        assert all(p.sampled > 0 for p in profiles)
+
+    def test_single_agent_always_feasible(self):
+        from repro.analysis import feasibility_profile
+        from repro.graphs import cycle_cayley, hypercube_cayley
+
+        for cg in (cycle_cayley(7), hypercube_cayley(3)):
+            (p,) = feasibility_profile(cg, agent_counts=(1,))
+            assert p.rate == 1.0
+
+    def test_hypercube_pairs_always_infeasible(self):
+        from repro.analysis import feasibility_profile
+        from repro.graphs import hypercube_cayley
+
+        (p,) = feasibility_profile(hypercube_cayley(3), agent_counts=(2,))
+        assert p.feasible == 0
+
+    def test_profile_agrees_with_certificates(self):
+        import itertools
+
+        from repro.analysis import feasibility_profile
+        from repro.core import Placement, cayley_election_possible
+        from repro.graphs import cycle_cayley
+
+        cg = cycle_cayley(6)
+        (p,) = feasibility_profile(cg, agent_counts=(2,), max_per_count=None)
+        direct = sum(
+            cayley_election_possible(cg.network, Placement.of((0, other)))
+            for other in range(1, 6)
+        )
+        assert p.feasible == direct
+
+    def test_profile_table_renders(self):
+        from repro.analysis import feasibility_profile, profile_table
+        from repro.graphs import cycle_cayley
+
+        profiles = feasibility_profile(cycle_cayley(5), agent_counts=(2,))
+        assert "rate" in profile_table(profiles)

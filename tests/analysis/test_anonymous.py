@@ -1,0 +1,118 @@
+"""Tests for the anonymous-agents lifting argument (Section 1.3)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.analysis.anonymous import (
+    LockstepAnonymousSimulation,
+    covering_indistinguishability,
+    make_ring_walker,
+    oriented_ring,
+)
+
+
+class TestLockstepRuntime:
+    def test_single_walker_walks_the_ring(self):
+        net = oriented_ring(5)
+        sim = LockstepAnonymousSimulation(net, [0], make_ring_walker(1, rounds=10))
+        traces = sim.run(50)
+        # 5 marks placed at rounds 0,2,4,...; walker advanced 5 times.
+        assert sim.positions[0] == 0  # 5 forward steps on C5 returns home
+        total_marks = sum(len(m) for m in sim.marks)
+        assert total_marks == 5
+
+    def test_marks_are_anonymous(self):
+        net = oriented_ring(4)
+        sim = LockstepAnonymousSimulation(
+            net, [0, 2], make_ring_walker(1, rounds=6)
+        )
+        sim.run(20)
+        for board in sim.marks:
+            for mark in board:
+                assert all(isinstance(x, int) for x in mark)
+
+    def test_invalid_port_rejected(self):
+        net = oriented_ring(4)
+
+        def bad(state, obs):
+            return state, ("move", "nope")
+
+        sim = LockstepAnonymousSimulation(net, [0], bad)
+        with pytest.raises(ProtocolError):
+            sim.run(2)
+
+    def test_duplicate_homes_rejected(self):
+        net = oriented_ring(4)
+        with pytest.raises(ProtocolError):
+            LockstepAnonymousSimulation(net, [0, 0], make_ring_walker(1))
+
+    def test_halt_stops_everything(self):
+        net = oriented_ring(4)
+        sim = LockstepAnonymousSimulation(net, [0], make_ring_walker(1, rounds=2))
+        traces = sim.run(100)
+        assert sim.halted == [True]
+        assert len(traces[0].actions) <= 4
+
+
+class TestLiftingArgument:
+    """The paper's C3 vs C6 indistinguishability, executed."""
+
+    def test_c3_c6_traces_identical(self):
+        c3 = oriented_ring(3)
+        c6 = oriented_ring(6)
+        protocol = make_ring_walker(1, rounds=24)
+        base_traces, cover_traces = covering_indistinguishability(
+            c3, [0], c6, [0, 3], protocol, rounds=60
+        )
+        base = base_traces[0]
+        for trace in cover_traces:
+            assert trace.observations == base.observations
+            assert trace.actions == base.actions
+            assert trace.states == base.states
+
+    def test_twins_stay_symmetric_forever(self):
+        c6 = oriented_ring(6)
+        sim = LockstepAnonymousSimulation(
+            c6, [0, 3], make_ring_walker(1, rounds=30)
+        )
+        while sim.step():
+            # Invariant: the two agents remain antipodal with equal states.
+            a, b = sim.positions
+            assert (a - b) % 6 == 3
+            assert sim.states[0] == sim.states[1]
+
+    def test_c4_c8_lifting(self):
+        c4 = oriented_ring(4)
+        c8 = oriented_ring(8)
+        protocol = make_ring_walker(1, rounds=16)
+        base_traces, cover_traces = covering_indistinguishability(
+            c4, [0], c8, [0, 4], protocol, rounds=40
+        )
+        for trace in cover_traces:
+            assert trace.observations == base_traces[0].observations
+
+    def test_backward_walker_also_lifts(self):
+        c3 = oriented_ring(3)
+        c6 = oriented_ring(6)
+        protocol = make_ring_walker(2, rounds=20)  # port "-1"
+        base_traces, cover_traces = covering_indistinguishability(
+            c3, [0], c6, [0, 3], protocol, rounds=60
+        )
+        for trace in cover_traces:
+            assert trace.actions == base_traces[0].actions
+
+    def test_conclusion_no_anonymous_effectual_protocol(self):
+        """The argument's shape: the identical traces mean any deterministic
+        anonymous protocol reaches the same verdict on both instances; a
+        verdict electing on C3 (required — a single agent must elect
+        itself) elects 'both' agents on C6 — contradiction witnessed by
+        the symmetric twin states."""
+        c6 = oriented_ring(6)
+        sim = LockstepAnonymousSimulation(
+            c6, [0, 3], make_ring_walker(1, rounds=24)
+        )
+        sim.run(100)
+        # Both agents halted in identical states: neither can be 'the'
+        # leader without the other being one too.
+        assert sim.states[0] == sim.states[1]
+        assert sim.halted == [True, True]

@@ -1,0 +1,27 @@
+"""Smoke tests for the experiment command-line runner."""
+
+import pytest
+
+from repro.analysis.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_single_experiment_runs(self, capsys):
+        assert main(["petersen", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Petersen" in out
+
+    def test_all_experiments_quick(self, capsys):
+        assert main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert f"experiment: {name}" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-an-experiment"])
+
+    def test_table1_output_contains_matrix(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "qualitative" in out and "all cells match the paper: True" in out

@@ -1,0 +1,119 @@
+"""Tests for the gathering application (paper footnote 2)."""
+
+import pytest
+
+from repro.apps import GatheringAgent, GatheringReport, run_gathering
+from repro.apps.gathering import GRADIENT_READY, LEVEL
+from repro.core import Placement, Verdict
+from repro.graphs import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.sim import default_scheduler_suite
+
+
+class TestGatheringSuccess:
+    @pytest.mark.parametrize(
+        "build,homes",
+        [
+            (lambda: cycle_graph(5), [0, 1]),
+            (lambda: path_graph(7), [0, 3, 6]),
+            (lambda: grid_graph(3, 4), [0, 5, 11]),
+            (lambda: petersen_graph(), [0, 1, 2]),
+            (lambda: star_graph(5), [1, 2, 3]),
+            (lambda: complete_bipartite_graph(2, 3), [0, 1, 2, 3, 4]),
+        ],
+    )
+    def test_all_agents_gather_at_one_node(self, build, homes):
+        net = build()
+        outcome = run_gathering(net, Placement.of(homes), seed=3)
+        assert outcome.gathered
+        assert outcome.rendezvous_node is not None
+        assert len(set(outcome.positions)) == 1
+
+    def test_rendezvous_is_leader_home(self):
+        net = path_graph(7)
+        placement = Placement.of([0, 3, 6])
+        outcome = run_gathering(net, placement, seed=1)
+        leader_idx = next(
+            i
+            for i, r in enumerate(outcome.reports)
+            if r.verdict is Verdict.LEADER
+        )
+        assert outcome.rendezvous_node == placement.homes[leader_idx]
+
+    def test_single_agent_gathers_trivially(self):
+        outcome = run_gathering(cycle_graph(5), Placement.of([2]), seed=0)
+        assert outcome.gathered
+        assert outcome.rendezvous_node == 2
+
+    def test_scheduler_robustness(self):
+        net = grid_graph(3, 3)
+        placement = Placement.of([0, 4])
+        for sched in default_scheduler_suite(11):
+            outcome = run_gathering(net, placement, scheduler=sched, seed=2)
+            assert outcome.gathered, repr(sched)
+
+    def test_seed_robustness(self):
+        net = petersen_graph()
+        placement = Placement.of([0, 4, 7])
+        for seed in range(4):
+            outcome = run_gathering(net, placement, seed=seed)
+            assert outcome.gathered
+
+
+class TestGatheringFailure:
+    def test_symmetric_instance_fails(self):
+        outcome = run_gathering(cycle_graph(6), Placement.of([0, 3]), seed=0)
+        assert outcome.failed
+        assert not outcome.gathered
+        assert outcome.rendezvous_node is None
+
+    def test_k2_fails(self):
+        from repro.graphs import complete_graph
+
+        outcome = run_gathering(complete_graph(2), Placement.of([0, 1]), seed=0)
+        assert outcome.failed
+
+
+class TestGradientArtifact:
+    def test_level_signs_form_bfs_gradient(self):
+        """After a gathering run, every node carries the correct BFS level
+        from the rendezvous node."""
+        import random
+
+        from repro.sim import Simulation
+
+        net = grid_graph(3, 4)
+        # A corner and an interior node: structurally distinct home-bases,
+        # so C_1 is a singleton and election (hence gathering) succeeds.
+        placement = Placement.of([0, 5])
+        colors = placement.fresh_colors()
+        agents = [
+            GatheringAgent(c, rng=random.Random(i))
+            for i, c in enumerate(colors)
+        ]
+        sim = Simulation(net, list(zip(agents, placement.homes)))
+        result = sim.run()
+        rendezvous = result.positions[0]
+        assert all(p == rendezvous for p in result.positions)
+        distances = net.distances_from(rendezvous)
+        for node in net.nodes():
+            levels = [
+                s.payload[0]
+                for s in sim.boards[node].snapshot()
+                if s.kind == LEVEL
+            ]
+            assert levels == [distances[node]]
+            assert any(
+                s.kind == GRADIENT_READY for s in sim.boards[node].snapshot()
+            )
+
+    def test_reports_carry_gathered_flag(self):
+        outcome = run_gathering(cycle_graph(5), Placement.of([0, 1]), seed=5)
+        assert all(isinstance(r, GatheringReport) for r in outcome.reports)
+        assert all(r.gathered for r in outcome.reports)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the repro test suite."""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.graphs import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_cayley,
+    cycle_graph,
+    hypercube_cayley,
+    path_graph,
+    petersen_graph,
+)
+
+
+@pytest.fixture
+def space():
+    return ColorSpace()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def c5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def c6():
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def p5():
+    return path_graph(5)
+
+
+@pytest.fixture
+def k4():
+    return complete_graph(4)
+
+
+@pytest.fixture
+def k23():
+    return complete_bipartite_graph(2, 3)
+
+
+@pytest.fixture
+def petersen():
+    return petersen_graph()
+
+
+@pytest.fixture
+def q3():
+    return hypercube_cayley(3)
+
+
+@pytest.fixture
+def c6_cayley():
+    return cycle_cayley(6)

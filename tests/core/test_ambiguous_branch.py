@@ -1,0 +1,60 @@
+"""Cover the Cayley variant's AMBIGUOUS defensive branch.
+
+The branch fires only if the generic gcd condition and the translation
+criterion ever diverged on a Cayley graph — never observed across the
+battery (DESIGN.md finding F2) — so it is forced here by feeding the
+feasibility hook a schedule that contradicts the subgroup verdicts.
+"""
+
+import random
+
+from repro.colors import ColorSpace
+from repro.core import Placement, Verdict
+from repro.core.cayley_elect import CayleyElectAgent
+from repro.core.reduce_phases import build_schedule
+from repro.core.runner import run_election
+from repro.graphs import cycle_graph
+
+
+class GcdBlindCayleyAgent(CayleyElectAgent):
+    """A Cayley agent whose schedule is forcibly infeasible.
+
+    Overrides nothing in the feasibility logic itself; it hands
+    ``_check_feasibility`` a failing schedule while the (real) translation
+    certificates of the feasible instance all say "possible" — the exact
+    divergence the AMBIGUOUS branch guards against.
+    """
+
+    def _check_feasibility(self, local_map, structure, schedule):
+        fake_schedule = build_schedule([2, 2], 1)  # gcd 2: never succeeds
+        assert not fake_schedule.succeeds
+        return super()._check_feasibility(local_map, structure, fake_schedule)
+
+
+class TestAmbiguousBranch:
+    def test_divergence_reports_ambiguous_not_a_guess(self):
+        # C5 with adjacent agents: genuinely feasible (all certificates
+        # trivial), but the agent is given a failing schedule.
+        net = cycle_graph(5)
+        outcome = run_election(
+            net,
+            Placement.of([0, 1]),
+            lambda c, rng: GcdBlindCayleyAgent(c, rng=rng),
+            seed=3,
+        )
+        assert all(r.verdict is Verdict.AMBIGUOUS for r in outcome.reports)
+        assert outcome.failed  # aggregates as a non-election, loudly typed
+
+    def test_real_agent_never_reports_ambiguous_on_battery(self):
+        import itertools
+
+        from repro.core import run_cayley_elect
+        from repro.graphs import cycle_cayley
+
+        for n in (4, 5, 6):
+            net = cycle_cayley(n).network
+            for homes in itertools.combinations(range(n), 2):
+                outcome = run_cayley_elect(net, Placement.of(homes), seed=1)
+                assert all(
+                    r.verdict is not Verdict.AMBIGUOUS for r in outcome.reports
+                )

@@ -1,0 +1,180 @@
+"""Tests for protocol ELECT (Figure 3) end-to-end."""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core import (
+    Placement,
+    Verdict,
+    elect_prediction,
+    run_elect,
+)
+from repro.graphs import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.sim import default_scheduler_suite
+
+
+class TestSuccessCases:
+    @pytest.mark.parametrize(
+        "build,homes",
+        [
+            (lambda: cycle_graph(5), [0]),
+            (lambda: cycle_graph(5), [0, 1]),
+            (lambda: cycle_graph(7), [0, 1, 3]),
+            (lambda: path_graph(6), [0, 1]),
+            (lambda: path_graph(7), [0, 3, 6]),
+            (lambda: star_graph(5), [0, 1]),
+            (lambda: grid_graph(3, 3), [0, 4]),
+            (lambda: complete_bipartite_graph(2, 3), [0, 1, 2, 3, 4]),
+            (lambda: complete_graph(4), [0]),
+            (lambda: petersen_graph(), [0, 1, 2]),
+        ],
+    )
+    def test_elects_when_gcd_is_one(self, build, homes):
+        net = build()
+        placement = Placement.of(homes)
+        assert elect_prediction(net, placement).succeeds
+        outcome = run_elect(net, placement, seed=7)
+        assert outcome.elected
+        assert outcome.leader_color is not None
+        verdicts = sorted(r.verdict.value for r in outcome.reports)
+        assert verdicts.count("leader") == 1
+        assert verdicts.count("defeated") == len(homes) - 1
+
+    def test_all_agents_know_same_leader(self):
+        net = path_graph(7)
+        outcome = run_elect(net, Placement.of([0, 3, 6]), seed=1)
+        leaders = {r.leader_color for r in outcome.reports}
+        assert len(leaders) == 1
+
+
+class TestFailureCases:
+    @pytest.mark.parametrize(
+        "build,homes",
+        [
+            (lambda: complete_graph(2), [0, 1]),
+            (lambda: cycle_graph(4), [0, 2]),
+            (lambda: cycle_graph(6), [0, 3]),
+            (lambda: cycle_graph(6), [0, 2, 4]),
+            (lambda: petersen_graph(), [0, 1]),
+            (lambda: complete_graph(4), [0, 1, 2, 3]),
+        ],
+    )
+    def test_reports_failure_when_gcd_exceeds_one(self, build, homes):
+        net = build()
+        placement = Placement.of(homes)
+        assert not elect_prediction(net, placement).succeeds
+        outcome = run_elect(net, placement, seed=2)
+        assert outcome.failed
+        assert all(r.verdict is Verdict.FAILED for r in outcome.reports)
+
+
+class TestSchedulerRobustness:
+    @pytest.mark.parametrize(
+        "build,homes",
+        [
+            (lambda: cycle_graph(5), [0, 1]),
+            (lambda: complete_bipartite_graph(2, 3), [0, 1, 2, 3, 4]),
+            (lambda: path_graph(7), [0, 3, 6]),
+            (lambda: cycle_graph(6), [0, 3]),
+        ],
+    )
+    def test_outcome_invariant_across_schedulers(self, build, homes):
+        net = build()
+        placement = Placement.of(homes)
+        expected = elect_prediction(net, placement).succeeds
+        for scheduler in default_scheduler_suite(5):
+            outcome = run_elect(net, placement, scheduler=scheduler, seed=3)
+            assert outcome.elected == expected, repr(scheduler)
+
+    def test_outcome_invariant_across_seeds(self):
+        net = complete_bipartite_graph(3, 7)
+        placement = Placement.of(range(10))
+        for seed in range(4):
+            outcome = run_elect(net, placement, seed=seed)
+            assert outcome.elected
+
+
+class TestWakeupRobustness:
+    def test_single_initially_awake_agent_suffices(self):
+        net = cycle_graph(7)
+        placement = Placement.of([0, 1, 3])
+        outcome = run_elect(
+            net, placement, seed=4, initially_awake=[0]
+        )
+        assert outcome.elected
+
+    def test_last_agent_awake_variant(self):
+        net = path_graph(7)
+        placement = Placement.of([0, 3, 6])
+        outcome = run_elect(
+            net, placement, seed=4, initially_awake=[2]
+        )
+        assert outcome.elected
+
+
+class TestStructuralInvariance:
+    def test_outcome_invariant_under_node_renumbering(self):
+        net = cycle_graph(5)
+        perm = [3, 4, 0, 1, 2]
+        moved = net.with_nodes_permuted(perm)
+        out1 = run_elect(net, Placement.of([0, 1]), seed=6)
+        out2 = run_elect(moved, Placement.of([perm[0], perm[1]]), seed=6)
+        assert out1.elected == out2.elected
+
+    def test_outcome_invariant_under_port_relabeling(self):
+        import random as _r
+
+        from repro.graphs import relabeled_randomly
+
+        base = cycle_graph(6)
+        placement = Placement.of([0, 2])
+        expected = elect_prediction(base, placement).succeeds
+        for seed in range(3):
+            net = relabeled_randomly(base, rng=_r.Random(seed))
+            outcome = run_elect(net, placement, seed=seed)
+            assert outcome.elected == expected
+
+    def test_outcome_invariant_under_qualitative_relabeling(self):
+        import random as _r
+
+        from repro.graphs import relabeled_randomly
+
+        base = cycle_graph(6)
+        placement = Placement.of([0, 3])
+        for seed in range(3):
+            net = relabeled_randomly(base, rng=_r.Random(seed), qualitative=True)
+            outcome = run_elect(net, placement, seed=seed)
+            assert outcome.failed  # gcd=2 regardless of labeling
+
+
+class TestMoveComplexity:
+    def test_moves_bounded_by_constant_times_r_m(self):
+        cases = [
+            (cycle_graph(9), [0, 1]),
+            (path_graph(12), [0, 5, 11]),
+            (grid_graph(3, 4), [0, 5]),
+            (complete_bipartite_graph(2, 3), [0, 1, 2, 3, 4]),
+        ]
+        for net, homes in cases:
+            placement = Placement.of(homes)
+            outcome = run_elect(net, placement, seed=0)
+            bound = 40 * len(homes) * net.num_edges
+            assert outcome.total_moves <= bound
+            assert outcome.total_accesses <= bound
+
+    def test_failure_path_is_cheap(self):
+        # Failure is decided from the map alone: cost ~ map drawing.
+        net = cycle_graph(10)
+        outcome = run_elect(net, Placement.of([0, 5]), seed=0)
+        assert outcome.failed
+        assert outcome.total_moves <= 6 * net.num_edges

@@ -1,0 +1,120 @@
+"""Edge cases and failure injection for protocol ELECT."""
+
+import itertools
+
+import pytest
+
+from repro.core import Placement, Verdict, elect_prediction, run_elect
+from repro.errors import StepBudgetExceeded
+from repro.graphs import (
+    AnonymousNetwork,
+    binary_tree,
+    complete_graph,
+    cube_connected_cycles,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    wrapped_butterfly_cayley,
+)
+
+
+class TestDegenerateNetworks:
+    def test_single_node_network(self):
+        net = AnonymousNetwork(1, [], name="K_1")
+        outcome = run_elect(net, Placement.of([0]), seed=0)
+        assert outcome.elected
+        assert outcome.reports[0].verdict is Verdict.LEADER
+
+    def test_single_edge_one_agent(self):
+        net = complete_graph(2)
+        outcome = run_elect(net, Placement.of([0]), seed=0)
+        assert outcome.elected
+
+    def test_full_occupancy_star(self):
+        # Star with all nodes occupied: center agent is its own class.
+        net = star_graph(4)
+        outcome = run_elect(net, Placement.of(range(5)), seed=1)
+        assert outcome.elected
+        assert outcome.reports[0].verdict is Verdict.LEADER  # the center
+
+    def test_full_occupancy_cycle_fails(self):
+        net = cycle_graph(5)
+        outcome = run_elect(net, Placement.of(range(5)), seed=1)
+        assert outcome.failed
+
+    def test_tree_instances(self):
+        net = binary_tree(2)  # 7 nodes
+        outcome = run_elect(net, Placement.of([0, 1, 3]), seed=2)
+        pred = elect_prediction(net, Placement.of([0, 1, 3]))
+        assert outcome.elected == pred.succeeds
+
+
+class TestLargerCayleyFamilies:
+    def test_ccc3_three_agents(self):
+        net = cube_connected_cycles(3).network
+        placement = Placement.of([0, 1, 2])
+        assert elect_prediction(net, placement).succeeds
+        outcome = run_elect(net, placement, seed=3)
+        assert outcome.elected
+
+    def test_butterfly3_agents(self):
+        net = wrapped_butterfly_cayley(3).network
+        placement = Placement.of([0, 2, 7])
+        pred = elect_prediction(net, placement)
+        outcome = run_elect(net, placement, seed=3)
+        assert outcome.elected == pred.succeeds
+
+
+class TestRuntimeKnobs:
+    def test_port_shuffle_seed_does_not_change_verdict(self):
+        net = cycle_graph(7)
+        placement = Placement.of([0, 1, 3])
+        verdicts = set()
+        for port_seed in range(4):
+            outcome = run_elect(
+                net, placement, seed=1, port_shuffle_seed=port_seed
+            )
+            verdicts.add(outcome.elected)
+        assert verdicts == {True}
+
+    def test_insufficient_step_budget_raises(self):
+        net = cycle_graph(7)
+        with pytest.raises(StepBudgetExceeded):
+            run_elect(net, Placement.of([0, 1]), seed=0, max_steps=30)
+
+    def test_failure_detection_needs_no_budget_luck(self):
+        # Failure is map-local: even a small budget suffices.
+        net = cycle_graph(6)
+        outcome = run_elect(net, Placement.of([0, 3]), seed=0, max_steps=400)
+        assert outcome.failed
+
+
+class TestExhaustiveSmallSweeps:
+    """ELECT outcome == Theorem 3.1 prediction on ALL placements."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: cycle_graph(5),
+            lambda: cycle_graph(6),
+            lambda: path_graph(5),
+            lambda: star_graph(3),
+            lambda: complete_graph(4),
+        ],
+    )
+    def test_all_one_and_two_agent_placements(self, build):
+        net = build()
+        for r in (1, 2):
+            for homes in itertools.combinations(range(net.num_nodes), r):
+                placement = Placement.of(homes)
+                predicted = elect_prediction(net, placement).succeeds
+                outcome = run_elect(net, placement, seed=sum(homes))
+                assert outcome.elected == predicted, (net.name, homes)
+
+    def test_all_three_agent_placements_on_c6(self):
+        net = cycle_graph(6)
+        for homes in itertools.combinations(range(6), 3):
+            placement = Placement.of(homes)
+            predicted = elect_prediction(net, placement).succeeds
+            outcome = run_elect(net, placement, seed=sum(homes))
+            assert outcome.elected == predicted, homes

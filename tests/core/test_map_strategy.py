@@ -1,0 +1,60 @@
+"""ELECT must behave identically under either map-drawing strategy."""
+
+import pytest
+
+from repro.core import Placement, elect_prediction
+from repro.core.elect import ElectAgent
+from repro.core.runner import run_election
+from repro.errors import ProtocolError
+from repro.colors import ColorSpace
+from repro.graphs import complete_bipartite_graph, cycle_graph, petersen_graph
+
+
+def run_with_strategy(net, homes, strategy, seed=4):
+    return run_election(
+        net,
+        Placement.of(homes),
+        lambda c, rng: ElectAgent(c, rng=rng, map_strategy=strategy),
+        seed=seed,
+    )
+
+
+class TestMapStrategy:
+    @pytest.mark.parametrize(
+        "build,homes",
+        [
+            (lambda: cycle_graph(5), [0, 1]),
+            (lambda: cycle_graph(6), [0, 3]),
+            (lambda: complete_bipartite_graph(2, 3), [0, 1, 2, 3, 4]),
+            (lambda: petersen_graph(), [0, 1, 2]),
+        ],
+    )
+    def test_same_verdict_under_both_strategies(self, build, homes):
+        net = build()
+        expected = elect_prediction(net, Placement.of(homes)).succeeds
+        for strategy in ("dfs", "frontier"):
+            outcome = run_with_strategy(net, homes, strategy)
+            assert outcome.elected == expected, strategy
+
+    def test_frontier_usually_cheaper_on_cycles(self):
+        net = cycle_graph(9)
+        homes = [0, 1]
+        dfs = run_with_strategy(net, homes, "dfs")
+        frontier = run_with_strategy(net, homes, "frontier")
+        assert frontier.total_moves <= dfs.total_moves
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ProtocolError):
+            ElectAgent(ColorSpace().fresh(), map_strategy="teleport")
+
+    def test_cayley_variant_inherits_strategy(self):
+        from repro.core.cayley_elect import CayleyElectAgent
+
+        net = cycle_graph(5)
+        outcome = run_election(
+            net,
+            Placement.of([0, 1]),
+            lambda c, rng: CayleyElectAgent(c, rng=rng, map_strategy="frontier"),
+            seed=2,
+        )
+        assert outcome.elected

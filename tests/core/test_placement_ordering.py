@@ -1,0 +1,120 @@
+"""Tests for placements, class structures, and COMPUTE & ORDER."""
+
+import pytest
+
+from repro.core import Placement, all_placements, compute_class_structure
+from repro.errors import GraphError, PlacementError
+from repro.graphs import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestPlacement:
+    def test_basic(self):
+        p = Placement.of([0, 3, 5])
+        assert p.num_agents == 3
+        assert p.homes == (0, 3, 5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PlacementError):
+            Placement.of([0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            Placement.of([])
+
+    def test_bicoloring(self):
+        net = path_graph(4)
+        assert Placement.of([1, 3]).bicoloring(net) == [0, 1, 0, 1]
+
+    def test_bicoloring_out_of_range(self):
+        with pytest.raises(PlacementError):
+            Placement.of([9]).bicoloring(path_graph(4))
+
+    def test_fresh_colors_distinct(self):
+        colors = Placement.of([0, 1, 2]).fresh_colors()
+        assert len(set(colors)) == 3
+
+    def test_all_placements_counts(self):
+        net = path_graph(4)
+        assert len(all_placements(net, 1)) == 4
+        assert len(all_placements(net, 2)) == 6
+        assert len(all_placements(net, 4)) == 1
+
+    def test_all_placements_invalid_count(self):
+        with pytest.raises(PlacementError):
+            all_placements(path_graph(3), 4)
+
+
+class TestClassStructure:
+    def test_cycle_antipodal(self):
+        net = cycle_graph(6)
+        cs = compute_class_structure(net, Placement.of([0, 3]).bicoloring(net))
+        assert cs.num_agent_classes == 1
+        assert cs.sizes == (2, 4)
+        assert cs.gcd == 2
+
+    def test_cycle_adjacent(self):
+        net = cycle_graph(5)
+        cs = compute_class_structure(net, Placement.of([0, 1]).bicoloring(net))
+        assert cs.num_agent_classes == 1
+        assert sorted(cs.sizes) == [1, 2, 2]
+        assert cs.gcd == 1
+
+    def test_agent_classes_come_first(self):
+        net = complete_bipartite_graph(2, 3)
+        cs = compute_class_structure(net, [1] * 5)
+        assert cs.num_agent_classes == cs.num_classes == 2
+        assert set(map(len, cs.agent_classes)) == {2, 3}
+        assert cs.node_classes == ()
+
+    def test_mixed_agent_and_node_classes(self):
+        net = star_graph(4)
+        cs = compute_class_structure(net, [1, 0, 0, 0, 0])
+        assert cs.num_agent_classes == 1
+        assert cs.agent_classes == ((0,),)
+        assert cs.node_classes == ((1, 2, 3, 4),)
+
+    def test_class_of_node(self):
+        net = cycle_graph(6)
+        cs = compute_class_structure(net, Placement.of([0, 3]).bicoloring(net))
+        assert cs.class_of_node(0) == cs.class_of_node(3) == 0
+        assert cs.class_of_node(1) == 1
+        with pytest.raises(GraphError):
+            cs.class_of_node(99)
+
+    def test_petersen_figure5_structure(self):
+        net = petersen_graph()
+        cs = compute_class_structure(net, Placement.of([0, 1]).bicoloring(net))
+        assert cs.num_agent_classes == 1
+        assert cs.sizes[0] == 2
+        assert sorted(cs.sizes) == [2, 4, 4]
+        assert cs.gcd == 2
+
+    def test_gcd_single_class(self):
+        net = complete_graph(3)
+        cs = compute_class_structure(net, [1, 1, 1])
+        assert cs.sizes == (3,)
+        assert cs.gcd == 3
+
+    def test_structure_invariant_under_renumbering(self):
+        net = cycle_graph(6)
+        bicolor = Placement.of([0, 2]).bicoloring(net)
+        cs = compute_class_structure(net, bicolor)
+
+        perm = [5, 0, 1, 2, 3, 4]
+        moved = net.with_nodes_permuted(perm)
+        moved_bicolor = [0] * 6
+        for v in range(6):
+            moved_bicolor[perm[v]] = bicolor[v]
+        cs2 = compute_class_structure(moved, moved_bicolor)
+        assert cs.sizes == cs2.sizes
+        mapped = tuple(
+            tuple(sorted(perm[v] for v in cls)) for cls in cs.classes
+        )
+        assert mapped == tuple(tuple(sorted(c)) for c in cs2.classes)

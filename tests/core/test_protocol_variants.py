@@ -1,0 +1,176 @@
+"""Tests for the Cayley variant, the quantitative baseline, and Petersen."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Placement,
+    Verdict,
+    cayley_election_possible,
+    run_cayley_elect,
+    run_elect,
+    run_petersen_duel,
+    run_quantitative,
+)
+from repro.errors import ProtocolError
+from repro.graphs import (
+    circulant_cayley,
+    complete_cayley,
+    complete_graph,
+    cycle_cayley,
+    cycle_graph,
+    dihedral_cayley,
+    path_graph,
+    petersen_graph,
+)
+from repro.sim import RoundRobinScheduler, default_scheduler_suite
+
+
+class TestCayleyElect:
+    @pytest.mark.parametrize(
+        "cg_build",
+        [
+            lambda: cycle_cayley(4),
+            lambda: cycle_cayley(5),
+            lambda: cycle_cayley(6),
+            lambda: complete_cayley(4),
+        ],
+    )
+    def test_effectual_on_all_small_placements(self, cg_build):
+        cg = cg_build()
+        net = cg.network
+        for r in (1, 2):
+            for homes in itertools.combinations(range(net.num_nodes), r):
+                placement = Placement.of(homes)
+                possible = cayley_election_possible(net, placement)
+                outcome = run_cayley_elect(net, placement, seed=13)
+                assert outcome.elected == possible, homes
+                if not possible:
+                    assert all(
+                        rep.verdict is Verdict.FAILED for rep in outcome.reports
+                    )
+
+    def test_dihedral_cayley_sample(self):
+        cg = dihedral_cayley(3)
+        for homes in [(0,), (0, 1), (0, 3), (0, 1, 2)]:
+            placement = Placement.of(homes)
+            possible = cayley_election_possible(cg.network, placement)
+            outcome = run_cayley_elect(cg.network, placement, seed=2)
+            assert outcome.elected == possible
+
+    def test_circulant_sample(self):
+        cg = circulant_cayley(8, [1, 2])
+        for homes in [(0, 1), (0, 4), (0, 1, 3)]:
+            placement = Placement.of(homes)
+            possible = cayley_election_possible(cg.network, placement)
+            outcome = run_cayley_elect(cg.network, placement, seed=5)
+            assert outcome.elected == possible
+
+    def test_not_cayley_verdict_on_petersen(self):
+        outcome = run_cayley_elect(petersen_graph(), Placement.of([0, 1]), seed=1)
+        assert all(r.verdict is Verdict.NOT_CAYLEY for r in outcome.reports)
+        assert outcome.failed
+
+    def test_not_cayley_verdict_on_path(self):
+        outcome = run_cayley_elect(path_graph(5), Placement.of([0, 2]), seed=1)
+        assert all(r.verdict is Verdict.NOT_CAYLEY for r in outcome.reports)
+
+    def test_c4_adjacent_pair_fails(self):
+        # The multi-subgroup finding: Z4 alone would say "possible", but the
+        # Klein subgroup certifies impossibility; the protocol must fail.
+        net = cycle_cayley(4).network
+        outcome = run_cayley_elect(net, Placement.of([0, 1]), seed=3)
+        assert outcome.failed
+        assert all(r.verdict is Verdict.FAILED for r in outcome.reports)
+
+
+class TestQuantitative:
+    def test_max_label_wins(self):
+        net = cycle_graph(6)
+        outcome = run_quantitative(
+            net, Placement.of([0, 3]), labels=[4, 9], seed=0
+        )
+        assert outcome.elected
+        leader_report = next(
+            r for r in outcome.reports if r.verdict is Verdict.LEADER
+        )
+        assert outcome.reports.index(leader_report) == 1
+
+    def test_universal_on_qualitatively_impossible_instances(self):
+        cases = [
+            (complete_graph(2), [0, 1]),
+            (cycle_graph(6), [0, 3]),
+            (cycle_graph(4), [0, 2]),
+            (petersen_graph(), [0, 1]),
+        ]
+        for net, homes in cases:
+            qual = run_elect(net, Placement.of(homes), seed=1)
+            assert qual.failed or not qual.elected
+            quant = run_quantitative(net, Placement.of(homes), seed=1)
+            assert quant.elected
+
+    def test_all_agents_agree_on_winner(self):
+        net = petersen_graph()
+        outcome = run_quantitative(
+            net, Placement.of([0, 4, 8]), labels=[3, 1, 2], seed=2
+        )
+        assert outcome.elected
+        leaders = {r.leader_color for r in outcome.reports}
+        assert len(leaders) == 1
+
+    def test_duplicate_labels_detected(self):
+        net = cycle_graph(5)
+        with pytest.raises(ProtocolError):
+            run_quantitative(net, Placement.of([0, 2]), labels=[5, 5], seed=0)
+
+    def test_scheduler_robustness(self):
+        net = cycle_graph(6)
+        for sched in default_scheduler_suite(2):
+            outcome = run_quantitative(
+                net, Placement.of([0, 3]), labels=[1, 2], scheduler=sched
+            )
+            assert outcome.elected
+
+    def test_non_integer_label_rejected(self):
+        from repro.colors import ColorSpace
+        from repro.core.quantitative import QuantitativeAgent
+
+        with pytest.raises(ProtocolError):
+            QuantitativeAgent(ColorSpace().fresh(), label="big")
+
+
+class TestPetersenDuel:
+    def test_elects_on_every_edge(self):
+        net = petersen_graph()
+        for (u, _, v, _) in net.edges():
+            outcome = run_petersen_duel(net, Placement.of([u, v]), seed=u * 16 + v)
+            assert outcome.elected
+
+    def test_elect_fails_where_duel_succeeds(self):
+        net = petersen_graph()
+        placement = Placement.of([0, 1])
+        assert run_elect(net, placement, seed=0).failed
+        assert run_petersen_duel(net, placement, seed=0).elected
+
+    def test_scheduler_robustness(self):
+        net = petersen_graph()
+        for sched in default_scheduler_suite(4):
+            outcome = run_petersen_duel(
+                net, Placement.of([2, 3]), scheduler=sched, seed=9
+            )
+            assert outcome.elected
+
+    def test_rejects_non_adjacent_homes(self):
+        net = petersen_graph()
+        with pytest.raises(ProtocolError):
+            run_petersen_duel(net, Placement.of([0, 2]), seed=0)
+
+    def test_rejects_wrong_graph(self):
+        with pytest.raises(ProtocolError):
+            run_petersen_duel(cycle_graph(10), Placement.of([0, 1]), seed=0)
+
+    def test_rejects_wrong_agent_count(self):
+        net = petersen_graph()
+        with pytest.raises(ProtocolError):
+            run_petersen_duel(net, Placement.of([0, 1, 2]), seed=0)

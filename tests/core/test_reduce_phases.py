@@ -1,0 +1,150 @@
+"""Tests for the deterministic reduction schedules (Euclid tables)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    agent_reduce_rounds,
+    build_schedule,
+    euclid_pair_sequence,
+    node_reduce_rounds,
+)
+from repro.errors import ProtocolError
+
+
+class TestAgentReduceRounds:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(1, 1), (2, 3), (3, 2), (4, 6), (5, 5), (1, 7), (7, 1), (6, 10), (9, 6)],
+    )
+    def test_final_count_is_gcd(self, a, b):
+        rounds, final = agent_reduce_rounds(a, b)
+        assert final == math.gcd(a, b)
+
+    def test_equal_sizes_produce_no_rounds(self):
+        rounds, final = agent_reduce_rounds(4, 4)
+        assert rounds == [] and final == 4
+
+    def test_round_sizes_follow_subtractive_euclid(self):
+        rounds, final = agent_reduce_rounds(3, 8)
+        # (3,8) -> W-P=5 >= 3: no swap -> (3,5) -> W-P=2 < 3: swap ->
+        # (2,3) -> W-P=1 < 2: swap -> (1,2) -> W-P=1 >= 1: no swap -> (1,1)
+        sizes = [(r.searchers, r.waiters, r.swap) for r in rounds]
+        assert sizes == [
+            (3, 8, False),
+            (3, 5, True),
+            (2, 3, True),
+            (1, 2, False),
+        ]
+        assert final == 1
+
+    def test_searchers_never_exceed_waiters(self):
+        for a in range(1, 12):
+            for b in range(1, 12):
+                rounds, _ = agent_reduce_rounds(a, b)
+                assert all(r.searchers <= r.waiters for r in rounds)
+
+    def test_euclid_pair_sequence_matches_paper_claim(self):
+        # Theorem 3.1: the (|S|,|W|) sequence is Euclid's algorithm on the
+        # pair.  Check against the classical recursion.
+        pairs = euclid_pair_sequence(6, 10)
+        assert pairs[0] == (6, 10)
+        assert pairs[-1] == (2, 2)
+        for (s1, w1), (s2, w2) in zip(pairs, pairs[1:]):
+            assert math.gcd(s1, w1) == math.gcd(s2, w2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ProtocolError):
+            agent_reduce_rounds(0, 3)
+
+
+class TestNodeReduceRounds:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(1, 1), (2, 1), (1, 2), (2, 3), (6, 4), (4, 6), (5, 10), (10, 5), (9, 12)],
+    )
+    def test_final_count_is_gcd(self, a, b):
+        rounds, final = node_reduce_rounds(a, b)
+        assert final == math.gcd(a, b)
+
+    def test_positive_remainder_convention(self):
+        # 6 agents, 3 nodes: 6 = 1*3 + 3 (NOT 2*3 + 0): q=1, rho=3.
+        rounds, final = node_reduce_rounds(6, 3)
+        assert rounds[0].case == 1
+        assert rounds[0].q == 1 and rounds[0].rho == 3
+        assert final == 3
+
+    def test_cases_alternate(self):
+        rounds, _ = node_reduce_rounds(10, 7)
+        cases = [r.case for r in rounds]
+        for c1, c2 in zip(cases, cases[1:]):
+            assert c1 != c2
+
+    def test_case2_node_shrinkage(self):
+        rounds, final = node_reduce_rounds(2, 7)
+        # 7 = 3*2 + 1: each agent takes 3 nodes, 1 node remains.
+        assert rounds[0].case == 2
+        assert rounds[0].q == 3 and rounds[0].rho == 1
+        # then (2,1): case 1
+        assert rounds[1].case == 1
+        assert final == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ProtocolError):
+            node_reduce_rounds(3, 0)
+
+
+class TestSchedule:
+    def test_schedule_runs_through_all_classes(self):
+        s = build_schedule([4, 6, 3], 3)
+        assert [p.kind for p in s.phases] == ["agent", "agent"]
+        assert [p.outgoing for p in s.phases] == [2, 1]
+        assert s.final_count == 1
+        assert s.succeeds
+
+    def test_schedule_stops_at_one(self):
+        s = build_schedule([2, 3, 4, 5], 4)
+        assert len(s.phases) == 1  # gcd(2,3)=1 already
+        assert s.succeeds
+
+    def test_schedule_mixed_stages(self):
+        # 1 agent class of 2, node classes 4 and 3.
+        s = build_schedule([2, 4, 3], 1)
+        assert [p.kind for p in s.phases] == ["node", "node"]
+        assert s.final_count == 1
+
+    def test_failing_schedule(self):
+        s = build_schedule([2, 4, 6], 1)
+        assert not s.succeeds
+        assert s.final_count == 2
+
+    def test_single_agent(self):
+        s = build_schedule([1, 5], 1)
+        assert s.phases == ()
+        assert s.succeeds
+
+    def test_phase_for_agent_class(self):
+        s = build_schedule([4, 6, 3], 3)
+        assert s.phase_for_agent_class(1) == 1
+        assert s.phase_for_agent_class(2) == 2
+        assert s.phase_for_agent_class(0) == -1  # class 0 never "joins"
+
+    def test_phase_for_unreached_class(self):
+        s = build_schedule([2, 3, 4, 5], 4)
+        assert s.phase_for_agent_class(2) == -1
+
+    def test_invariant_running_gcd(self):
+        # After phase i, |D| = gcd of the first i+1 sizes (Theorem 3.1).
+        sizes = [6, 10, 15, 7]
+        s = build_schedule(sizes, 4)
+        running = sizes[0]
+        for spec in s.phases:
+            running = math.gcd(running, sizes[spec.class_index])
+            assert spec.outgoing == running
+
+    def test_invalid_agent_class_count(self):
+        with pytest.raises(ProtocolError):
+            build_schedule([2, 3], 0)
+        with pytest.raises(ProtocolError):
+            build_schedule([2, 3], 5)

@@ -1,0 +1,90 @@
+"""Tests for election outcome aggregation and validation."""
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core import AgentReport, Verdict, aggregate
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def colors():
+    return ColorSpace().fresh_many(3)
+
+
+def make_outcome(reports):
+    return aggregate(reports, total_moves=10, total_accesses=5, steps=20)
+
+
+class TestAgentReport:
+    def test_leader_requires_color(self):
+        with pytest.raises(ProtocolError):
+            AgentReport(verdict=Verdict.LEADER)
+
+    def test_defeated_requires_color(self):
+        with pytest.raises(ProtocolError):
+            AgentReport(verdict=Verdict.DEFEATED)
+
+    def test_failed_needs_no_color(self):
+        AgentReport(verdict=Verdict.FAILED)
+
+
+class TestAggregation:
+    def test_valid_election(self, colors):
+        outcome = make_outcome(
+            [
+                AgentReport(Verdict.LEADER, colors[0]),
+                AgentReport(Verdict.DEFEATED, colors[0]),
+            ]
+        )
+        assert outcome.elected
+        assert outcome.leader_color == colors[0]
+        assert not outcome.failed
+
+    def test_valid_failure(self):
+        outcome = make_outcome(
+            [AgentReport(Verdict.FAILED), AgentReport(Verdict.FAILED)]
+        )
+        assert outcome.failed and not outcome.elected
+        assert outcome.leader_color is None
+
+    def test_two_leaders_rejected(self, colors):
+        with pytest.raises(ProtocolError):
+            make_outcome(
+                [
+                    AgentReport(Verdict.LEADER, colors[0]),
+                    AgentReport(Verdict.LEADER, colors[1]),
+                ]
+            )
+
+    def test_disagreeing_defeated_rejected(self, colors):
+        with pytest.raises(ProtocolError):
+            make_outcome(
+                [
+                    AgentReport(Verdict.LEADER, colors[0]),
+                    AgentReport(Verdict.DEFEATED, colors[1]),
+                ]
+            )
+
+    def test_mixed_leader_and_failed_rejected(self, colors):
+        with pytest.raises(ProtocolError):
+            make_outcome(
+                [
+                    AgentReport(Verdict.LEADER, colors[0]),
+                    AgentReport(Verdict.FAILED),
+                ]
+            )
+
+    def test_defeated_without_leader_rejected(self, colors):
+        with pytest.raises(ProtocolError):
+            make_outcome([AgentReport(Verdict.DEFEATED, colors[0])])
+
+    def test_not_cayley_counts_as_failure(self):
+        outcome = make_outcome([AgentReport(Verdict.NOT_CAYLEY)])
+        assert outcome.failed
+
+    def test_metrics_preserved(self, colors):
+        outcome = make_outcome([AgentReport(Verdict.LEADER, colors[0])])
+        assert outcome.total_moves == 10
+        assert outcome.total_accesses == 5
+        assert outcome.steps == 20

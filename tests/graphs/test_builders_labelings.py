@@ -1,0 +1,172 @@
+"""Tests for standard builders and port-labeling strategies."""
+
+import random
+
+import pytest
+
+from repro.colors import Color
+from repro.errors import GraphError
+from repro.graphs import (
+    AnonymousNetwork,
+    apply_global_symbol_renaming,
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    figure2a_quantitative_path,
+    figure2b_qualitative_path,
+    figure2c_view_counterexample,
+    fresh_symbol_labeling,
+    from_networkx,
+    grid_graph,
+    integer_labeling,
+    is_qualitative,
+    is_quantitative,
+    path_graph,
+    petersen_graph,
+    qualitative_labeling,
+    random_connected_graph,
+    random_integer_labeling,
+    relabeled_randomly,
+    star_graph,
+)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "build,n,m",
+        [
+            (lambda: path_graph(5), 5, 4),
+            (lambda: cycle_graph(6), 6, 6),
+            (lambda: complete_graph(5), 5, 10),
+            (lambda: star_graph(4), 5, 4),
+            (lambda: complete_bipartite_graph(2, 3), 5, 6),
+            (lambda: grid_graph(3, 4), 12, 17),
+            (lambda: petersen_graph(), 10, 15),
+            (lambda: binary_tree(2), 7, 6),
+        ],
+    )
+    def test_sizes(self, build, n, m):
+        net = build()
+        assert net.num_nodes == n
+        assert net.num_edges == m
+        assert net.is_simple
+
+    def test_petersen_is_cubic(self):
+        assert petersen_graph().degree_sequence() == (3,) * 10
+
+    def test_petersen_girth_five(self):
+        import networkx as nx
+
+        g = petersen_graph().to_networkx()
+        assert len(nx.minimum_cycle_basis(g)[0]) == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            path_graph(1)
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+        with pytest.raises(GraphError):
+            complete_graph(1)
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            net = random_connected_graph(10, 0.3, rng=random.Random(seed))
+            assert net.num_nodes == 10
+            assert max(net.distances_from(0)) >= 0  # BFS reaches all
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        net = from_networkx(nx.cycle_graph(7))
+        assert net.num_nodes == 7
+        assert net.num_edges == 7
+
+
+class TestFigure2Fixtures:
+    def test_fig2a_exact_labels(self):
+        net = figure2a_quantitative_path()
+        assert net.port_label(0, 1) == 1
+        assert net.port_label(1, 0) == 1
+        assert net.port_label(1, 2) == 2
+        assert net.port_label(2, 1) == 1
+
+    def test_fig2b_symbols(self):
+        net, (star, circ, bullet) = figure2b_qualitative_path()
+        assert net.port_label(0, 1) == star
+        assert net.port_label(1, 0) == circ
+        assert net.port_label(1, 2) == bullet
+        assert net.port_label(2, 1) == star
+
+    def test_fig2c_is_a_multigraph_with_loop(self):
+        net = figure2c_view_counterexample()
+        assert not net.is_simple
+        assert net.num_nodes == 3
+        assert net.num_edges == 6
+        assert all(net.degree(v) == 4 for v in net.nodes())
+
+
+class TestLabelings:
+    def pairs(self):
+        return 5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]
+
+    def test_integer_labeling_ranges(self):
+        n, pairs = self.pairs()
+        net = integer_labeling(n, pairs)
+        for v in net.nodes():
+            assert sorted(net.ports(v)) == list(range(1, net.degree(v) + 1))
+        assert is_quantitative(net)
+
+    def test_random_integer_labeling_ranges(self):
+        n, pairs = self.pairs()
+        net = random_integer_labeling(n, pairs, rng=random.Random(3))
+        for v in net.nodes():
+            assert sorted(net.ports(v)) == list(range(1, net.degree(v) + 1))
+
+    def test_qualitative_labeling_distinct_per_node(self):
+        n, pairs = self.pairs()
+        net = qualitative_labeling(n, pairs, rng=random.Random(1))
+        for v in net.nodes():
+            ports = net.ports(v)
+            assert len(set(ports)) == len(ports)
+            assert all(isinstance(p, Color) for p in ports)
+        assert is_qualitative(net)
+
+    def test_qualitative_pool_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            qualitative_labeling(4, [(0, 1), (0, 2), (0, 3)], pool_size=2)
+
+    def test_fresh_symbol_labeling_all_distinct(self):
+        n, pairs = self.pairs()
+        net = fresh_symbol_labeling(n, pairs)
+        seen = set()
+        for (u, pu, v, pv) in net.edges():
+            assert pu not in seen and pv not in seen
+            seen.update((pu, pv))
+
+    def test_relabeled_randomly_preserves_label_multiset(self):
+        net = cycle_graph(6)
+        new = relabeled_randomly(net, rng=random.Random(9))
+        for v in net.nodes():
+            assert sorted(net.ports(v)) == sorted(new.ports(v))
+
+    def test_relabeled_randomly_qualitative(self):
+        net = cycle_graph(6)
+        new = relabeled_randomly(net, rng=random.Random(9), qualitative=True)
+        assert is_qualitative(new)
+
+    def test_global_symbol_renaming_roundtrip(self):
+        n, pairs = self.pairs()
+        net = qualitative_labeling(n, pairs, rng=random.Random(2))
+        renamed, renaming = apply_global_symbol_renaming(net)
+        # Structure preserved: traversal through renamed ports agrees.
+        for (u, pu, v, pv) in net.edges():
+            assert renamed.traverse(u, renaming[pu]) == (v, renaming[pv])
+
+    def test_global_renaming_must_cover_all_symbols(self):
+        n, pairs = self.pairs()
+        net = qualitative_labeling(n, pairs, rng=random.Random(2))
+        with pytest.raises(GraphError):
+            apply_global_symbol_renaming(net, renaming={})

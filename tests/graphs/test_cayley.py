@@ -1,0 +1,146 @@
+"""Tests for Cayley-graph construction and translations."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.groups import CyclicGroup
+from repro.graphs import (
+    CayleyGraph,
+    bubble_sort_cayley,
+    circulant_cayley,
+    complete_cayley,
+    cycle_cayley,
+    dihedral_cayley,
+    hypercube_cayley,
+    pancake_cayley,
+    product_cayley,
+    star_graph_cayley,
+    torus_cayley,
+)
+from repro.graphs.automorphisms import label_preserving_automorphisms
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "build,n,degree",
+        [
+            (lambda: cycle_cayley(6), 6, 2),
+            (lambda: hypercube_cayley(3), 8, 3),
+            (lambda: hypercube_cayley(4), 16, 4),
+            (lambda: torus_cayley([3, 4]), 12, 4),
+            (lambda: complete_cayley(5), 5, 4),
+            (lambda: circulant_cayley(8, [1, 2]), 8, 4),
+            (lambda: dihedral_cayley(4), 8, 3),
+            (lambda: star_graph_cayley(4), 24, 3),
+            (lambda: bubble_sort_cayley(4), 24, 3),
+            (lambda: pancake_cayley(4), 24, 3),
+        ],
+    )
+    def test_structure(self, build, n, degree):
+        cg = build()
+        net = cg.network
+        assert net.num_nodes == n
+        assert net.is_regular()
+        assert net.degree(0) == degree
+        assert net.is_simple
+
+    def test_cycle_cayley_is_a_cycle(self):
+        net = cycle_cayley(7).network
+        assert net.num_edges == 7
+        assert net.diameter() == 3
+
+    def test_hypercube_diameter(self):
+        assert hypercube_cayley(4).network.diameter() == 4
+
+    def test_product_of_cycles_is_torus(self):
+        prod = product_cayley(cycle_cayley(3), cycle_cayley(4))
+        torus = torus_cayley([3, 4])
+        assert prod.network.num_nodes == torus.network.num_nodes
+        assert prod.network.num_edges == torus.network.num_edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GroupError):
+            cycle_cayley(2)
+        with pytest.raises(GroupError):
+            hypercube_cayley(0)
+        with pytest.raises(GroupError):
+            complete_cayley(1)
+
+    def test_circulant_requires_generating_steps(self):
+        with pytest.raises(GroupError):
+            circulant_cayley(8, [2])  # gcd(8,2)=2: disconnected
+
+
+class TestNaturalLabeling:
+    def test_ports_are_generators(self):
+        cg = cycle_cayley(5)
+        net = cg.network
+        for v in net.nodes():
+            assert sorted(net.ports(v)) == [1, 4]
+
+    def test_edge_end_labels_are_mutually_inverse(self):
+        cg = dihedral_cayley(4)
+        g = cg.group
+        for (u, pu, v, pv) in cg.network.edges():
+            assert g.inverse(pu) == pv
+
+    def test_traverse_follows_right_multiplication(self):
+        cg = cycle_cayley(6)
+        for a in range(6):
+            node = cg.node_of(a)
+            dest, _ = cg.network.traverse(node, 1)
+            assert cg.element_of(dest) == (a + 1) % 6
+
+    def test_node_element_roundtrip(self):
+        cg = hypercube_cayley(3)
+        for node in cg.network.nodes():
+            assert cg.node_of(cg.element_of(node)) == node
+
+    def test_node_of_invalid_element(self):
+        with pytest.raises(GroupError):
+            cycle_cayley(5).node_of(99)
+
+
+class TestTranslations:
+    def test_translations_count_and_identity(self):
+        cg = cycle_cayley(6)
+        ts = cg.translations()
+        assert len(ts) == 6
+        assert tuple(range(6)) in ts
+
+    def test_translations_preserve_natural_labeling(self):
+        # Left translations are exactly the label-preserving automorphisms
+        # of the naturally-labeled Cayley graph.
+        for cg in (cycle_cayley(6), hypercube_cayley(3), dihedral_cayley(3)):
+            autos = label_preserving_automorphisms(cg.network)
+            assert sorted(autos) == sorted(map(tuple, cg.translations()))
+
+    def test_translation_of_single_element(self):
+        cg = cycle_cayley(5)
+        t = cg.translation_of(2)
+        assert t == tuple((2 + a) % 5 for a in range(5))
+
+    def test_translations_act_freely(self):
+        cg = dihedral_cayley(4)
+        for t in cg.translations():
+            if t != tuple(range(8)):
+                assert all(t[i] != i for i in range(8))
+
+
+class TestRelabeling:
+    def test_qualitative_network_keeps_structure(self):
+        import random
+
+        cg = cycle_cayley(6)
+        qual = cg.qualitative_network(rng=random.Random(0))
+        assert qual.num_nodes == 6
+        assert qual.num_edges == 6
+        assert qual.is_regular()
+
+    def test_relabeled_with_strategy(self):
+        from repro.graphs import integer_labeling
+
+        cg = hypercube_cayley(3)
+        net = cg.relabeled(integer_labeling)
+        for v in net.nodes():
+            assert sorted(net.ports(v)) == [1, 2, 3]

@@ -1,0 +1,77 @@
+"""Tests for generalized Petersen graphs and recognition across the family."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import is_cayley_graph, is_vertex_transitive, petersen_graph
+from repro.graphs.builders import generalized_petersen_graph
+from repro.graphs.canonical import Digraph, canonical_key
+
+
+def undirected_key(network):
+    arcs = []
+    for (u, _, v, _) in network.edges():
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return canonical_key(Digraph.build(network.num_nodes, arcs))
+
+
+class TestGeneralizedPetersen:
+    def test_gp52_is_the_petersen_graph(self):
+        gp = generalized_petersen_graph(5, 2)
+        assert undirected_key(gp) == undirected_key(petersen_graph())
+
+    def test_gp41_is_the_cube(self):
+        from repro.graphs import hypercube_cayley
+
+        gp = generalized_petersen_graph(4, 1)
+        assert undirected_key(gp) == undirected_key(hypercube_cayley(3).network)
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (5, 1), (6, 1), (7, 2), (8, 3)])
+    def test_structure(self, n, k):
+        gp = generalized_petersen_graph(n, k)
+        assert gp.num_nodes == 2 * n
+        assert gp.num_edges == 3 * n
+        assert gp.is_regular() and gp.degree(0) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            generalized_petersen_graph(5, 3)  # k >= n/2
+        with pytest.raises(GraphError):
+            generalized_petersen_graph(2, 1)
+
+    def test_recognition_across_the_family(self):
+        # GP(4,1) (cube): Cayley.  GP(5,2) (Petersen): vertex-transitive,
+        # not Cayley.  GP(5,1) (pentagonal prism): Cayley (ℤ5 × ℤ2 —
+        # circulant C10(2,5)).  GP(7,2): not vertex-transitive.
+        cube = generalized_petersen_graph(4, 1)
+        assert is_vertex_transitive(cube) and is_cayley_graph(cube)
+
+        petersen = generalized_petersen_graph(5, 2)
+        assert is_vertex_transitive(petersen) and not is_cayley_graph(petersen)
+
+        prism = generalized_petersen_graph(5, 1)
+        assert is_vertex_transitive(prism) and is_cayley_graph(prism)
+
+    def test_gp72_not_vertex_transitive(self):
+        gp = generalized_petersen_graph(7, 2)
+        assert not is_vertex_transitive(gp)
+
+    def test_elect_on_prism(self):
+        from repro.core import Placement, elect_prediction, run_elect
+
+        prism = generalized_petersen_graph(5, 1)
+        placement = Placement.of([0, 1])
+        predicted = elect_prediction(prism, placement).succeeds
+        outcome = run_elect(prism, placement, seed=4)
+        assert outcome.elected == predicted
+
+    def test_classify_across_family(self):
+        from repro.core import Feasibility, Placement, classify
+
+        # Petersen instance: UNKNOWN (the paper's open-problem cell).
+        verdict = classify(generalized_petersen_graph(5, 2), Placement.of([0, 1]))
+        assert verdict.verdict is Feasibility.UNKNOWN
+        # Asymmetric instance on GP(7,2): decidable by gcd.
+        verdict = classify(generalized_petersen_graph(7, 2), Placement.of([0]))
+        assert verdict.verdict is Feasibility.POSSIBLE

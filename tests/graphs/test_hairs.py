@@ -1,0 +1,136 @@
+"""Tests for the literal Lemma 3.1 hair-extension ordering."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.canonical import Digraph, canonical_key
+from repro.graphs.hairs import (
+    hair_extension,
+    max_hair_length,
+    paper_order_key,
+    undirected_shadow,
+)
+
+
+def path_digraph(n, colors=None):
+    arcs = []
+    for i in range(n - 1):
+        arcs.append((i, i + 1))
+        arcs.append((i + 1, i))
+    return Digraph.build(n, arcs, colors or [0] * n)
+
+
+def cycle_digraph(n, colors=None):
+    arcs = []
+    for i in range(n):
+        arcs.append((i, (i + 1) % n))
+        arcs.append(((i + 1) % n, i))
+    return Digraph.build(n, arcs, colors or [0] * n)
+
+
+class TestHairs:
+    def test_path_is_one_big_hair(self):
+        g = path_digraph(5)
+        assert max_hair_length(g) == 4
+
+    def test_cycle_has_no_hairs(self):
+        assert max_hair_length(cycle_digraph(6)) == 0
+
+    def test_lollipop_hair(self):
+        # Triangle with a pendant path of length 2 hanging off node 0.
+        g = cycle_digraph(3)
+        arcs = [(u, v) for u in range(3) for v in g.out_edges[u]]
+        arcs += [(0, 3), (3, 0), (3, 4), (4, 3)]
+        lolly = Digraph.build(5, arcs)
+        assert max_hair_length(lolly) == 2
+
+    def test_shadow_of_one_way_arcs(self):
+        g = Digraph.build(3, [(0, 1), (1, 2)])
+        adj = undirected_shadow(g)
+        assert adj == [{1}, {0, 2}, {1}]
+
+
+class TestHairExtension:
+    def test_black_nodes_get_pendant_paths(self):
+        g = cycle_digraph(4, colors=[1, 0, 1, 0])
+        ext = hair_extension(g)
+        # k = 0, so each black node gains a path of length 1: 2 new nodes.
+        assert ext.num_nodes == 6
+        assert set(ext.colors) == {0}
+
+    def test_extension_hair_longer_than_existing(self):
+        g = path_digraph(4, colors=[1, 0, 0, 0])
+        k = max_hair_length(g)
+        ext = hair_extension(g)
+        assert max_hair_length(ext) >= k + 1
+
+    def test_rejects_non_bicolored(self):
+        g = path_digraph(3, colors=[0, 2, 0])
+        with pytest.raises(GraphError):
+            hair_extension(g)
+
+    def test_extension_preserves_isomorphism(self):
+        g = cycle_digraph(5, colors=[1, 0, 0, 1, 0])
+        perm = [2, 3, 4, 0, 1]
+        h = g.relabeled(perm)
+        assert canonical_key(hair_extension(g)) == canonical_key(
+            hair_extension(h)
+        )
+
+    def test_extension_separates_different_colorings(self):
+        g1 = cycle_digraph(6, colors=[1, 0, 0, 1, 0, 0])  # antipodal
+        g2 = cycle_digraph(6, colors=[1, 1, 0, 0, 0, 0])  # adjacent
+        assert canonical_key(hair_extension(g1)) != canonical_key(
+            hair_extension(g2)
+        )
+
+    def test_extension_separates_black_count(self):
+        g1 = cycle_digraph(4, colors=[1, 0, 0, 0])
+        g2 = cycle_digraph(4, colors=[1, 0, 1, 0])
+        assert canonical_key(hair_extension(g1)) != canonical_key(
+            hair_extension(g2)
+        )
+
+
+class TestPaperOrderKey:
+    def test_total_order_on_iso_classes(self):
+        rng = random.Random(0)
+        digraphs = []
+        for trial in range(8):
+            n = rng.randint(3, 6)
+            arcs = []
+            for i in range(n - 1):  # random tree shadow
+                j = rng.randrange(i + 1)
+                arcs += [(i + 1, j), (j, i + 1)]
+            colors = [rng.randint(0, 1) for _ in range(n)]
+            digraphs.append(Digraph.build(n, arcs, colors))
+        for g in digraphs:
+            perm = list(range(g.num_nodes))
+            rng.shuffle(perm)
+            assert paper_order_key(g) == paper_order_key(g.relabeled(perm))
+
+    def test_agrees_with_native_order_on_iso_decision(self):
+        # Both orders must induce the same equality (isomorphism) relation.
+        rng = random.Random(3)
+        pool = []
+        for trial in range(6):
+            n = rng.randint(3, 5)
+            arcs = []
+            for i in range(n - 1):
+                j = rng.randrange(i + 1)
+                arcs += [(i + 1, j), (j, i + 1)]
+            colors = [rng.randint(0, 1) for _ in range(n)]
+            pool.append(Digraph.build(n, arcs, colors))
+        for a in pool:
+            for b in pool:
+                native = canonical_key(a) == canonical_key(b)
+                paper = paper_order_key(a) == paper_order_key(b)
+                assert native == paper
+
+    def test_key_components(self):
+        g = path_digraph(4, colors=[1, 0, 0, 0])
+        n, hair, key = paper_order_key(g)
+        assert n == 4
+        assert hair == 3

@@ -1,0 +1,160 @@
+"""Tests for AnonymousNetwork (port-labeled anonymous graphs)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import AnonymousNetwork, cycle_graph, path_graph
+from repro.graphs.network import validate_isomorphic_port_structure
+
+
+def tiny_path():
+    return AnonymousNetwork(3, [(0, 1, 1, 1), (1, 2, 2, 1)], name="P3")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = tiny_path()
+        assert net.num_nodes == 3
+        assert net.num_edges == 2
+        assert net.is_simple
+        assert net.name == "P3"
+
+    def test_degrees(self):
+        net = tiny_path()
+        assert [net.degree(v) for v in net.nodes()] == [1, 2, 1]
+
+    def test_duplicate_port_rejected(self):
+        with pytest.raises(GraphError):
+            AnonymousNetwork(3, [(0, 1, 1, 1), (0, 1, 2, 2)])
+
+    def test_disconnected_rejected_by_default(self):
+        with pytest.raises(GraphError):
+            AnonymousNetwork(4, [(0, 1, 1, 1), (2, 1, 3, 1)])
+
+    def test_disconnected_allowed_when_requested(self):
+        net = AnonymousNetwork(
+            4, [(0, 1, 1, 1), (2, 1, 3, 1)], require_connected=False
+        )
+        assert net.num_nodes == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            AnonymousNetwork(0, [])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(GraphError):
+            AnonymousNetwork(2, [(0, 1, 5, 1)])
+
+    def test_loop_needs_two_distinct_ports(self):
+        with pytest.raises(GraphError):
+            AnonymousNetwork(1, [(0, 1, 0, 1)])
+
+    def test_loop_with_distinct_ports_ok(self):
+        net = AnonymousNetwork(1, [(0, 1, 0, 2)])
+        assert not net.is_simple
+        assert net.degree(0) == 2
+
+    def test_parallel_edges_supported(self):
+        net = AnonymousNetwork(2, [(0, 1, 1, 1), (0, 2, 1, 2)])
+        assert not net.is_simple
+        assert net.num_edges == 2
+
+
+class TestTraversal:
+    def test_traverse_both_directions(self):
+        net = tiny_path()
+        assert net.traverse(0, 1) == (1, 1)
+        assert net.traverse(1, 1) == (0, 1)
+        assert net.traverse(1, 2) == (2, 1)
+
+    def test_traverse_missing_port_raises(self):
+        with pytest.raises(GraphError):
+            tiny_path().traverse(0, 99)
+
+    def test_loop_traversal(self):
+        net = AnonymousNetwork(1, [(0, "a", 0, "b")])
+        assert net.traverse(0, "a") == (0, "b")
+        assert net.traverse(0, "b") == (0, "a")
+
+    def test_neighbors(self):
+        net = cycle_graph(5)
+        assert net.neighbors(0) == [1, 4]
+
+    def test_port_label_lookup(self):
+        net = tiny_path()
+        assert net.port_label(1, 2) == 2
+        assert net.port_label(2, 1) == 1
+        with pytest.raises(GraphError):
+            net.port_label(0, 2)
+
+
+class TestGraphQueries:
+    def test_distances(self):
+        net = path_graph(5)
+        assert net.distances_from(0) == [0, 1, 2, 3, 4]
+
+    def test_diameter(self):
+        assert cycle_graph(6).diameter() == 3
+        assert path_graph(4).diameter() == 3
+
+    def test_is_regular(self):
+        assert cycle_graph(5).is_regular()
+        assert not path_graph(5).is_regular()
+
+    def test_degree_sequence(self):
+        assert path_graph(4).degree_sequence() == (1, 1, 2, 2)
+
+    def test_adjacency_sets(self):
+        net = tiny_path()
+        assert net.adjacency_sets() == [{1}, {0, 2}, {1}]
+
+
+class TestTransformations:
+    def test_with_nodes_permuted_preserves_structure(self):
+        net = cycle_graph(5)
+        perm = [2, 3, 4, 0, 1]
+        moved = net.with_nodes_permuted(perm)
+        assert moved.num_edges == net.num_edges
+        assert moved.degree_sequence() == net.degree_sequence()
+        # The inverse mapping is a port-preserving isomorphism back.
+        inverse = {perm[i]: i for i in range(5)}
+        assert validate_isomorphic_port_structure(moved, net, inverse)
+
+    def test_with_nodes_permuted_validates_bijection(self):
+        with pytest.raises(GraphError):
+            cycle_graph(4).with_nodes_permuted([0, 0, 1, 2])
+
+    def test_with_ports_relabeled(self):
+        net = tiny_path()
+        new = net.with_ports_relabeled({1: {1: "a", 2: "b"}})
+        assert new.traverse(1, "a") == (0, 1)
+        assert new.traverse(1, "b") == (2, 1)
+
+    def test_relabel_collision_rejected(self):
+        net = tiny_path()
+        with pytest.raises(GraphError):
+            net.with_ports_relabeled({1: {1: 2}})  # collides with existing 2
+
+    def test_to_networkx(self):
+        g = cycle_graph(5).to_networkx()
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 5
+
+    def test_to_networkx_rejects_multigraph(self):
+        net = AnonymousNetwork(2, [(0, 1, 1, 1), (0, 2, 1, 2)])
+        with pytest.raises(GraphError):
+            net.to_networkx()
+
+
+class TestIsomorphismValidator:
+    def test_identity_is_isomorphism(self):
+        net = cycle_graph(4)
+        assert validate_isomorphic_port_structure(
+            net, net, {v: v for v in net.nodes()}
+        )
+
+    def test_wrong_map_rejected(self):
+        net = cycle_graph(4)
+        assert not validate_isomorphic_port_structure(
+            net, net, {0: 1, 1: 0, 2: 2, 3: 3}
+        )

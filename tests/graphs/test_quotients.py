@@ -1,0 +1,97 @@
+"""Tests for the Yamashita–Kameda view quotient (minimum base)."""
+
+import random
+
+import pytest
+
+from repro.core import Placement
+from repro.colors import ColorSpace
+from repro.errors import GraphError
+from repro.graphs import (
+    AnonymousNetwork,
+    cycle_cayley,
+    cycle_graph,
+    figure2c_view_counterexample,
+    hypercube_cayley,
+    path_graph,
+    petersen_graph,
+    relabeled_randomly,
+    symmetricity_of_labeling,
+)
+from repro.graphs.views import QuotientStructure, view_quotient
+
+
+class TestQuotientBasics:
+    def test_cayley_natural_labeling_collapses_to_one_node(self):
+        for cg in (cycle_cayley(6), hypercube_cayley(3)):
+            q = view_quotient(cg.network)
+            assert q.num_classes == 1
+            assert q.fiber_size == cg.network.num_nodes
+
+    def test_asymmetric_instance_quotient_is_graph_itself(self):
+        net = cycle_graph(5)
+        q = view_quotient(net, Placement.of([0, 1]).bicoloring(net))
+        assert q.num_classes == 5
+        assert q.fiber_size == 1
+
+    def test_fiber_size_equals_symmetricity(self):
+        cases = [
+            (cycle_cayley(6).network, [0, 3]),
+            (cycle_cayley(8).network, [0, 4]),
+            (hypercube_cayley(3).network, [0, 7]),
+        ]
+        for net, homes in cases:
+            bicolor = Placement.of(homes).bicoloring(net)
+            q = view_quotient(net, bicolor)
+            assert q.fiber_size == symmetricity_of_labeling(net, bicolor)
+
+    def test_multigraph_quotient(self):
+        q = view_quotient(figure2c_view_counterexample())
+        assert q.num_classes == 1
+        assert q.fiber_size == 3
+
+    def test_symmetric_k2_has_half_edge(self):
+        space = ColorSpace()
+        sym = space.fresh()
+        net = AnonymousNetwork(2, [(0, sym, 1, sym)])
+        q = view_quotient(net)
+        assert q.num_classes == 1
+        assert len(q.half_edges()) == 1
+
+    def test_class_of_and_ports_of(self):
+        net = cycle_cayley(6).network
+        bicolor = Placement.of([0, 3]).bicoloring(net)
+        q = view_quotient(net, bicolor)
+        for v in net.nodes():
+            qv = q.class_of(v)
+            assert set(net.ports(v)) == set(q.ports_of(qv))
+
+    def test_links_are_involutive(self):
+        # Gluing is symmetric: following a link twice returns to the start.
+        net = petersen_graph()
+        q = view_quotient(net)
+        for end, other in q.links.items():
+            assert q.links[other] == end
+
+
+class TestCoveringValidation:
+    def test_check_covering_passes_on_random_labelings(self):
+        base = cycle_graph(8)
+        for seed in range(4):
+            net = relabeled_randomly(base, rng=random.Random(seed))
+            view_quotient(net)  # validates internally
+
+    def test_quotient_respects_bicoloring(self):
+        net = cycle_cayley(6).network
+        q_plain = view_quotient(net)
+        q_col = view_quotient(net, [1, 0, 0, 1, 0, 0])
+        assert q_plain.num_classes == 1
+        assert q_col.num_classes == 3
+
+    def test_fiber_size_raises_on_handcrafted_inconsistency(self):
+        net = path_graph(4)
+        q = QuotientStructure(net)
+        # Sabotage: merge two genuinely distinct classes by hand.
+        q.classes = [q.classes[0] + q.classes[1]] + q.classes[2:]
+        with pytest.raises(GraphError):
+            q.fiber_size

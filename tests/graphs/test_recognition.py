@@ -1,0 +1,110 @@
+"""Tests for Cayley recognition and translation classes (Sabidussi)."""
+
+import pytest
+
+from repro.core import Placement
+from repro.errors import RecognitionError
+from repro.graphs import (
+    circulant_cayley,
+    complete_cayley,
+    cycle_cayley,
+    cycle_graph,
+    dihedral_cayley,
+    find_translations,
+    hypercube_cayley,
+    is_cayley_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    translation_classes_of_cayley,
+    translation_equivalence_classes,
+)
+
+
+class TestRecognition:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: cycle_cayley(5).network,
+            lambda: cycle_cayley(6).network,
+            lambda: hypercube_cayley(3).network,
+            lambda: complete_cayley(5).network,
+            lambda: circulant_cayley(8, [1, 2]).network,
+            lambda: dihedral_cayley(3).network,
+        ],
+    )
+    def test_cayley_graphs_recognised(self, build):
+        assert is_cayley_graph(build())
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: petersen_graph(),
+            lambda: path_graph(5),
+            lambda: star_graph(4),
+        ],
+    )
+    def test_non_cayley_rejected(self, build):
+        assert not is_cayley_graph(build())
+
+    def test_find_translations_returns_regular_group(self):
+        net = cycle_cayley(7).network
+        ts = find_translations(net)
+        assert ts is not None
+        assert len(ts) == 7
+        assert {t[0] for t in ts} == set(range(7))
+
+    def test_find_translations_none_for_petersen(self):
+        assert find_translations(petersen_graph()) is None
+
+
+class TestTranslationClasses:
+    def test_free_action_gives_equal_class_sizes(self):
+        cg = cycle_cayley(6)
+        colors = [1, 0, 0, 1, 0, 0]
+        classes = translation_classes_of_cayley(cg, colors)
+        sizes = {len(c) for c in classes}
+        assert sizes == {2}
+
+    def test_trivial_stabilizer_gives_singletons(self):
+        cg = cycle_cayley(6)
+        colors = [1, 0, 1, 0, 0, 0]  # no rotation preserves {0, 2}
+        classes = translation_classes_of_cayley(cg, colors)
+        assert all(len(c) == 1 for c in classes)
+
+    def test_paper_example_translation_vs_automorphism(self):
+        # Paper Section 4: C_n (n even), agents at 0 and n/2.  Nodes 1 and
+        # n/2 - 1 are automorphism-equivalent but NOT translation-equivalent.
+        from repro.graphs import equivalence_classes
+
+        cg = cycle_cayley(8)
+        colors = [1, 0, 0, 0, 1, 0, 0, 0]
+        tcls = translation_classes_of_cayley(cg, colors)
+        acls = equivalence_classes(cg.network, colors)
+
+        def class_of(classes, v):
+            return next(frozenset(c) for c in classes if v in c)
+
+        assert class_of(acls, 1) == class_of(acls, 3)  # mirror symmetry
+        assert class_of(tcls, 1) != class_of(tcls, 3)
+
+    def test_generic_path_recomputes_translations(self):
+        net = cycle_cayley(5).network
+        classes = translation_equivalence_classes(net, [1, 0, 0, 0, 0])
+        assert all(len(c) == 1 for c in classes)
+
+    def test_non_cayley_raises(self):
+        with pytest.raises(RecognitionError):
+            translation_equivalence_classes(
+                petersen_graph(), [1, 1] + [0] * 8
+            )
+
+    def test_hypercube_antipodal_pair_not_separable(self):
+        # Any 2 agents on Q_3: the XOR translation swaps them, so classes
+        # have size 2 and election is impossible.
+        cg = hypercube_cayley(3)
+        for other in range(1, 8):
+            colors = [0] * 8
+            colors[0] = colors[other] = 1
+            classes = translation_classes_of_cayley(cg, colors)
+            assert {len(c) for c in classes} == {2}

@@ -1,0 +1,69 @@
+"""Tests for the Sabidussi Cayley-quotient representation (Section 4)."""
+
+import pytest
+
+from repro.errors import RecognitionError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    hypercube_cayley,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.recognition import sabidussi_representation
+
+
+class TestSabidussi:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: petersen_graph(),
+            lambda: cycle_graph(5),
+            lambda: cycle_graph(6),
+            lambda: complete_graph(4),
+            lambda: hypercube_cayley(3).network,
+        ],
+    )
+    def test_coset_graph_reconstructs_original(self, build):
+        net = build()
+        rep = sabidussi_representation(net)
+        derived = [sorted(a) for a in rep.coset_adjacency()]
+        original = [sorted(net.neighbors(v)) for v in net.nodes()]
+        assert derived == original
+
+    def test_orbit_stabilizer_theorem(self):
+        # |Γ| = n · |H| for a transitive action.
+        for build in (petersen_graph, lambda: cycle_graph(7)):
+            net = build()
+            rep = sabidussi_representation(net)
+            assert rep.group_order == net.num_nodes * rep.stabilizer_order
+
+    def test_petersen_is_a_proper_quotient(self):
+        rep = sabidussi_representation(petersen_graph())
+        assert rep.group_order == 120
+        assert rep.stabilizer_order == 12
+        assert rep.is_proper_quotient  # non-Cayley yet vertex-transitive
+
+    def test_connection_set_is_symmetric_union_of_cosets(self):
+        from repro.groups.symmetric import invert
+
+        rep = sabidussi_representation(cycle_graph(6))
+        connection = set(rep.connection_set)
+        # d(φ(u0), u0) = 1 ⟺ d(φ⁻¹(u0), u0) = 1 for automorphisms, so the
+        # connection set is inverse-closed.
+        assert {invert(phi) for phi in connection} == connection
+
+    def test_rejects_intransitive_graphs(self):
+        with pytest.raises(RecognitionError):
+            sabidussi_representation(path_graph(4))
+        with pytest.raises(RecognitionError):
+            sabidussi_representation(star_graph(4))
+
+    def test_base_point_choice_is_immaterial(self):
+        net = petersen_graph()
+        for base in (0, 5, 9):
+            rep = sabidussi_representation(net, base_point=base)
+            derived = [sorted(a) for a in rep.coset_adjacency()]
+            original = [sorted(net.neighbors(v)) for v in net.nodes()]
+            assert derived == original

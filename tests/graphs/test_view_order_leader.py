@@ -1,0 +1,61 @@
+"""Tests for quantitative view-ordering election (Theorem 2.1 converse)."""
+
+import random
+
+from repro.core import Placement
+from repro.graphs import (
+    cycle_cayley,
+    cycle_graph,
+    figure2a_quantitative_path,
+    path_graph,
+    relabeled_randomly,
+)
+from repro.graphs.views import view_order_leader
+
+
+class TestViewOrderLeader:
+    def test_elects_on_asymmetric_labeling(self):
+        # Figure 2(a): the integer-labeled path — all views distinct.
+        net = figure2a_quantitative_path()
+        leader = view_order_leader(net)
+        assert leader in net.nodes()
+
+    def test_none_when_views_coincide(self):
+        net = cycle_cayley(6).network  # natural labeling: all views equal
+        assert view_order_leader(net) is None
+
+    def test_bicoloring_can_enable_election(self):
+        net = cycle_cayley(6).network
+        bicolor = Placement.of([0, 1]).bicoloring(net)
+        # Natural directed labels + adjacent blacks: σ_ℓ = 1.
+        assert view_order_leader(net, bicolor) is not None
+
+    def test_antipodal_blacks_still_blocked(self):
+        net = cycle_cayley(6).network
+        bicolor = Placement.of([0, 3]).bicoloring(net)
+        assert view_order_leader(net, bicolor) is None
+
+    def test_leader_is_renumbering_equivariant(self):
+        net = path_graph(6)
+        leader = view_order_leader(net)
+        perm = [3, 5, 0, 2, 4, 1]
+        moved = net.with_nodes_permuted(perm)
+        assert view_order_leader(moved) == perm[leader]
+
+    def test_deterministic_across_calls(self):
+        net = relabeled_randomly(cycle_graph(7), rng=random.Random(5))
+        assert view_order_leader(net) == view_order_leader(net)
+
+    def test_every_random_labeling_of_path_elects(self):
+        base = path_graph(6)
+        for seed in range(5):
+            net = relabeled_randomly(base, rng=random.Random(seed))
+            # Paths always have σ_ℓ = 1 in the quantitative world?  Not
+            # necessarily for every labeling (mirror-symmetric labels can
+            # tie views) — but view_order_leader must then return None
+            # rather than a bogus leader.
+            leader = view_order_leader(net)
+            from repro.graphs import symmetricity_of_labeling
+
+            sigma = symmetricity_of_labeling(net)
+            assert (leader is not None) == (sigma == 1)

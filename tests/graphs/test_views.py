@@ -1,0 +1,161 @@
+"""Tests for views and symmetricity (Yamashita–Kameda machinery)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    complete_graph,
+    cycle_cayley,
+    cycle_graph,
+    election_feasible_by_views,
+    figure2a_quantitative_path,
+    figure2b_qualitative_path,
+    figure2c_view_counterexample,
+    path_graph,
+    petersen_graph,
+    symmetricity_of_labeling,
+    view_classes,
+    view_refinement,
+    view_tree,
+    views_equal,
+    walk_symbol_sequence,
+)
+from repro.colors import LocalColorEncoding
+
+
+class TestFigure2:
+    def test_fig2a_all_views_differ(self):
+        net = figure2a_quantitative_path()
+        assert view_classes(net) == [[0], [1], [2]]
+
+    def test_fig2b_all_views_differ(self):
+        net, _ = figure2b_qualitative_path()
+        assert view_classes(net) == [[0], [1], [2]]
+
+    def test_fig2b_walk_sequences_differ_but_encodings_coincide(self):
+        net, (star, circ, bullet) = figure2b_qualitative_path()
+        # Agent at x walks to z: exits via *, enters y via ∘, exits via •,
+        # enters z via *.
+        seq_x = walk_symbol_sequence(net, 0, [star, bullet])
+        seq_z = walk_symbol_sequence(net, 2, [star, circ])
+        assert seq_x == [star, circ, bullet, star]
+        assert seq_z == [star, bullet, circ, star]
+        assert seq_x != seq_z
+        enc_x = LocalColorEncoding().encode_sequence(seq_x)
+        enc_z = LocalColorEncoding().encode_sequence(seq_z)
+        assert enc_x == enc_z == [1, 2, 3, 1]
+
+    def test_fig2c_views_all_equal_but_label_classes_singletons(self):
+        from repro.graphs import label_equivalence_classes
+
+        net = figure2c_view_counterexample()
+        assert view_classes(net) == [[0, 1, 2]]
+        assert label_equivalence_classes(net) == [[0], [1], [2]]
+
+    def test_walk_through_missing_port_raises(self):
+        net, (star, circ, bullet) = figure2b_qualitative_path()
+        with pytest.raises(GraphError):
+            walk_symbol_sequence(net, 0, [bullet])
+
+
+class TestViewClasses:
+    def test_path_views_reflect_symmetry(self):
+        net = path_graph(5)  # integer ports break the reflection
+        ids = view_refinement(net)
+        assert len(set(ids)) >= 3
+
+    def test_cayley_natural_labeling_is_fully_symmetric(self):
+        net = cycle_cayley(6).network
+        assert view_classes(net) == [[0, 1, 2, 3, 4, 5]]
+        assert symmetricity_of_labeling(net) == 6
+
+    def test_bicoloring_refines_views(self):
+        net = cycle_cayley(6).network
+        colors = [1, 0, 0, 1, 0, 0]  # antipodal home-bases
+        classes = view_classes(net, colors)
+        assert all(len(c) == 2 for c in classes)
+        assert symmetricity_of_labeling(net, colors) == 2
+
+    def test_asymmetric_bicoloring_breaks_symmetry(self):
+        net = cycle_cayley(6).network
+        colors = [1, 1, 0, 0, 0, 0]  # adjacent home-bases
+        assert symmetricity_of_labeling(net, colors) == 1
+        assert election_feasible_by_views(net, colors)
+
+    def test_views_equal_pairwise(self):
+        net = cycle_cayley(4).network
+        assert views_equal(net, 0, 2)
+        colors = [1, 0, 0, 0]
+        assert not views_equal(net, 0, 2, colors)
+
+    def test_coloring_length_validated(self):
+        with pytest.raises(GraphError):
+            view_classes(cycle_graph(4), [0, 1])
+
+    def test_complete_graph_integer_ports(self):
+        # K_3 with canonical integer ports: port patterns distinguish
+        # nothing structurally, classes have equal size (Norris property).
+        net = complete_graph(3)
+        classes = view_classes(net)
+        sizes = {len(c) for c in classes}
+        assert len(sizes) == 1
+
+
+class TestViewTrees:
+    def test_depth_zero_tree_is_color_only(self):
+        net = figure2a_quantitative_path()
+        t = view_tree(net, 0, 0)
+        assert t.encoding == (0,)
+
+    def test_tree_equality_matches_refinement(self):
+        net = cycle_cayley(5).network
+        n = net.num_nodes
+        t0 = view_tree(net, 0, n - 1)
+        t3 = view_tree(net, 3, n - 1)
+        assert t0 == t3  # all views equal on natural cycle labeling
+
+    def test_tree_inequality_under_coloring(self):
+        # On the *naturally labeled* cycle (+1/-1 ports) a black node at 0
+        # breaks all view symmetry: the mirror map swaps the two generator
+        # labels, so it is not label-preserving.
+        net = cycle_cayley(5).network
+        colors = [1, 0, 0, 0, 0]
+        n = net.num_nodes
+        trees = [view_tree(net, v, n - 1, colors) for v in net.nodes()]
+        assert len(set(trees)) == n
+        assert trees[1] != trees[4] and trees[1] != trees[2]
+
+    def test_norris_bound_agrees_with_refinement(self):
+        # Truncated-tree equality at depth n-1 must equal refinement classes.
+        for net, colors in [
+            (cycle_cayley(6).network, [1, 0, 0, 1, 0, 0]),
+            (path_graph(4), None),
+            (petersen_graph(), None),
+        ]:
+            n = net.num_nodes
+            ids = view_refinement(net, colors)
+            depth = min(n - 1, 6)  # cap tree size; refinement stable anyway
+            trees = [view_tree(net, v, depth, colors) for v in net.nodes()]
+            for u in net.nodes():
+                for v in net.nodes():
+                    same_class = ids[u] == ids[v]
+                    assert (trees[u] == trees[v]) == same_class
+
+
+class TestSymmetricity:
+    def test_equal_fiber_property_on_random_labelings(self):
+        import random
+
+        from repro.graphs import relabeled_randomly
+
+        base = cycle_graph(8)
+        for seed in range(6):
+            net = relabeled_randomly(base, rng=random.Random(seed))
+            sigma = symmetricity_of_labeling(net)  # must not raise
+            assert 8 % sigma == 0
+
+    def test_symmetricity_one_means_feasible(self):
+        net = path_graph(4)
+        assert election_feasible_by_views(net) in (True, False)
+        colors = [1, 0, 0, 0]
+        assert election_feasible_by_views(net, colors)

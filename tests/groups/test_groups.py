@@ -1,0 +1,242 @@
+"""Tests for the finite-group substrate (repro.groups)."""
+
+import math
+
+import pytest
+
+from repro.errors import GroupError
+from repro.groups import (
+    CyclicGroup,
+    DihedralGroup,
+    DirectProductGroup,
+    GeneratedPermutationGroup,
+    SymmetricGroup,
+    compose,
+    cycle_type,
+    identity_permutation,
+    invert,
+    transposition,
+)
+
+
+class TestCyclicGroup:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_axioms(self, n):
+        CyclicGroup(n).check_axioms()
+
+    def test_order(self):
+        assert CyclicGroup(7).order == 7
+
+    def test_operate_and_inverse(self):
+        g = CyclicGroup(5)
+        assert g.operate(3, 4) == 2
+        assert g.inverse(2) == 3
+        assert g.operate(2, g.inverse(2)) == g.identity()
+
+    def test_power(self):
+        g = CyclicGroup(10)
+        assert g.power(3, 4) == 2
+        assert g.power(3, 0) == 0
+        assert g.power(3, -1) == 7
+
+    def test_element_order(self):
+        g = CyclicGroup(12)
+        assert g.element_order(4) == 3
+        assert g.element_order(1) == 12
+
+    def test_is_abelian(self):
+        assert CyclicGroup(6).is_abelian()
+
+    def test_standard_generators(self):
+        assert CyclicGroup(5).standard_generators() == [1, 4]
+        assert CyclicGroup(2).standard_generators() == [1]
+        assert CyclicGroup(1).standard_generators() == []
+
+    def test_generates(self):
+        g = CyclicGroup(6)
+        assert g.generates([1])
+        assert not g.generates([2])  # generates a subgroup of order 3
+        assert g.generates([2, 3])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(GroupError):
+            CyclicGroup(0)
+
+    def test_contains(self):
+        g = CyclicGroup(4)
+        assert g.contains(3)
+        assert not g.contains(4)
+        assert not g.contains("x")
+
+
+class TestDirectProduct:
+    def test_axioms_z2_cubed(self):
+        g = DirectProductGroup(CyclicGroup(2), CyclicGroup(2), CyclicGroup(2))
+        g.check_axioms()
+        assert g.order == 8
+
+    def test_xor_structure(self):
+        g = DirectProductGroup(*(CyclicGroup(2) for _ in range(3)))
+        assert g.operate((1, 0, 1), (1, 1, 0)) == (0, 1, 1)
+        assert g.inverse((1, 0, 1)) == (1, 0, 1)  # involutions
+
+    def test_axis_generators_hypercube(self):
+        g = DirectProductGroup(*(CyclicGroup(2) for _ in range(4)))
+        gens = g.axis_generators()
+        assert len(gens) == 4
+        assert all(sum(v) == 1 for v in gens)
+
+    def test_axis_generators_torus(self):
+        g = DirectProductGroup(CyclicGroup(4), CyclicGroup(5))
+        gens = g.axis_generators()
+        assert ((1, 0)) in gens and ((3, 0)) in gens
+        assert ((0, 1)) in gens and ((0, 4)) in gens
+
+    def test_embed(self):
+        g = DirectProductGroup(CyclicGroup(3), CyclicGroup(4))
+        assert g.embed(1, 2) == (0, 2)
+        with pytest.raises(GroupError):
+            g.embed(2, 1)
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(GroupError):
+            DirectProductGroup()
+
+
+class TestSymmetricGroup:
+    def test_axioms_s3(self):
+        SymmetricGroup(3).check_axioms()
+
+    def test_order(self):
+        assert SymmetricGroup(4).order == 24
+
+    def test_compose_applies_right_first(self):
+        # p = (0 1), q = (1 2): p∘q sends 1 -> 2 -> 2?  q first: 1->2 then p: 2->2
+        p = transposition(3, 0, 1)
+        q = transposition(3, 1, 2)
+        assert compose(p, q) == (1, 2, 0)
+
+    def test_invert(self):
+        p = (2, 0, 1)
+        assert compose(p, invert(p)) == identity_permutation(3)
+
+    def test_cycle_type(self):
+        assert cycle_type((1, 2, 0, 3)) == (3, 1)
+        assert cycle_type(identity_permutation(4)) == (1, 1, 1, 1)
+
+    def test_star_generators(self):
+        gens = SymmetricGroup(4).star_generators()
+        assert len(gens) == 3
+        assert all(cycle_type(g) == (2, 1, 1) for g in gens)
+        assert SymmetricGroup(4).generates(gens)
+
+    def test_adjacent_transpositions_generate(self):
+        g = SymmetricGroup(4)
+        assert g.generates(g.adjacent_transposition_generators())
+
+    def test_large_degree_rejected(self):
+        with pytest.raises(GroupError):
+            SymmetricGroup(9)
+
+    def test_transposition_same_points_rejected(self):
+        with pytest.raises(GroupError):
+            transposition(4, 2, 2)
+
+
+class TestDihedralGroup:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_axioms(self, n):
+        DihedralGroup(n).check_axioms()
+
+    def test_order(self):
+        assert DihedralGroup(5).order == 10
+
+    def test_non_abelian_for_n_at_least_3(self):
+        assert not DihedralGroup(3).is_abelian()
+        assert DihedralGroup(2).is_abelian()
+
+    def test_reflection_is_involution(self):
+        g = DihedralGroup(7)
+        s = g.reflection(3)
+        assert g.operate(s, s) == g.identity()
+
+    def test_rotation_order(self):
+        g = DihedralGroup(6)
+        assert g.element_order(g.rotation(1)) == 6
+        assert g.element_order(g.rotation(2)) == 3
+
+    def test_standard_generators_generate(self):
+        g = DihedralGroup(5)
+        assert g.generates(g.standard_generators())
+
+    def test_relation_srs_equals_r_inverse(self):
+        g = DihedralGroup(5)
+        r, s = g.rotation(1), g.reflection(0)
+        assert g.conjugate(r, s) == g.inverse(r)
+
+
+class TestSymmetricGeneratingSets:
+    def test_validation_accepts_symmetric_set(self):
+        g = CyclicGroup(6)
+        g.require_symmetric_generating_set([1, 5])
+
+    def test_rejects_identity(self):
+        with pytest.raises(GroupError):
+            CyclicGroup(6).require_symmetric_generating_set([0, 1, 5])
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(GroupError):
+            CyclicGroup(6).require_symmetric_generating_set([1])
+
+    def test_rejects_non_generating(self):
+        with pytest.raises(GroupError):
+            CyclicGroup(6).require_symmetric_generating_set([2, 4])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GroupError):
+            CyclicGroup(6).require_symmetric_generating_set([1, 1, 5])
+
+    def test_is_symmetric_generating_set_predicate(self):
+        g = CyclicGroup(5)
+        assert g.is_symmetric_generating_set([1, 4])
+        assert not g.is_symmetric_generating_set([1])
+        assert not g.is_symmetric_generating_set([0])
+
+
+class TestGeneratedPermutationGroup:
+    def test_closure_of_rotation(self):
+        rot = (1, 2, 3, 4, 0)
+        g = GeneratedPermutationGroup(5, [rot])
+        assert g.order == 5
+        assert g.is_transitive()
+        assert g.is_regular()
+
+    def test_closure_of_s3(self):
+        g = GeneratedPermutationGroup(3, [(1, 0, 2), (0, 2, 1)])
+        assert g.order == 6
+        assert not g.is_regular()  # order 6 != degree 3
+
+    def test_orbits_of_partial_action(self):
+        swap01 = (1, 0, 2, 3)
+        g = GeneratedPermutationGroup(4, [swap01])
+        assert g.orbits() == [[0, 1], [2], [3]]
+
+    def test_point_stabilizer(self):
+        g = GeneratedPermutationGroup(3, [(1, 0, 2), (0, 2, 1)])
+        assert g.point_stabilizer_order(0) == 2
+
+    def test_invalid_generator_rejected(self):
+        with pytest.raises(GroupError):
+            GeneratedPermutationGroup(3, [(0, 0, 1)])
+
+    def test_max_order_guard(self):
+        with pytest.raises(GroupError):
+            GeneratedPermutationGroup(
+                6,
+                [(1, 0, 2, 3, 4, 5), (0, 2, 1, 3, 4, 5), (1, 2, 3, 4, 5, 0)],
+                max_order=10,
+            )
+
+    def test_check_axioms_on_generated_group(self):
+        g = GeneratedPermutationGroup(4, [(1, 2, 3, 0)])
+        g.check_axioms()

@@ -1,0 +1,152 @@
+"""Tests for semidirect products and the CCC/butterfly substrate."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.groups.cyclic import CyclicGroup
+from repro.groups.semidirect import (
+    SemidirectProductGroup,
+    hypercube_rotation_group,
+)
+
+
+def trivial_action(h):
+    return lambda n: n
+
+
+class TestSemidirectGeneric:
+    def test_trivial_action_is_direct_product(self):
+        g = SemidirectProductGroup(CyclicGroup(3), CyclicGroup(2), trivial_action)
+        g.check_axioms()
+        assert g.order == 6
+        assert g.is_abelian()
+
+    def test_inversion_action_gives_dihedral(self):
+        # ℤ_n ⋊ ℤ_2 with inversion action ≅ D_n (non-abelian for n >= 3).
+        n = 5
+        cyc = CyclicGroup(n)
+
+        def action(h):
+            if h == 0:
+                return lambda x: x
+            return lambda x: (-x) % n
+
+        g = SemidirectProductGroup(cyc, CyclicGroup(2), action)
+        g.check_axioms()
+        assert g.order == 2 * n
+        assert not g.is_abelian()
+        # Reflections (x, 1) are involutions.
+        for x in range(n):
+            assert g.operate((x, 1), (x, 1)) == g.identity()
+
+    def test_invalid_action_rejected(self):
+        cyc = CyclicGroup(4)
+
+        def broken(h):
+            if h == 0:
+                return lambda x: x
+            return lambda x: (x * 2) % 4  # not a bijection
+
+        with pytest.raises(GroupError):
+            SemidirectProductGroup(cyc, CyclicGroup(2), broken)
+
+    def test_non_homomorphic_action_rejected(self):
+        cyc = CyclicGroup(5)
+
+        def shifty(h):
+            # Each map is a bijection but φ is not a homomorphism into Aut:
+            # φ_h(x) = x + h is not even a group automorphism of ℤ_5.
+            return lambda x: (x + h) % 5
+
+        with pytest.raises(GroupError):
+            SemidirectProductGroup(cyc, CyclicGroup(5), shifty)
+
+
+class TestHypercubeRotationGroup:
+    def test_axioms_small(self):
+        g = hypercube_rotation_group(3, validate=True)
+        g.check_axioms()
+        assert g.order == 24
+
+    def test_rotation_acts_on_coordinates(self):
+        g = hypercube_rotation_group(3)
+        e0 = (1, 0, 0)
+        # (0, 1) * (e0, 0): the shift conjugates the flip to the next bit.
+        product = g.operate(((0, 0, 0), 1), (e0, 0))
+        assert product == ((0, 1, 0), 1)
+
+    def test_element_orders(self):
+        g = hypercube_rotation_group(3)
+        assert g.element_order(((0, 0, 0), 1)) == 3  # pure shift
+        assert g.element_order(((1, 0, 0), 0)) == 2  # pure flip
+
+    def test_inverse_roundtrip(self):
+        g = hypercube_rotation_group(4)
+        for a in list(g.elements())[::7]:
+            assert g.operate(a, g.inverse(a)) == g.identity()
+
+    def test_dimension_guard(self):
+        with pytest.raises(GroupError):
+            hypercube_rotation_group(1)
+
+
+class TestCCCButterflyGraphs:
+    def test_ccc3_structure(self):
+        from repro.graphs import cube_connected_cycles
+
+        net = cube_connected_cycles(3).network
+        assert net.num_nodes == 24
+        assert net.is_regular() and net.degree(0) == 3
+        assert net.diameter() == 6
+
+    def test_ccc4_structure(self):
+        from repro.graphs import cube_connected_cycles
+
+        net = cube_connected_cycles(4).network
+        assert net.num_nodes == 64
+        assert net.is_regular() and net.degree(0) == 3
+
+    def test_butterfly3_structure(self):
+        from repro.graphs import wrapped_butterfly_cayley
+
+        net = wrapped_butterfly_cayley(3).network
+        assert net.num_nodes == 24
+        assert net.is_regular() and net.degree(0) == 4
+
+    def test_butterfly_needs_d3(self):
+        from repro.graphs import wrapped_butterfly_cayley
+
+        with pytest.raises(GroupError):
+            wrapped_butterfly_cayley(2)
+
+    def test_ccc_is_vertex_transitive(self):
+        from repro.graphs import cube_connected_cycles, is_vertex_transitive
+
+        assert is_vertex_transitive(cube_connected_cycles(3).network)
+
+    def test_ccc_translations_are_label_preserving(self):
+        from repro.graphs import cube_connected_cycles
+        from repro.graphs.automorphisms import label_preserving_automorphisms
+
+        cg = cube_connected_cycles(3)
+        autos = label_preserving_automorphisms(cg.network)
+        assert sorted(autos) == sorted(map(tuple, cg.translations()))
+
+    def test_elect_on_ccc3(self):
+        from repro.core import Placement, elect_prediction, run_elect
+        from repro.graphs import cube_connected_cycles
+
+        net = cube_connected_cycles(3).network
+        placement = Placement.of([0, 1, 2])
+        assert elect_prediction(net, placement).succeeds
+        assert run_elect(net, placement, seed=2).elected
+
+    def test_elect_on_butterfly3(self):
+        from repro.core import Placement, elect_prediction, run_elect
+        from repro.graphs import wrapped_butterfly_cayley
+
+        net = wrapped_butterfly_cayley(3).network
+        placement = Placement.of([0, 1, 5])
+        pred = elect_prediction(net, placement)
+        outcome = run_elect(net, placement, seed=2)
+        assert outcome.elected == pred.succeeds

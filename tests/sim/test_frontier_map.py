@@ -1,0 +1,113 @@
+"""Tests for the nearest-frontier map-drawing strategy."""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graphs.canonical import Digraph, canonical_key
+from repro.sim import Agent, Simulation, draw_map, draw_map_frontier
+
+
+class FrontierAgent(Agent):
+    def protocol(self, start):
+        local_map = yield from draw_map_frontier(self.color, start)
+        return local_map
+
+
+class DfsAgent(Agent):
+    def protocol(self, start):
+        local_map = yield from draw_map(self.color, start)
+        return local_map
+
+
+def undirected_key(network):
+    arcs = []
+    for (u, _, v, _) in network.edges():
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return canonical_key(Digraph.build(network.num_nodes, arcs))
+
+
+def run_one(net, agent_cls, home=0, seed=0):
+    space = ColorSpace()
+    sim = Simulation(net, [(agent_cls(space.fresh(), rng=random.Random(seed)), home)])
+    return sim.run()
+
+
+class TestFrontierMapDrawing:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: path_graph(7),
+            lambda: cycle_graph(8),
+            lambda: grid_graph(3, 4),
+            lambda: petersen_graph(),
+            lambda: complete_graph(5),
+            lambda: star_graph(5),
+        ],
+    )
+    def test_reconstructs_the_graph(self, build):
+        net = build()
+        result = run_one(net, FrontierAgent)
+        local_map = result.results[0]
+        assert local_map.network.num_nodes == net.num_nodes
+        assert local_map.network.num_edges == net.num_edges
+        assert undirected_key(local_map.network) == undirected_key(net)
+
+    def test_agent_ends_at_home(self):
+        # The LocalMap's home is node 0 by construction; verify the agent
+        # physically returned there: run a second trivial action run where
+        # the final positions are recorded.
+        net = grid_graph(3, 3)
+        result = run_one(net, FrontierAgent, home=4)
+        assert result.positions[0] == 4
+
+    def test_same_map_as_dfs_up_to_isomorphism(self):
+        for seed in range(3):
+            net = random_connected_graph(9, 0.35, rng=random.Random(seed))
+            frontier_map = run_one(net, FrontierAgent).results[0]
+            dfs_map = run_one(net, DfsAgent).results[0]
+            assert undirected_key(frontier_map.network) == undirected_key(
+                dfs_map.network
+            )
+            assert len(frontier_map.homebases) == len(dfs_map.homebases)
+
+    def test_concurrent_frontier_agents(self):
+        net = petersen_graph()
+        space = ColorSpace()
+        agents = [
+            FrontierAgent(space.fresh(), rng=random.Random(i)) for i in range(3)
+        ]
+        sim = Simulation(net, list(zip(agents, [0, 4, 8])))
+        result = sim.run()
+        for local_map in result.results:
+            assert local_map.network.num_nodes == 10
+            assert len(local_map.homebases) == 3
+
+    def test_move_bound(self):
+        for build in (lambda: cycle_graph(12), lambda: grid_graph(4, 4)):
+            net = build()
+            result = run_one(net, FrontierAgent)
+            assert result.moves[0] <= 6 * net.num_edges
+
+    def test_homebases_discovered(self):
+        net = cycle_graph(7)
+        space = ColorSpace()
+        agents = [
+            FrontierAgent(space.fresh(), rng=random.Random(9)),
+            DfsAgent(space.fresh(), rng=random.Random(10)),
+        ]
+        sim = Simulation(net, list(zip(agents, [0, 3])))
+        result = sim.run()
+        for local_map in result.results:
+            assert len(local_map.homebases) == 2

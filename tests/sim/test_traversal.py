@@ -1,0 +1,209 @@
+"""Tests for map drawing (MAP-DRAWING) and map navigation."""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graphs.canonical import Digraph, canonical_key
+from repro.sim import (
+    Agent,
+    Move,
+    NodeView,
+    RandomScheduler,
+    Navigator,
+    Simulation,
+    draw_map,
+)
+from repro.sim.scheduler import default_scheduler_suite
+
+
+class MapAgent(Agent):
+    def protocol(self, start):
+        m = yield from draw_map(self.color, start)
+        return m
+
+
+class TourAgent(Agent):
+    """Draws a map, then tours it, returning per-node visit degrees."""
+
+    def protocol(self, start):
+        m = yield from draw_map(self.color, start)
+        nav = Navigator(m)
+
+        def visit(node, view):
+            return view.degree
+            yield  # pragma: no cover
+
+        degrees = yield from nav.tour(visit=visit)
+        return m, degrees, nav.position
+
+
+def undirected_key(network):
+    """Canonical key of a port-less undirected graph (for iso checks)."""
+    arcs = []
+    for (u, _, v, _) in network.edges():
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return canonical_key(Digraph.build(network.num_nodes, arcs))
+
+
+def run_map_agents(net, homes, scheduler=None, seeds=(0,)):
+    space = ColorSpace()
+    agents = [
+        MapAgent(space.fresh(), rng=random.Random(i)) for i in range(len(homes))
+    ]
+    sim = Simulation(
+        net, list(zip(agents, homes)), scheduler=scheduler or RandomScheduler(0)
+    )
+    return sim.run()
+
+
+class TestMapDrawing:
+    @pytest.mark.parametrize(
+        "build,homes",
+        [
+            (lambda: path_graph(6), [0]),
+            (lambda: cycle_graph(7), [2]),
+            (lambda: petersen_graph(), [0]),
+            (lambda: grid_graph(3, 3), [4]),
+            (lambda: complete_graph(5), [1]),
+            (lambda: star_graph(5), [0]),
+        ],
+    )
+    def test_single_agent_reconstructs_graph(self, build, homes):
+        net = build()
+        res = run_map_agents(net, homes)
+        m = res.results[0]
+        assert m.network.num_nodes == net.num_nodes
+        assert m.network.num_edges == net.num_edges
+        assert undirected_key(m.network) == undirected_key(net)
+
+    def test_map_homebases_record_all_agents(self):
+        net = petersen_graph()
+        res = run_map_agents(net, [0, 3, 7])
+        for m in res.results:
+            assert len(m.homebases) == 3
+            assert len(set(m.homebases.values())) == 3
+
+    def test_own_home_is_node_zero(self):
+        net = cycle_graph(6)
+        res = run_map_agents(net, [4])
+        m = res.results[0]
+        assert m.home == 0
+        assert 0 in m.homebases
+
+    def test_bicoloring(self):
+        net = cycle_graph(6)
+        res = run_map_agents(net, [0, 3])
+        m = res.results[0]
+        bc = m.bicoloring()
+        assert sum(bc) == 2
+
+    def test_moves_bounded_by_4m(self):
+        for build in (path_graph, cycle_graph):
+            net = build(9)
+            res = run_map_agents(net, [0])
+            assert res.moves[0] <= 4 * net.num_edges
+
+    def test_concurrent_agents_all_reconstruct(self):
+        net = random_connected_graph(9, 0.35, rng=random.Random(5))
+        for sched in default_scheduler_suite(3):
+            res = run_map_agents(net, [0, 4, 8], scheduler=sched)
+            for m in res.results:
+                assert m.network.num_nodes == net.num_nodes
+                assert m.network.num_edges == net.num_edges
+                assert undirected_key(m.network) == undirected_key(net)
+
+    def test_sleeping_agents_get_woken_and_map(self):
+        net = cycle_graph(8)
+        space = ColorSpace()
+        agents = [MapAgent(space.fresh()) for _ in range(3)]
+        sim = Simulation(
+            net,
+            list(zip(agents, [0, 3, 6])),
+            initially_awake=[0],
+        )
+        res = sim.run()
+        assert all(m.network.num_nodes == 8 for m in res.results)
+
+    def test_homebase_node_of(self):
+        net = cycle_graph(5)
+        res = run_map_agents(net, [0, 2])
+        m = res.results[0]
+        for node, color in m.homebases.items():
+            assert m.homebase_node_of(color) == node
+
+
+class TestNavigator:
+    def test_tour_visits_every_node_once_and_returns(self):
+        net = grid_graph(3, 4)
+        space = ColorSpace()
+        sim = Simulation(net, [(TourAgent(space.fresh()), 5)])
+        res = sim.run()
+        m, degrees, final_pos = res.results[0]
+        assert len(degrees) == net.num_nodes
+        assert final_pos == m.home
+
+    def test_tour_move_cost(self):
+        net = cycle_graph(10)
+        space = ColorSpace()
+        sim = Simulation(net, [(TourAgent(space.fresh()), 0)])
+        res = sim.run()
+        m, _, _ = res.results[0]
+        # map drawing <= 4m, tour adds exactly 2(n-1)
+        assert res.moves[0] <= 4 * net.num_edges + 2 * (net.num_nodes - 1)
+
+    def test_goto_shortest_path(self):
+        net = path_graph(6)
+
+        class GotoAgent(Agent):
+            def protocol(self, start):
+                m = yield from draw_map(self.color, start)
+                nav = Navigator(m)
+                far = max(
+                    m.network.nodes(),
+                    key=lambda v: m.network.distances_from(0)[v],
+                )
+                before = None
+                yield from nav.goto(far)
+                pos_far = nav.position
+                yield from nav.goto(m.home)
+                return m, far, pos_far, nav.position
+
+        space = ColorSpace()
+        res = Simulation(net, [(GotoAgent(space.fresh()), 0)]).run()
+        m, far, pos_far, final = res.results[0]
+        assert pos_far == far
+        assert final == m.home
+
+    def test_tour_only_filter(self):
+        net = cycle_graph(6)
+
+        class FilteredTour(Agent):
+            def protocol(self, start):
+                m = yield from draw_map(self.color, start)
+                nav = Navigator(m)
+                targets = {1, 3}
+
+                def visit(node, view):
+                    return node
+                    yield  # pragma: no cover
+
+                visited = yield from nav.tour(
+                    visit=visit, only=lambda v: v in targets
+                )
+                return set(visited)
+
+        space = ColorSpace()
+        res = Simulation(net, [(FilteredTour(space.fresh()), 0)]).run()
+        assert res.results[0] == {1, 3}

@@ -1,0 +1,139 @@
+"""Tests for whiteboards, signs, and schedulers."""
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.errors import ProtocolError
+from repro.sim import (
+    BiasedScheduler,
+    GreedyAgentScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Sign,
+    Whiteboard,
+    default_scheduler_suite,
+    distinct_colors,
+    signs_of_kind,
+)
+
+
+@pytest.fixture
+def colors():
+    return ColorSpace().fresh_many(3)
+
+
+class TestSign:
+    def test_payload_must_be_ints(self, colors):
+        with pytest.raises(ProtocolError):
+            Sign(kind="x", color=colors[0], payload=(colors[1],))
+
+    def test_matches(self, colors):
+        s = Sign(kind="status", color=colors[0], payload=(1, 2))
+        assert s.matches("status")
+        assert s.matches("status", (1, 2))
+        assert not s.matches("status", (1, 3))
+        assert not s.matches("other")
+
+    def test_signs_are_frozen_and_hashable(self, colors):
+        s = Sign(kind="x", color=colors[0], payload=(1,))
+        assert s == Sign(kind="x", color=colors[0], payload=(1,))
+        assert len({s, s}) == 1
+
+    def test_helpers(self, colors):
+        signs = [
+            Sign(kind="a", color=colors[0]),
+            Sign(kind="a", color=colors[1]),
+            Sign(kind="b", color=colors[0]),
+        ]
+        assert len(signs_of_kind(signs, "a")) == 2
+        assert distinct_colors(signs) == {colors[0], colors[1]}
+
+
+class TestWhiteboard:
+    def test_append_and_snapshot_order(self, colors):
+        board = Whiteboard()
+        s1 = Sign(kind="a", color=colors[0])
+        s2 = Sign(kind="b", color=colors[1])
+        board.append(s1)
+        board.append(s2)
+        assert board.snapshot() == (s1, s2)
+        assert len(board) == 2
+
+    def test_version_increments(self, colors):
+        board = Whiteboard()
+        v0 = board.version
+        board.append(Sign(kind="a", color=colors[0]))
+        assert board.version > v0
+
+    def test_try_acquire_capacity(self, colors):
+        board = Whiteboard()
+        assert board.try_acquire(colors[0], "slot", (1,), capacity=2)
+        assert board.try_acquire(colors[1], "slot", (1,), capacity=2)
+        assert not board.try_acquire(colors[2], "slot", (1,), capacity=2)
+        assert board.count("slot", (1,)) == 2
+
+    def test_try_acquire_distinguishes_payloads(self, colors):
+        board = Whiteboard()
+        assert board.try_acquire(colors[0], "slot", (1,), capacity=1)
+        assert board.try_acquire(colors[0], "slot", (2,), capacity=1)
+
+    def test_erase_own_only_removes_own_signs(self, colors):
+        board = Whiteboard()
+        board.append(Sign(kind="m", color=colors[0], payload=(1,)))
+        board.append(Sign(kind="m", color=colors[1], payload=(1,)))
+        removed = board.erase_own(colors[0], "m")
+        assert removed == 1
+        assert board.count("m") == 1
+
+    def test_erase_with_payload_filter(self, colors):
+        board = Whiteboard()
+        board.append(Sign(kind="m", color=colors[0], payload=(1,)))
+        board.append(Sign(kind="m", color=colors[0], payload=(2,)))
+        assert board.erase_own(colors[0], "m", (1,)) == 1
+        assert board.count("m") == 1
+
+
+class TestSchedulers:
+    def test_random_scheduler_reproducible(self):
+        s1, s2 = RandomScheduler(seed=5), RandomScheduler(seed=5)
+        s1.reset(), s2.reset()
+        seq1 = [s1.choose([0, 1, 2], i) for i in range(20)]
+        seq2 = [s2.choose([0, 1, 2], i) for i in range(20)]
+        assert seq1 == seq2
+
+    def test_round_robin_cycles(self):
+        s = RoundRobinScheduler()
+        s.reset()
+        assert [s.choose([0, 1, 2], i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_missing(self):
+        s = RoundRobinScheduler()
+        s.reset()
+        assert s.choose([0, 2], 0) == 0
+        assert s.choose([0, 2], 1) == 2
+        assert s.choose([0, 2], 2) == 0
+
+    def test_greedy_sticks_to_agent(self):
+        s = GreedyAgentScheduler()
+        s.reset()
+        assert s.choose([0, 1], 0) == 0
+        assert s.choose([0, 1], 1) == 0
+        assert s.choose([1], 2) == 1
+        assert s.choose([0, 1], 3) == 1
+
+    def test_biased_scheduler_valid_choices(self):
+        s = BiasedScheduler(seed=1)
+        s.reset()
+        for i in range(50):
+            assert s.choose([3, 7, 9], i) in (3, 7, 9)
+
+    def test_biased_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            BiasedScheduler(bias=1.5)
+
+    def test_suite_contents(self):
+        suite = default_scheduler_suite()
+        names = {type(s).__name__ for s in suite}
+        assert "RandomScheduler" in names
+        assert "RoundRobinScheduler" in names
+        assert "GreedyAgentScheduler" in names

@@ -1,0 +1,150 @@
+"""Tests for the incomparable-color substrate (repro.colors)."""
+
+import pickle
+
+import pytest
+
+from repro.colors import (
+    Color,
+    ColorSpace,
+    LocalColorEncoding,
+    distinct,
+    iter_color_pairs,
+    qualitative_symbols,
+)
+from repro.errors import IncomparabilityError
+
+
+class TestColorEquality:
+    def test_fresh_colors_are_distinct(self, space):
+        a, b = space.fresh(), space.fresh()
+        assert a != b
+        assert not (a == b)
+
+    def test_color_equals_itself(self, space):
+        a = space.fresh()
+        assert a == a
+
+    def test_equality_is_token_based_not_name_based(self):
+        a = Color(token=1, name="x")
+        b = Color(token=1, name="y")
+        assert a == b
+
+    def test_distinct_tokens_unequal_even_with_same_name(self):
+        assert Color(token=1, name="n") != Color(token=2, name="n")
+
+    def test_comparison_with_non_color_is_not_equal(self, space):
+        assert (space.fresh() == 42) is False
+        assert (space.fresh() != "blue") is True
+
+    def test_colors_are_hashable_and_usable_in_sets(self, space):
+        colors = space.fresh_many(10)
+        assert len(set(colors)) == 10
+
+    def test_hash_consistent_with_equality(self):
+        a = Color(token=("t", 3))
+        b = Color(token=("t", 3))
+        assert hash(a) == hash(b)
+
+
+class TestIncomparability:
+    @pytest.mark.parametrize("op", ["__lt__", "__le__", "__gt__", "__ge__"])
+    def test_all_orderings_raise(self, space, op):
+        a, b = space.fresh(), space.fresh()
+        with pytest.raises(IncomparabilityError):
+            getattr(a, op)(b)
+
+    def test_sorting_colors_raises(self, space):
+        colors = space.fresh_many(3)
+        with pytest.raises(IncomparabilityError):
+            sorted(colors)
+
+    def test_min_max_raise(self, space):
+        colors = space.fresh_many(3)
+        with pytest.raises(IncomparabilityError):
+            max(colors)
+        with pytest.raises(IncomparabilityError):
+            min(colors)
+
+    def test_incomparability_error_is_type_error(self):
+        # So generic code that catches TypeError on unorderable types works.
+        assert issubclass(IncomparabilityError, TypeError)
+
+
+class TestColorSpace:
+    def test_fresh_many_count(self, space):
+        assert len(space.fresh_many(7)) == 7
+
+    def test_minted_records_all(self, space):
+        space.fresh_many(3)
+        space.fresh()
+        assert len(space.minted) == 4
+
+    def test_colors_from_different_spaces_are_distinct(self):
+        a = ColorSpace().fresh()
+        b = ColorSpace().fresh()
+        assert a != b
+
+    def test_renaming_is_a_bijection_to_fresh_colors(self, space):
+        colors = space.fresh_many(5)
+        renaming = ColorSpace.renaming(colors)
+        assert set(renaming.keys()) == set(colors)
+        assert len(set(renaming.values())) == 5
+        assert all(v not in colors for v in renaming.values())
+
+    def test_renaming_handles_duplicates_in_input(self, space):
+        a = space.fresh()
+        renaming = ColorSpace.renaming([a, a, a])
+        assert len(renaming) == 1
+
+
+class TestLocalColorEncoding:
+    def test_first_seen_order(self, space):
+        a, b, c = space.fresh_many(3)
+        enc = LocalColorEncoding()
+        assert enc.encode_sequence([a, b, c, a]) == [1, 2, 3, 1]
+
+    def test_two_agents_can_produce_equal_encodings_of_different_walks(self, space):
+        # The Figure 2(b) phenomenon: distinct color sequences, identical
+        # private encodings.
+        star, circ, bullet = space.fresh_many(3)
+        walk_x = [star, circ, bullet, star]
+        walk_z = [star, bullet, circ, star]
+        assert walk_x != walk_z
+        ex = LocalColorEncoding().encode_sequence(walk_x)
+        ez = LocalColorEncoding().encode_sequence(walk_z)
+        assert ex == ez == [1, 2, 3, 1]
+
+    def test_encoding_is_stable(self, space):
+        a, b = space.fresh_many(2)
+        enc = LocalColorEncoding()
+        enc.encode(a)
+        enc.encode(b)
+        assert enc.encode(a) == 1
+        assert enc.encode(b) == 2
+
+    def test_known_and_len_and_contains(self, space):
+        a, b = space.fresh_many(2)
+        enc = LocalColorEncoding()
+        enc.encode(a)
+        assert a in enc and b not in enc
+        assert len(enc) == 1
+        assert enc.known() == (a,)
+
+
+class TestHelpers:
+    def test_distinct_true_false(self, space):
+        a, b = space.fresh_many(2)
+        assert distinct([a, b])
+        assert not distinct([a, b, a])
+
+    def test_qualitative_symbols(self):
+        syms = qualitative_symbols(4)
+        assert len(syms) == 4
+        assert distinct(syms)
+
+    def test_iter_color_pairs(self, space):
+        colors = space.fresh_many(4)
+        pairs = list(iter_color_pairs(colors))
+        assert len(pairs) == 6
+        assert all(a != b for a, b in pairs)

