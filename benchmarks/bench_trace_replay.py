@@ -1,0 +1,59 @@
+"""E12 — record/replay round-trip cost and fidelity.
+
+Benchmarks the full observability loop: record a run to JSONL, load it
+back, re-drive the simulation under :class:`ReplayScheduler`, and audit
+the stream.  The assertions are the acceptance criteria — the replay
+reproduces the recorded outcome and event stream exactly, and the
+invariant audit passes — while the benchmark tracks how much the loop
+costs relative to a bare run.
+"""
+
+from repro.trace import audit_trace, record_run, replay_trace
+
+SPEC = dict(graph="hypercube", graph_args=[3], homes=[0, 3, 5], seed=9)
+
+
+def record_to(path):
+    outcome, sink = record_run(
+        SPEC["graph"],
+        SPEC["graph_args"],
+        SPEC["homes"],
+        protocol="elect",
+        seed=SPEC["seed"],
+        path=str(path),
+    )
+    return outcome
+
+
+def roundtrip(path):
+    outcome = record_to(path)
+    result = replay_trace(str(path))
+    return outcome, result
+
+
+def test_bench_record_to_jsonl(benchmark, tmp_path):
+    outcome = benchmark.pedantic(
+        record_to, args=(tmp_path / "run.jsonl",), rounds=5, iterations=1
+    )
+    assert outcome.elected
+    assert (tmp_path / "run.jsonl").stat().st_size > 0
+
+
+def test_bench_replay_roundtrip(benchmark, tmp_path):
+    outcome, result = benchmark.pedantic(
+        roundtrip, args=(tmp_path / "run.jsonl",), rounds=3, iterations=1
+    )
+    assert result.matches, "replay diverged from recording"
+    assert result.outcome.elected == outcome.elected
+    assert result.outcome.steps == outcome.steps
+    assert result.outcome.total_moves == outcome.total_moves
+
+
+def test_bench_audit_recorded_trace(benchmark, tmp_path):
+    path = tmp_path / "run.jsonl"
+    record_to(path)
+    from repro.trace import load_trace
+
+    header, events = load_trace(str(path))
+    reports = benchmark(audit_trace, events, header=header)
+    assert reports and all(r.ok for r in reports)

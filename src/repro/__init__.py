@@ -18,7 +18,9 @@ Layers (each usable on its own):
   quantitative baseline, the Petersen counterexample protocol, and the
   feasibility theory (Theorems 2.1/3.1/4.1);
 * :mod:`repro.analysis` — experiment harness reproducing the paper's table
-  and figures.
+  and figures;
+* :mod:`repro.trace` — structured event tracing, deterministic replay, and
+  trace-level invariant auditing for the runtime.
 
 Quickstart::
 
@@ -54,11 +56,14 @@ from .errors import (
     GraphError,
     GroupError,
     IncomparabilityError,
+    InvariantViolation,
     PlacementError,
     ProtocolError,
+    ReplayDivergence,
     ReproError,
     SimulationError,
     StepBudgetExceeded,
+    TraceError,
 )
 from .graphs import (
     AnonymousNetwork,
@@ -75,10 +80,26 @@ from .graphs import (
 )
 from .sim import (
     RandomScheduler,
+    RecordingScheduler,
     RoundRobinScheduler,
     Scheduler,
     Simulation,
     default_scheduler_suite,
+)
+from .trace import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    ReplayScheduler,
+    TraceEvent,
+    TraceHeader,
+    TraceSink,
+    assert_invariants,
+    audit_trace,
+    load_trace,
+    record_run,
+    replay_trace,
+    summarize,
 )
 
 __version__ = "1.0.0"
@@ -100,6 +121,9 @@ __all__ = [
     "DeadlockError",
     "StepBudgetExceeded",
     "ProtocolError",
+    "TraceError",
+    "ReplayDivergence",
+    "InvariantViolation",
     # graphs
     "AnonymousNetwork",
     "CayleyGraph",
@@ -117,7 +141,22 @@ __all__ = [
     "Scheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
+    "RecordingScheduler",
     "default_scheduler_suite",
+    # trace
+    "TraceEvent",
+    "TraceHeader",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "ReplayScheduler",
+    "record_run",
+    "replay_trace",
+    "load_trace",
+    "summarize",
+    "audit_trace",
+    "assert_invariants",
     # core
     "Placement",
     "all_placements",

@@ -83,11 +83,40 @@ def _experiment_petersen(quick: bool) -> None:
     )
 
 
+def _experiment_trace(quick: bool) -> None:
+    from ..trace import audit_trace, record_run, render_summary, replay_trace, summarize
+
+    spec = ("cycle", [5], [0, 1]) if quick else ("hypercube", [3], [0, 3, 5])
+    graph, graph_args, homes = spec
+    outcome, sink = record_run(
+        graph, graph_args, homes, protocol="elect", seed=1
+    )
+    print(render_summary(summarize(sink.events, header=sink.header),
+                         header=sink.header))
+    print()
+    reports = audit_trace(sink.events, header=sink.header)
+    for report in reports:
+        print(report)
+    replayed = replay_trace((sink.header, sink.events))
+    print(
+        render_kv(
+            "deterministic replay",
+            [
+                ("recorded events", len(sink.events)),
+                ("replayed events", len(replayed.events)),
+                ("streams identical", replayed.matches),
+                ("same outcome", replayed.outcome.elected == outcome.elected),
+            ],
+        )
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "table1": _experiment_table1,
     "complexity": _experiment_complexity,
     "effectual": _experiment_effectual,
     "petersen": _experiment_petersen,
+    "trace": _experiment_trace,
 }
 
 

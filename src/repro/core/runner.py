@@ -11,6 +11,7 @@ import random
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..colors import Color, ColorSpace
+from ..errors import PlacementError
 from ..graphs.network import AnonymousNetwork
 from ..sim.agent import Agent
 from ..sim.runtime import Simulation
@@ -32,6 +33,7 @@ def run_election(
     scheduler: Optional[Scheduler] = None,
     seed: int = 0,
     colors: Optional[Sequence[Color]] = None,
+    trace: Optional[Any] = None,
     **sim_kwargs: Any,
 ) -> ElectionOutcome:
     """Run any election protocol on ``(G, p)`` and aggregate the outcome.
@@ -47,18 +49,33 @@ def run_election(
         with ``seed``).
     colors:
         Explicit agent colors (default: fresh ones — also exercising
-        recoloring invariance across runs).
+        recoloring invariance across runs).  Must match the placement's
+        agent count exactly.
+    trace:
+        Optional :class:`~repro.trace.sinks.TraceSink` recording the run as
+        a structured event stream (annotated with the agent type and seed).
     """
     if colors is None:
         colors = placement.fresh_colors()
+    elif len(colors) != placement.num_agents:
+        raise PlacementError(
+            f"got {len(colors)} colors for {placement.num_agents} agents "
+            f"(placement homes {placement.homes}): colors must be "
+            f"one-per-agent, in home order"
+        )
     agents = [
         agent_factory(color, random.Random(f"{seed}:{i}"))
         for i, color in enumerate(colors)
     ]
+    if trace is not None:
+        trace.annotate(
+            {"protocol_agent": type(agents[0]).__name__, "seed": seed}
+        )
     sim = Simulation(
         network,
         list(zip(agents, placement.homes)),
         scheduler=scheduler or RandomScheduler(seed=seed),
+        trace=trace,
         **sim_kwargs,
     )
     result = sim.run()

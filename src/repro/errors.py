@@ -73,5 +73,33 @@ class ProtocolError(ReproError):
     """Raised when an agent protocol violates its own invariants."""
 
 
+class TraceError(ReproError):
+    """Base class for errors raised by the trace subsystem.
+
+    Examples: a malformed trace file, an event stream with gaps in its step
+    sequence, or a trace whose header lacks the metadata an operation needs.
+    """
+
+
+class ReplayDivergence(TraceError):
+    """Raised when a replayed run departs from its recorded schedule.
+
+    A recorded schedule replays bit-for-bit only on the same instance
+    (network, placements, agents, seeds).  If the replayed simulation asks
+    the :class:`~repro.trace.replay.ReplayScheduler` for a step the
+    recording never took — or the recorded agent is not runnable at that
+    point — the executions have diverged and this error reports where.
+    """
+
+
+class InvariantViolation(TraceError):
+    """Raised when a trace-level invariant audit fails.
+
+    Each violation names the failing checker (mutual exclusion, accounting
+    agreement, the Theorem 3.1 ``O(r·|E|)`` bound, …) and the offending
+    step/agent so the trace can be inspected around the failure point.
+    """
+
+
 class RecognitionError(ReproError):
     """Raised when Cayley-graph recognition fails or is ambiguous."""

@@ -17,6 +17,7 @@ from .scheduler import (
     BiasedScheduler,
     GreedyAgentScheduler,
     RandomScheduler,
+    RecordingScheduler,
     RoundRobinScheduler,
     Scheduler,
     default_scheduler_suite,
@@ -47,6 +48,7 @@ __all__ = [
     "RoundRobinScheduler",
     "GreedyAgentScheduler",
     "BiasedScheduler",
+    "RecordingScheduler",
     "default_scheduler_suite",
     "Sign",
     "signs_of_kind",

@@ -23,6 +23,12 @@ Executes a set of :class:`~repro.sim.agent.Agent` protocols on an
 
 Metrics: per-agent move counts and whiteboard-access counts — the two
 quantities Theorem 3.1 bounds by ``O(r·|E|)``.
+
+Observability: pass a :class:`~repro.trace.sinks.TraceSink` as ``trace`` to
+record the run as a structured event stream (one primary event per
+scheduler step, see :mod:`repro.trace.events`).  The default (no sink)
+costs a single attribute test per emit site; recorded runs replay
+bit-for-bit through :class:`~repro.trace.replay.ReplayScheduler`.
 """
 
 from __future__ import annotations
@@ -130,6 +136,11 @@ class Simulation:
         Record :class:`~repro.sim.actions.Log` events.
     port_shuffle_seed:
         Seed of the per-(agent, node) port-presentation shuffle.
+    trace:
+        Optional :class:`~repro.trace.sinks.TraceSink` receiving the run
+        header and every runtime event (wake/move/read/write/erase/acquire/
+        wait/block/unblock/log/done).  ``None`` (default) disables tracing
+        at zero cost.
     """
 
     def __init__(
@@ -142,6 +153,7 @@ class Simulation:
         deadlock_ok: bool = False,
         collect_trace: bool = False,
         port_shuffle_seed: int = 0,
+        trace: Optional[Any] = None,
     ):
         if not placements:
             raise PlacementError("at least one agent is required")
@@ -183,6 +195,22 @@ class Simulation:
         self.collect_trace = collect_trace
         self._trace: List[Tuple[int, str, Tuple[int, ...]]] = []
         self._port_seed = port_shuffle_seed
+        # A sink may declare itself disabled (NullSink does): the runtime
+        # then skips event construction entirely, so "tracing wired but
+        # not wanted" costs the same as no tracing at all.
+        if trace is not None and not getattr(trace, "enabled", True):
+            trace = None
+        self._sink = trace
+        if trace is not None:
+            # Deferred import: repro.trace depends on the core runners,
+            # which depend on this module — binding it at construction time
+            # (never at module import time) keeps the layers acyclic.
+            from ..trace import events as trace_events
+
+            self._tev = trace_events
+        else:
+            self._tev = None
+        self._step = -1  # PRE_RUN_STEP until the scheduler's first choice
 
     # ------------------------------------------------------------------
     # Views
@@ -205,6 +233,39 @@ class Simulation:
         )
 
     # ------------------------------------------------------------------
+    # Trace emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, idx: int, node: int, **fields: Any) -> None:
+        """Emit one trace event (callers guard on ``self._sink``)."""
+        self._sink.emit(
+            self._tev.TraceEvent(
+                step=self._step,
+                kind=kind,
+                agent=idx,
+                node=node,
+                color=self.records[idx].agent.color.name,
+                **fields,
+            )
+        )
+
+    def _emit_header(self) -> None:
+        self._sink.emit_header(
+            self._tev.TraceHeader(
+                num_nodes=self.network.num_nodes,
+                num_edges=self.network.num_edges,
+                num_agents=len(self.records),
+                homes=tuple(rec.home for rec in self.records),
+                colors=tuple(
+                    rec.agent.color.name or "" for rec in self.records
+                ),
+                scheduler=repr(self.scheduler),
+                max_steps=self.max_steps,
+                port_shuffle_seed=self._port_seed,
+            )
+        )
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
@@ -216,6 +277,8 @@ class Simulation:
         rec.pending = None
         rec.state = AgentState.READY
         self._sleepers_by_node.pop(rec.node, None)
+        if self._sink is not None:
+            self._emit(self._tev.WAKE, idx, rec.node)
 
     def _board_changed(self, node: int) -> None:
         """Re-check WaitUntil predicates of agents blocked at ``node``."""
@@ -228,12 +291,21 @@ class Simulation:
                 rec.blocked_on = None
                 rec.state = AgentState.READY
                 self._blocked_by_node[node].discard(idx)
+                if self._sink is not None:
+                    self._emit(self._tev.UNBLOCK, idx, rec.node)
 
     def _finish(self, idx: int, result: Any) -> None:
         rec = self.records[idx]
         rec.state = AgentState.DONE
         rec.result = result
         rec.gen = None
+        if self._sink is not None:
+            self._emit(
+                self._tev.DONE,
+                idx,
+                rec.node,
+                result=int(result is not None),
+            )
 
     # ------------------------------------------------------------------
     # Action dispatch
@@ -248,15 +320,27 @@ class Simulation:
                 raise ProtocolError(
                     f"agent {idx} used missing port {action.port!r}"
                 )
+            origin = rec.node
             new_node, entry = self.network.traverse(rec.node, action.port)
             rec.node = new_node
             rec.moves += 1
+            if self._sink is not None:
+                self._emit(
+                    self._tev.MOVE,
+                    idx,
+                    origin,
+                    port=action.port,
+                    dest=new_node,
+                    entry=entry,
+                )
             sleeper = self._sleepers_by_node.get(new_node)
             if sleeper is not None and sleeper != idx:
                 self._wake(sleeper)
             return self._view(idx, new_node, entry_port=entry)
         if isinstance(action, Read):
             rec.accesses += 1
+            if self._sink is not None:
+                self._emit(self._tev.READ, idx, rec.node)
             return self._view(idx, rec.node)
         if isinstance(action, Write):
             sign = action.sign
@@ -268,17 +352,43 @@ class Simulation:
                 )
             rec.accesses += 1
             board.append(sign)
+            if self._sink is not None:
+                self._emit(
+                    self._tev.WRITE,
+                    idx,
+                    rec.node,
+                    sign=sign.kind,
+                    payload=sign.payload,
+                )
             self._board_changed(rec.node)
             return None
         if isinstance(action, Erase):
             rec.accesses += 1
             removed = board.erase_own(color, action.kind, action.payload)
+            if self._sink is not None:
+                self._emit(
+                    self._tev.ERASE,
+                    idx,
+                    rec.node,
+                    sign=action.kind,
+                    payload=action.payload,
+                    result=removed,
+                )
             if removed:
                 self._board_changed(rec.node)
             return removed
         if isinstance(action, TryAcquire):
             rec.accesses += 1
             ok = board.try_acquire(color, action.kind, action.payload, action.capacity)
+            if self._sink is not None:
+                self._emit(
+                    self._tev.ACQUIRE,
+                    idx,
+                    rec.node,
+                    sign=action.kind,
+                    payload=tuple(action.payload),
+                    result=int(ok),
+                )
             if ok:
                 self._board_changed(rec.node)
             return ok
@@ -286,14 +396,30 @@ class Simulation:
             rec.accesses += 1
             view = self._view(idx, rec.node)
             if action.predicate(view):
+                if self._sink is not None:
+                    self._emit(
+                        self._tev.WAIT, idx, rec.node, detail=action.reason
+                    )
                 return view
             rec.blocked_on = action
             rec.state = AgentState.BLOCKED
             self._blocked_by_node.setdefault(rec.node, set()).add(idx)
+            if self._sink is not None:
+                self._emit(
+                    self._tev.BLOCK, idx, rec.node, detail=action.reason
+                )
             return None  # no value sent until unblocked
         if isinstance(action, Log):
             if self.collect_trace:
                 self._trace.append((idx, action.event, tuple(action.data)))
+            if self._sink is not None:
+                self._emit(
+                    self._tev.LOG,
+                    idx,
+                    rec.node,
+                    detail=action.event,
+                    payload=tuple(action.data),
+                )
             return None
         raise ProtocolError(f"unknown action {action!r}")
 
@@ -304,6 +430,8 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Execute until all agents are done (or deadlock / budget)."""
         self.scheduler.reset()
+        if self._sink is not None:
+            self._emit_header()
         # Mark every home-base with a sign of its agent's color (paper
         # Section 1.2: "The home-base of a ∈ A is marked with a sign of
         # color c(a)").
@@ -311,46 +439,56 @@ class Simulation:
             self.boards[rec.home].append(
                 Sign(kind=HOMEBASE, color=rec.agent.color)
             )
+        self._step = -1
         for idx in self._initially_awake:
             self._wake(idx)
 
         steps = 0
-        while True:
-            runnable = [
-                i
-                for i, rec in enumerate(self.records)
-                if rec.state is AgentState.READY
-            ]
-            if not runnable:
-                if all(rec.state is AgentState.DONE for rec in self.records):
-                    break
-                reasons = self._stall_reasons()
-                if self.deadlock_ok:
-                    return self._result(steps, deadlocked=True, reasons=reasons)
-                raise DeadlockError(
-                    "no agent can make progress; stalled agents: "
-                    + "; ".join(reasons)
-                )
-            if steps >= self.max_steps:
-                raise StepBudgetExceeded(
-                    f"simulation exceeded max_steps={self.max_steps}"
-                )
-            idx = self.scheduler.choose(runnable, steps)
-            if idx not in runnable:
-                raise SimulationError(
-                    f"scheduler chose non-runnable agent {idx}"
-                )
-            rec = self.records[idx]
-            try:
-                action = rec.gen.send(rec.pending)
-            except StopIteration as stop:
-                self._finish(idx, stop.value)
+        try:
+            while True:
+                runnable = [
+                    i
+                    for i, rec in enumerate(self.records)
+                    if rec.state is AgentState.READY
+                ]
+                if not runnable:
+                    if all(
+                        rec.state is AgentState.DONE for rec in self.records
+                    ):
+                        break
+                    reasons = self._stall_reasons()
+                    if self.deadlock_ok:
+                        return self._result(
+                            steps, deadlocked=True, reasons=reasons
+                        )
+                    raise DeadlockError(
+                        "no agent can make progress; stalled agents: "
+                        + "; ".join(reasons)
+                    )
+                if steps >= self.max_steps:
+                    raise StepBudgetExceeded(
+                        f"simulation exceeded max_steps={self.max_steps}"
+                    )
+                idx = self.scheduler.choose(runnable, steps)
+                if idx not in runnable:
+                    raise SimulationError(
+                        f"scheduler chose non-runnable agent {idx}"
+                    )
+                self._step = steps
+                rec = self.records[idx]
+                try:
+                    action = rec.gen.send(rec.pending)
+                except StopIteration as stop:
+                    self._finish(idx, stop.value)
+                    steps += 1
+                    continue
+                rec.pending = self._execute(idx, action)
+                if rec.state is AgentState.BLOCKED:
+                    rec.pending = None
                 steps += 1
-                continue
-            rec.pending = self._execute(idx, action)
-            if rec.state is AgentState.BLOCKED:
-                rec.pending = None
-            steps += 1
+        finally:
+            if self._sink is not None:
+                self._sink.flush()
         return self._result(steps)
 
     def _stall_reasons(self) -> List[str]:

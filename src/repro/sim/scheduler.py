@@ -15,6 +15,9 @@ sweeps the schedulers below.
   switching (maximally bursty asynchrony).
 * :class:`BiasedScheduler` — random but heavily favoring low-index agents
   (starvation-adjacent but still fair).
+* :class:`RecordingScheduler` — wraps another scheduler and records its
+  choice sequence for deterministic replay
+  (:class:`repro.trace.replay.ReplayScheduler`).
 """
 
 from __future__ import annotations
@@ -124,6 +127,33 @@ class BiasedScheduler(Scheduler):
 
     def __repr__(self) -> str:
         return f"BiasedScheduler(seed={self.seed}, bias={self.bias})"
+
+
+class RecordingScheduler(Scheduler):
+    """Wrap any scheduler and record its choice sequence.
+
+    The recorded ``choices`` list is a complete schedule: feeding it back
+    through :class:`repro.trace.replay.ReplayScheduler` on the same
+    instance reproduces the run exactly.  This is the lightweight
+    alternative to full event tracing when only the interleaving matters
+    (e.g. shrinking an adversarial schedule that triggered a failure).
+    """
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        self.choices: List[int] = []
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.choices = []
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        idx = self.inner.choose(runnable, step)
+        self.choices.append(idx)
+        return idx
+
+    def __repr__(self) -> str:
+        return f"RecordingScheduler({self.inner!r})"
 
 
 def default_scheduler_suite(seed: int = 0) -> List[Scheduler]:

@@ -1,0 +1,148 @@
+"""Trace tooling from the command line.
+
+Usage::
+
+    python -m repro.trace record --graph cycle --graph-args 6 \\
+        --homes 0 1 --protocol elect --seed 0 --out run.jsonl
+    python -m repro.trace summarize run.jsonl
+    python -m repro.trace check run.jsonl
+    python -m repro.trace replay run.jsonl
+
+``record`` produces a self-describing JSONL trace of a registered
+protocol on a registered graph family; ``summarize`` prints the aggregate
+view; ``check`` runs the invariant audit; ``replay`` rebuilds the instance
+from the header and re-drives it, verifying the replayed event stream is
+identical to the recording.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError, TraceError
+from .invariants import audit_trace
+from .replay import GRAPH_BUILDERS, PROTOCOL_RUNNERS, record_run, replay_trace
+from .sinks import load_trace
+from .summary import render_summary, summarize
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    header, events = load_trace(args.trace)
+    print(render_summary(summarize(events, header=header), header=header))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    header, events = load_trace(args.trace)
+    reports = audit_trace(events, header=header)
+    failures = 0
+    for report in reports:
+        print(report)
+        for key, value in sorted(report.stats.items()):
+            print(f"    {key} = {value:g}")
+        failures += not report.ok
+    if failures:
+        print(f"\n{failures} invariant(s) violated")
+        return 1
+    print(f"\nall {len(reports)} invariants hold over {len(events)} events")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    result = replay_trace(args.trace, verify=not args.no_verify)
+    print(
+        f"replayed {len(result.events)} events over "
+        f"{result.outcome.steps} steps"
+    )
+    print(f"event streams identical: {result.matches}")
+    leader = result.outcome.leader_color
+    verdict = "elected" if result.outcome.elected else "failed"
+    print(f"outcome: {verdict}" + (f" (leader {leader!r})" if leader else ""))
+    return 0 if result.matches else 1
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    outcome, _ = record_run(
+        graph=args.graph,
+        graph_args=args.graph_args,
+        homes=args.homes,
+        protocol=args.protocol,
+        seed=args.seed,
+        path=args.out,
+    )
+    verdict = "elected" if outcome.elected else "failed"
+    print(
+        f"recorded {args.protocol} on {args.graph}{tuple(args.graph_args)} "
+        f"homes={args.homes} -> {verdict} "
+        f"({outcome.steps} steps, {outcome.total_moves} moves) to {args.out}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Record, summarize, audit, and replay simulation traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="aggregate view of a trace")
+    p_sum.add_argument("trace", help="JSONL trace file")
+    p_sum.set_defaults(func=_cmd_summarize)
+
+    p_check = sub.add_parser("check", help="run the invariant audit")
+    p_check.add_argument("trace", help="JSONL trace file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_replay = sub.add_parser(
+        "replay", help="rebuild the instance and re-drive the recorded run"
+    )
+    p_replay.add_argument("trace", help="JSONL trace file (with instance meta)")
+    p_replay.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="do not raise when the replayed stream differs",
+    )
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_rec = sub.add_parser("record", help="run a protocol and write a trace")
+    p_rec.add_argument(
+        "--graph",
+        required=True,
+        choices=sorted(GRAPH_BUILDERS),
+        help="graph family",
+    )
+    p_rec.add_argument(
+        "--graph-args",
+        type=int,
+        nargs="*",
+        default=[],
+        help="builder arguments (e.g. 6 for cycle, 3 for hypercube)",
+    )
+    p_rec.add_argument(
+        "--homes", type=int, nargs="+", required=True, help="home-base nodes"
+    )
+    p_rec.add_argument(
+        "--protocol",
+        default="elect",
+        choices=sorted(PROTOCOL_RUNNERS),
+        help="which protocol to run",
+    )
+    p_rec.add_argument("--seed", type=int, default=0)
+    p_rec.add_argument("--out", required=True, help="output JSONL path")
+    p_rec.set_defaults(func=_cmd_record)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # Bad instance specs and unreadable paths are user input problems,
+        # not crashes: one line on stderr, distinct exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

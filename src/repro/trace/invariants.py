@@ -1,0 +1,311 @@
+"""Trace-level invariant auditing.
+
+Aggregate counters can hide interleaving bugs; these checkers validate the
+*event sequence itself*.  Each checker returns an :class:`InvariantReport`;
+:func:`audit_trace` runs the applicable battery and
+:func:`assert_invariants` raises :class:`~repro.errors.InvariantViolation`
+on the first failure.
+
+Shipped checkers:
+
+* **step contiguity** — exactly one primary event per step ``0..steps-1``
+  (the property that makes schedules recoverable from traces);
+* **whiteboard mutual exclusion** — at most one whiteboard access per step,
+  i.e. accesses are totally ordered by the step index (the paper's "fair
+  mutual exclusion mechanism" observed at trace level);
+* **positional consistency** — agents act only where they are: replaying
+  just the ``move`` events from the header's homes predicts the node of
+  every event;
+* **lifecycle** — each agent wakes at most once, acts only after waking,
+  and emits nothing after ``done``;
+* **accounting agreement** — per-agent ``move``/access event counts equal
+  the runtime's :class:`~repro.sim.runtime.SimulationResult` metrics (the
+  counters and the trace tell the same story);
+* **Theorem 3.1 audit** — total moves and accesses within ``C·r·|E|`` for
+  a configurable constant (default mirrors the E7 benchmark's bound).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import InvariantViolation
+from .events import (
+    DONE,
+    MOVE,
+    PRE_RUN_STEP,
+    UNBLOCK,
+    WAKE,
+    TraceEvent,
+    TraceHeader,
+)
+
+#: Default constant for the Theorem 3.1 ``O(r·|E|)`` audit — matches the
+#: bound the E7 complexity benchmark asserts across the instance sweep.
+THEOREM31_CONSTANT = 15.0
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checker."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "VIOLATED"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"{self.name}: {status}{suffix}"
+
+
+def check_step_contiguity(events: Sequence[TraceEvent]) -> InvariantReport:
+    """Exactly one primary event per step, steps contiguous from 0."""
+    expected = 0
+    for ev in events:
+        if ev.step == PRE_RUN_STEP or not ev.is_primary:
+            continue
+        if ev.step != expected:
+            return InvariantReport(
+                "step-contiguity",
+                False,
+                f"expected primary event at step {expected}, got step "
+                f"{ev.step} (agent {ev.agent}, {ev.kind})",
+            )
+        expected += 1
+    return InvariantReport(
+        "step-contiguity", True, stats={"steps": float(expected)}
+    )
+
+
+def check_mutual_exclusion(events: Sequence[TraceEvent]) -> InvariantReport:
+    """At most one whiteboard access per step (atomicity, trace-level)."""
+    accesses_at: Dict[int, TraceEvent] = {}
+    total = 0
+    for ev in events:
+        if not ev.is_access:
+            continue
+        total += 1
+        prev = accesses_at.get(ev.step)
+        if prev is not None:
+            return InvariantReport(
+                "whiteboard-mutual-exclusion",
+                False,
+                f"step {ev.step}: two whiteboard accesses in one step "
+                f"(agent {prev.agent} {prev.kind} and agent {ev.agent} "
+                f"{ev.kind})",
+            )
+        accesses_at[ev.step] = ev
+    return InvariantReport(
+        "whiteboard-mutual-exclusion", True, stats={"accesses": float(total)}
+    )
+
+
+def check_positions(
+    events: Sequence[TraceEvent], header: TraceHeader
+) -> InvariantReport:
+    """Every event happens at the node its agent actually occupies."""
+    pos = {i: home for i, home in enumerate(header.homes)}
+    for ev in events:
+        where = pos.get(ev.agent)
+        if where is None:
+            return InvariantReport(
+                "positional-consistency",
+                False,
+                f"step {ev.step}: unknown agent {ev.agent}",
+            )
+        if ev.node != where:
+            return InvariantReport(
+                "positional-consistency",
+                False,
+                f"step {ev.step}: agent {ev.agent} recorded at node "
+                f"{ev.node} but occupies node {where}",
+            )
+        if ev.kind == MOVE:
+            if ev.dest is None:
+                return InvariantReport(
+                    "positional-consistency",
+                    False,
+                    f"step {ev.step}: move event lacks a destination",
+                )
+            pos[ev.agent] = ev.dest
+    return InvariantReport("positional-consistency", True)
+
+
+def check_lifecycle(events: Sequence[TraceEvent]) -> InvariantReport:
+    """Wake-once, act-only-awake, silent-after-done, per agent."""
+    woke: Dict[int, int] = {}
+    done: Dict[int, int] = {}
+    for ev in events:
+        if ev.agent in done:
+            return InvariantReport(
+                "agent-lifecycle",
+                False,
+                f"step {ev.step}: agent {ev.agent} emitted {ev.kind} after "
+                f"terminating at step {done[ev.agent]}",
+            )
+        if ev.kind == WAKE:
+            if ev.agent in woke:
+                return InvariantReport(
+                    "agent-lifecycle",
+                    False,
+                    f"step {ev.step}: agent {ev.agent} woke twice",
+                )
+            woke[ev.agent] = ev.step
+        else:
+            if ev.agent not in woke:
+                return InvariantReport(
+                    "agent-lifecycle",
+                    False,
+                    f"step {ev.step}: agent {ev.agent} acted ({ev.kind}) "
+                    f"before waking",
+                )
+            if ev.kind == DONE:
+                done[ev.agent] = ev.step
+    return InvariantReport(
+        "agent-lifecycle",
+        True,
+        stats={"woke": float(len(woke)), "done": float(len(done))},
+    )
+
+
+def check_accounting(
+    events: Sequence[TraceEvent],
+    moves: Sequence[int],
+    accesses: Sequence[int],
+    steps: Optional[int] = None,
+) -> InvariantReport:
+    """Trace-derived per-agent metrics equal the runtime's counters.
+
+    ``moves``/``accesses`` are the per-agent lists from a
+    :class:`~repro.sim.runtime.SimulationResult` (or an
+    :class:`~repro.core.result.ElectionOutcome`'s totals, summed).
+    """
+    ev_moves: Counter = Counter()
+    ev_accesses: Counter = Counter()
+    primaries = 0
+    for ev in events:
+        if ev.kind == MOVE:
+            ev_moves[ev.agent] += 1
+        if ev.is_access:
+            ev_accesses[ev.agent] += 1
+        if ev.is_primary:
+            primaries += 1
+    for i, expected in enumerate(moves):
+        if ev_moves.get(i, 0) != expected:
+            return InvariantReport(
+                "metrics-trace-agreement",
+                False,
+                f"agent {i}: trace has {ev_moves.get(i, 0)} moves, "
+                f"runtime counted {expected}",
+            )
+    for i, expected in enumerate(accesses):
+        if ev_accesses.get(i, 0) != expected:
+            return InvariantReport(
+                "metrics-trace-agreement",
+                False,
+                f"agent {i}: trace has {ev_accesses.get(i, 0)} accesses, "
+                f"runtime counted {expected}",
+            )
+    if steps is not None and primaries != steps:
+        return InvariantReport(
+            "metrics-trace-agreement",
+            False,
+            f"trace has {primaries} primary events, runtime took {steps} steps",
+        )
+    return InvariantReport(
+        "metrics-trace-agreement",
+        True,
+        stats={
+            "moves": float(sum(ev_moves.values())),
+            "accesses": float(sum(ev_accesses.values())),
+        },
+    )
+
+
+def check_theorem31(
+    events: Sequence[TraceEvent],
+    num_agents: int,
+    num_edges: int,
+    constant: float = THEOREM31_CONSTANT,
+) -> InvariantReport:
+    """Audit the Theorem 3.1 complexity bound on one run's trace.
+
+    Total moves and total whiteboard accesses must not exceed
+    ``constant · r · |E|``.  The report's stats carry the normalized ratios
+    so sweeps can track how close runs come to the bound.
+    """
+    total_moves = sum(1 for ev in events if ev.kind == MOVE)
+    total_accesses = sum(1 for ev in events if ev.is_access)
+    budget = constant * num_agents * max(1, num_edges)
+    r_moves = total_moves / (num_agents * max(1, num_edges))
+    r_accesses = total_accesses / (num_agents * max(1, num_edges))
+    stats = {
+        "moves": float(total_moves),
+        "accesses": float(total_accesses),
+        "moves_ratio": r_moves,
+        "accesses_ratio": r_accesses,
+    }
+    if total_moves > budget or total_accesses > budget:
+        return InvariantReport(
+            "theorem-3.1-bound",
+            False,
+            f"moves={total_moves}, accesses={total_accesses} exceed "
+            f"{constant}·r·|E| = {budget:.0f} (r={num_agents}, |E|={num_edges})",
+            stats=stats,
+        )
+    return InvariantReport("theorem-3.1-bound", True, stats=stats)
+
+
+def audit_trace(
+    events: Sequence[TraceEvent],
+    header: Optional[TraceHeader] = None,
+    moves: Optional[Sequence[int]] = None,
+    accesses: Optional[Sequence[int]] = None,
+    steps: Optional[int] = None,
+    theorem31_constant: float = THEOREM31_CONSTANT,
+) -> List[InvariantReport]:
+    """Run every applicable checker; skip those lacking their inputs.
+
+    The structural checkers (contiguity, mutual exclusion, lifecycle) need
+    only the events; positional consistency and the Theorem 3.1 audit need
+    a header; accounting agreement needs the runtime's per-agent counters.
+    """
+    reports = [
+        check_step_contiguity(events),
+        check_mutual_exclusion(events),
+        check_lifecycle(events),
+    ]
+    if header is not None:
+        reports.append(check_positions(events, header))
+        reports.append(
+            check_theorem31(
+                events,
+                num_agents=header.num_agents,
+                num_edges=header.num_edges,
+                constant=theorem31_constant,
+            )
+        )
+    if moves is not None and accesses is not None:
+        reports.append(check_accounting(events, moves, accesses, steps=steps))
+    return reports
+
+
+def assert_invariants(
+    events: Sequence[TraceEvent],
+    header: Optional[TraceHeader] = None,
+    moves: Optional[Sequence[int]] = None,
+    accesses: Optional[Sequence[int]] = None,
+    steps: Optional[int] = None,
+) -> List[InvariantReport]:
+    """Like :func:`audit_trace`, but raise on the first violation."""
+    reports = audit_trace(
+        events, header=header, moves=moves, accesses=accesses, steps=steps
+    )
+    for report in reports:
+        if not report.ok:
+            raise InvariantViolation(str(report))
+    return reports

@@ -1,0 +1,174 @@
+"""Trace aggregation: turn an event stream into a readable run summary.
+
+Bridges the trace subsystem to the :mod:`repro.analysis` reporting helpers
+(the same ASCII renderers the experiment harness uses), so ``python -m
+repro.trace summarize run.jsonl`` and the analysis CLI's ``trace``
+experiment print consistent artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.report import render_kv, render_table
+from .events import (
+    BLOCK,
+    DONE,
+    KINDS,
+    MOVE,
+    PRE_RUN_STEP,
+    WAKE,
+    TraceEvent,
+    TraceHeader,
+)
+
+
+@dataclass
+class AgentSummary:
+    """Per-agent aggregates derived from the trace."""
+
+    agent: int
+    color: str = ""
+    moves: int = 0
+    accesses: int = 0
+    blocks: int = 0
+    wake_step: Optional[int] = None
+    done_step: Optional[int] = None
+    nodes_visited: int = 0
+
+
+@dataclass
+class TraceSummary:
+    """Whole-run aggregates derived from the trace."""
+
+    steps: int
+    events_total: int
+    num_agents: int
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    agents: List[AgentSummary] = field(default_factory=list)
+    nodes_touched: int = 0
+    busiest_node: Optional[int] = None
+    busiest_node_events: int = 0
+
+    @property
+    def total_moves(self) -> int:
+        return sum(a.moves for a in self.agents)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(a.accesses for a in self.agents)
+
+
+def summarize(
+    events: Sequence[TraceEvent], header: Optional[TraceHeader] = None
+) -> TraceSummary:
+    """Aggregate an event stream (and optional header) into a summary."""
+    by_kind: Counter = Counter()
+    per_node: Counter = Counter()
+    agents: Dict[int, AgentSummary] = {}
+    if header is not None:
+        for i, name in enumerate(header.colors):
+            agents[i] = AgentSummary(agent=i, color=name)
+    visited: Dict[int, set] = {}
+    steps = 0
+    for ev in events:
+        by_kind[ev.kind] += 1
+        per_node[ev.node] += 1
+        summary = agents.get(ev.agent)
+        if summary is None:
+            summary = agents[ev.agent] = AgentSummary(agent=ev.agent)
+        if ev.color and not summary.color:
+            summary.color = ev.color
+        nodes = visited.setdefault(ev.agent, set())
+        nodes.add(ev.node)
+        if ev.kind == MOVE and ev.dest is not None:
+            summary.moves += 1
+            nodes.add(ev.dest)
+        if ev.is_access:
+            summary.accesses += 1
+        if ev.kind == BLOCK:
+            summary.blocks += 1
+        if ev.kind == WAKE and summary.wake_step is None:
+            summary.wake_step = ev.step
+        if ev.kind == DONE:
+            summary.done_step = ev.step
+        if ev.is_primary and ev.step != PRE_RUN_STEP:
+            steps = max(steps, ev.step + 1)
+    for idx, summary in agents.items():
+        summary.nodes_visited = len(visited.get(idx, ()))
+    busiest = per_node.most_common(1)
+    return TraceSummary(
+        steps=steps,
+        events_total=len(events),
+        num_agents=len(agents),
+        by_kind={k: by_kind[k] for k in KINDS if by_kind[k]},
+        agents=[agents[i] for i in sorted(agents)],
+        nodes_touched=len(per_node),
+        busiest_node=busiest[0][0] if busiest else None,
+        busiest_node_events=busiest[0][1] if busiest else 0,
+    )
+
+
+def render_summary(
+    summary: TraceSummary, header: Optional[TraceHeader] = None
+) -> str:
+    """Render a summary as the analysis harness's ASCII artifacts."""
+    pairs: List[Tuple[str, object]] = []
+    if header is not None:
+        pairs.extend(
+            [
+                ("nodes", header.num_nodes),
+                ("edges", header.num_edges),
+                ("scheduler", header.scheduler or "?"),
+            ]
+        )
+        for key, value in sorted(header.meta.items()):
+            pairs.append((key, value))
+    pairs.extend(
+        [
+            ("agents", summary.num_agents),
+            ("steps", summary.steps),
+            ("events", summary.events_total),
+            ("total moves", summary.total_moves),
+            ("total accesses", summary.total_accesses),
+            ("nodes touched", summary.nodes_touched),
+            (
+                "busiest node",
+                f"{summary.busiest_node} ({summary.busiest_node_events} events)"
+                if summary.busiest_node is not None
+                else "-",
+            ),
+        ]
+    )
+    blocks = [render_kv("trace summary", pairs)]
+    if summary.by_kind:
+        blocks.append(
+            render_table(
+                ["event kind", "count"],
+                [[k, v] for k, v in summary.by_kind.items()],
+            )
+        )
+    if summary.agents:
+        rows = [
+            [
+                a.agent,
+                a.color or "-",
+                a.moves,
+                a.accesses,
+                a.blocks,
+                a.nodes_visited,
+                "-" if a.wake_step is None else a.wake_step,
+                "-" if a.done_step is None else a.done_step,
+            ]
+            for a in summary.agents
+        ]
+        blocks.append(
+            render_table(
+                ["agent", "color", "moves", "accesses", "blocks",
+                 "nodes", "woke@", "done@"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

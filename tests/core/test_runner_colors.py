@@ -1,0 +1,52 @@
+"""Regression: ``run_election`` validates explicit colors up front.
+
+Passing a colors list whose length disagrees with the placement used to
+slip through and fail deep inside agent construction (or worse, silently
+truncate via ``zip``).  It must raise :class:`PlacementError` immediately,
+with a message that says what was expected.
+"""
+
+import pytest
+
+from repro import Placement, run_elect
+from repro.colors import ColorSpace
+from repro.errors import PlacementError
+from repro.graphs import cycle_graph
+
+
+class TestColorsLengthValidation:
+    def test_too_few_colors_raises_placement_error(self):
+        space = ColorSpace()
+        with pytest.raises(PlacementError, match="1 colors for 2 agents"):
+            run_elect(
+                cycle_graph(5),
+                Placement.of([0, 2]),
+                colors=[space.fresh()],
+            )
+
+    def test_too_many_colors_raises_placement_error(self):
+        space = ColorSpace()
+        with pytest.raises(PlacementError, match="3 colors for 2 agents"):
+            run_elect(
+                cycle_graph(5),
+                Placement.of([0, 2]),
+                colors=[space.fresh() for _ in range(3)],
+            )
+
+    def test_message_names_the_homes(self):
+        space = ColorSpace()
+        with pytest.raises(PlacementError, match=r"\(0, 2\)"):
+            run_elect(
+                cycle_graph(5),
+                Placement.of([0, 2]),
+                colors=[space.fresh()],
+            )
+
+    def test_matching_colors_are_used_verbatim(self):
+        space = ColorSpace()
+        colors = [space.fresh() for _ in range(2)]
+        outcome = run_elect(
+            cycle_graph(5), Placement.of([0, 2]), colors=colors, seed=1
+        )
+        assert outcome.elected
+        assert outcome.leader_color in colors

@@ -1,6 +1,7 @@
 """Fault-injection tests: crashed agents stall loudly, never lie."""
 
 import random
+import re
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.errors import DeadlockError
 from repro.graphs import complete_bipartite_graph, cycle_graph
 from repro.sim import Simulation, TryAcquire
 from repro.sim.faults import CrashAfter, CrashOnKind
+from repro.trace import MemorySink, ReplayScheduler, assert_invariants
 
 
 def build_agents(count, crash_index=None, crash_after=50, crash_kind=None):
@@ -76,6 +78,57 @@ class TestCrashFaults:
 
         verdicts = sorted(r.verdict.value for r in result.results)
         assert verdicts == ["defeated", "leader"]
+
+    def test_deadlock_error_names_the_blocked_waiters(self):
+        # The diagnostic must identify *who* is stuck, not just that the
+        # run stalled: the crashed agent by its crash reason, and every
+        # healthy agent blocked waiting on it by index.
+        net = complete_bipartite_graph(2, 3)
+        homes = [0, 1, 2, 3, 4]
+        agents = build_agents(5, crash_index=0, crash_after=10)
+        sim = Simulation(net, list(zip(agents, homes)))
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        message = str(err.value)
+        assert "agent 0" in message
+        assert "crashed after 10 actions" in message
+        named = set(re.findall(r"agent (\d+)", message))
+        # Every healthy waiter is named alongside the crashed agent: the
+        # whole team stalls inside round 1 once the searcher disappears.
+        assert named == {"0", "1", "2", "3", "4"}, message
+
+    def test_deadlocked_run_is_replayable(self):
+        # deadlock_ok=True yields a deadlocked=True outcome whose trace
+        # replays bit-for-bit: the stalled interleaving is reproducible.
+        net = complete_bipartite_graph(2, 3)
+        homes = [0, 1, 2, 3, 4]
+
+        def run(scheduler=None):
+            sink = MemorySink()
+            agents = build_agents(5, crash_index=1, crash_after=10)
+            sim = Simulation(
+                net,
+                list(zip(agents, homes)),
+                scheduler=scheduler,
+                deadlock_ok=True,
+                trace=sink,
+            )
+            return sim.run(), sink
+
+        result, recorded = run()
+        assert result.deadlocked
+        assert result.blocked_reasons
+        assert recorded.events, "deadlocked run must still produce a trace"
+        assert_invariants(recorded.events, header=recorded.header)
+
+        replayed_result, replayed = run(
+            scheduler=ReplayScheduler.from_events(recorded.events)
+        )
+        assert replayed_result.deadlocked
+        assert replayed_result.blocked_reasons == result.blocked_reasons
+        assert [e.to_dict() for e in recorded.events] == [
+            e.to_dict() for e in replayed.events
+        ]
 
     def test_crash_on_failure_path_does_not_matter(self):
         # gcd > 1: every agent decides failure from its own map; one agent

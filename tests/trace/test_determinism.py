@@ -1,0 +1,78 @@
+"""Scheduler determinism: same seed ⇒ same outcome, same event stream.
+
+Satellite coverage for the replay story's foundation: the only
+nondeterminism in a run is the scheduler's seeded choice sequence, so two
+runs with identical seeds must agree event-for-event — even though agent
+colors are freshly minted each run (the streams record color *names*,
+which are deterministic).  Representative instances: the hypercube (Cayley,
+ELECT succeeds with 3 agents) and the Petersen graph (ELECT fails).
+"""
+
+import pytest
+
+from repro import Placement, run_elect
+from repro.graphs import hypercube_cayley, petersen_graph
+from repro.sim import BiasedScheduler, RandomScheduler
+from repro.trace import MemorySink
+
+INSTANCES = [
+    ("hypercube", lambda: hypercube_cayley(3).network, [0, 3, 5], True),
+    ("petersen", lambda: petersen_graph(), [0, 1], False),
+]
+
+
+def run_once(build, homes, seed, scheduler_factory):
+    sink = MemorySink()
+    outcome = run_elect(
+        build(),
+        Placement.of(homes),
+        scheduler=scheduler_factory(seed),
+        seed=seed,
+        trace=sink,
+    )
+    return outcome, [e.to_dict() for e in sink.events]
+
+
+@pytest.mark.parametrize(
+    "name,build,homes,should_elect",
+    INSTANCES,
+    ids=[row[0] for row in INSTANCES],
+)
+@pytest.mark.parametrize(
+    "scheduler_factory",
+    [lambda seed: RandomScheduler(seed=seed),
+     lambda seed: BiasedScheduler(seed=seed)],
+    ids=["random", "biased"],
+)
+def test_same_seed_same_outcome_and_stream(
+    name, build, homes, should_elect, scheduler_factory
+):
+    first, stream1 = run_once(build, homes, seed=7,
+                              scheduler_factory=scheduler_factory)
+    second, stream2 = run_once(build, homes, seed=7,
+                               scheduler_factory=scheduler_factory)
+    assert first.elected == second.elected == should_elect
+    if should_elect:
+        assert first.leader_color.name == second.leader_color.name
+    assert [r.verdict for r in first.reports] == [
+        r.verdict for r in second.reports
+    ]
+    assert (first.total_moves, first.total_accesses, first.steps) == (
+        second.total_moves,
+        second.total_accesses,
+        second.steps,
+    )
+    assert stream1 == stream2
+
+
+def test_different_seeds_are_exercised_independently():
+    # Sanity check that the determinism above is not vacuous: the recorded
+    # stream does depend on the scheduler (different seeds are allowed to —
+    # and on these instances do — produce different interleavings).
+    _, stream_a = run_once(
+        lambda: petersen_graph(), [0, 1], seed=1,
+        scheduler_factory=lambda seed: RandomScheduler(seed=seed))
+    _, stream_b = run_once(
+        lambda: petersen_graph(), [0, 1], seed=2,
+        scheduler_factory=lambda seed: RandomScheduler(seed=seed))
+    assert stream_a != stream_b

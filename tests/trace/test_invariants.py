@@ -1,0 +1,149 @@
+"""Trace-level invariant auditing: seed protocols pass, tampering fails."""
+
+import random
+
+import pytest
+
+from repro import Placement, run_cayley_elect, run_elect, run_quantitative
+from repro.colors import ColorSpace
+from repro.core.elect import ElectAgent
+from repro.core.runner import run_petersen_duel
+from repro.errors import InvariantViolation
+from repro.graphs import (
+    cycle_cayley,
+    cycle_graph,
+    hypercube_cayley,
+    path_graph,
+    petersen_graph,
+)
+from repro.sim import Simulation
+from repro.trace import (
+    MOVE,
+    MemorySink,
+    TraceEvent,
+    assert_invariants,
+    audit_trace,
+    check_accounting,
+    check_lifecycle,
+    check_mutual_exclusion,
+    check_positions,
+    check_step_contiguity,
+    check_theorem31,
+    summarize,
+)
+
+SEED_PROTOCOLS = [
+    ("elect/path", lambda sink: run_elect(
+        path_graph(5), Placement.of([0, 2]), seed=1, trace=sink)),
+    ("elect/cayley", lambda sink: run_elect(
+        hypercube_cayley(3).network, Placement.of([0, 3, 5]), seed=2,
+        trace=sink)),
+    ("cayley-elect", lambda sink: run_cayley_elect(
+        cycle_cayley(5).network, Placement.of([0, 1]), seed=3, trace=sink)),
+    ("quantitative", lambda sink: run_quantitative(
+        cycle_graph(4), Placement.of([0, 2]), seed=4, trace=sink)),
+    ("petersen-duel", lambda sink: run_petersen_duel(
+        petersen_graph(), Placement.of([0, 1]), seed=5, trace=sink)),
+    ("elect/failing", lambda sink: run_elect(
+        petersen_graph(), Placement.of([0, 1]), seed=6, trace=sink)),
+]
+
+
+class TestSeedProtocolsPassAudit:
+    @pytest.mark.parametrize(
+        "name,runner", SEED_PROTOCOLS, ids=[n for n, _ in SEED_PROTOCOLS]
+    )
+    def test_all_invariants_hold(self, name, runner):
+        sink = MemorySink()
+        outcome = runner(sink)
+        reports = assert_invariants(sink.events, header=sink.header)
+        assert all(r.ok for r in reports)
+        # Metrics/trace accounting agreement at the outcome level too.
+        summary = summarize(sink.events, header=sink.header)
+        assert summary.total_moves == outcome.total_moves
+        assert summary.total_accesses == outcome.total_accesses
+        assert summary.steps == outcome.steps
+
+    def test_per_agent_accounting_against_simulation_result(self):
+        space = ColorSpace()
+        agents = [
+            ElectAgent(space.fresh(), rng=random.Random(i)) for i in range(2)
+        ]
+        sink = MemorySink()
+        sim = Simulation(
+            cycle_graph(5), list(zip(agents, [0, 2])), trace=sink
+        )
+        result = sim.run()
+        report = check_accounting(
+            sink.events, result.moves, result.accesses, steps=result.steps
+        )
+        assert report.ok, report
+
+
+def traced_run():
+    sink = MemorySink()
+    run_elect(cycle_graph(5), Placement.of([0, 1]), seed=0, trace=sink)
+    return sink
+
+
+class TestTamperDetection:
+    def test_duplicated_step_breaks_contiguity(self):
+        sink = traced_run()
+        events = list(sink.events)
+        at = next(i for i, e in enumerate(events) if e.is_primary)
+        events.insert(at + 1, events[at])
+        assert not check_step_contiguity(events).ok
+
+    def test_two_accesses_in_one_step_break_mutual_exclusion(self):
+        sink = traced_run()
+        events = list(sink.events)
+        access = next(e for e in events if e.is_access)
+        rogue = TraceEvent(
+            step=access.step, kind="read", agent=1 - access.agent, node=0
+        )
+        events.append(rogue)
+        assert not check_mutual_exclusion(events).ok
+
+    def test_teleport_breaks_positional_consistency(self):
+        sink = traced_run()
+        events = list(sink.events)
+        move_at = next(i for i, e in enumerate(events) if e.kind == MOVE)
+        ev = events[move_at]
+        events[move_at] = TraceEvent(
+            step=ev.step,
+            kind=ev.kind,
+            agent=ev.agent,
+            node=ev.node,
+            port=ev.port,
+            dest=(ev.dest + 1) % 5,
+            entry=ev.entry,
+        )
+        assert not check_positions(events, sink.header).ok
+
+    def test_acting_before_wake_breaks_lifecycle(self):
+        events = [TraceEvent(step=0, kind="read", agent=0, node=0)]
+        assert not check_lifecycle(events).ok
+
+    def test_theorem31_flags_budget_blowout(self):
+        sink = traced_run()
+        # An absurdly tight constant turns a healthy run into a violation —
+        # the checker's arithmetic, not the run, is under test here.
+        report = check_theorem31(
+            sink.events, num_agents=2, num_edges=5, constant=0.001
+        )
+        assert not report.ok
+        assert report.stats["moves"] > 0
+
+    def test_assert_invariants_raises_on_violation(self):
+        sink = traced_run()
+        events = list(sink.events)
+        at = next(i for i, e in enumerate(events) if e.is_primary)
+        events.insert(at + 1, events[at])
+        with pytest.raises(InvariantViolation):
+            assert_invariants(events, header=sink.header)
+
+    def test_audit_without_header_runs_structural_checks_only(self):
+        sink = traced_run()
+        names = {r.name for r in audit_trace(sink.events)}
+        assert "step-contiguity" in names
+        assert "positional-consistency" not in names

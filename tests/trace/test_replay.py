@@ -1,0 +1,177 @@
+"""Deterministic replay: recorded runs reproduce bit-for-bit.
+
+Covers the acceptance scenario: a run recorded under ``RandomScheduler``
+replays via :class:`ReplayScheduler` to an identical
+:class:`ElectionOutcome` and identical event stream, for ELECT on a Cayley
+instance and on the Petersen counterexample.
+"""
+
+import pytest
+
+from repro import Placement, run_elect
+from repro.errors import ReplayDivergence, TraceError
+from repro.graphs import cycle_graph, hypercube_cayley, petersen_graph
+from repro.sim import RandomScheduler, RecordingScheduler
+from repro.trace import (
+    MemorySink,
+    ReplayScheduler,
+    TraceEvent,
+    record_run,
+    replay_trace,
+    schedule_of,
+)
+
+
+def streams_equal(a, b):
+    return len(a) == len(b) and all(
+        x.to_dict() == y.to_dict() for x, y in zip(a, b)
+    )
+
+
+def record_and_replay(network, homes, seed):
+    recorded = MemorySink()
+    outcome = run_elect(
+        network,
+        Placement.of(homes),
+        scheduler=RandomScheduler(seed=seed),
+        seed=seed,
+        trace=recorded,
+    )
+    replayed = MemorySink()
+    outcome2 = run_elect(
+        network,
+        Placement.of(homes),
+        scheduler=ReplayScheduler.from_events(recorded.events),
+        seed=seed,
+        trace=replayed,
+    )
+    return outcome, outcome2, recorded, replayed
+
+
+class TestInMemoryReplay:
+    def test_elect_on_cayley_instance_replays_identically(self):
+        # ELECT elects on Q_3 with three agents; the replay must reproduce
+        # the leader, the metrics, and the exact event stream.
+        net = hypercube_cayley(3).network
+        outcome, outcome2, recorded, replayed = record_and_replay(
+            net, [0, 3, 5], seed=11
+        )
+        assert outcome.elected and outcome2.elected
+        assert outcome.leader_color.name == outcome2.leader_color.name
+        assert [r.verdict for r in outcome.reports] == [
+            r.verdict for r in outcome2.reports
+        ]
+        assert (outcome.total_moves, outcome.total_accesses, outcome.steps) == (
+            outcome2.total_moves,
+            outcome2.total_accesses,
+            outcome2.steps,
+        )
+        assert streams_equal(recorded.events, replayed.events)
+
+    def test_petersen_counterexample_replays_identically(self):
+        # Two adjacent agents on Petersen: ELECT correctly fails (Figure 5);
+        # the failing run is just as replayable as a successful one.
+        outcome, outcome2, recorded, replayed = record_and_replay(
+            petersen_graph(), [0, 1], seed=5
+        )
+        assert outcome.failed and outcome2.failed
+        assert outcome.steps == outcome2.steps
+        assert streams_equal(recorded.events, replayed.events)
+
+    def test_recording_scheduler_matches_trace_schedule(self):
+        sink = MemorySink()
+        recorder = RecordingScheduler(RandomScheduler(seed=4))
+        run_elect(
+            cycle_graph(5),
+            Placement.of([0, 2]),
+            scheduler=recorder,
+            seed=4,
+            trace=sink,
+        )
+        assert recorder.choices == schedule_of(sink.events)
+        assert len(recorder.choices) > 0
+
+    def test_replay_on_wrong_instance_diverges_loudly(self):
+        sink = MemorySink()
+        run_elect(
+            cycle_graph(5),
+            Placement.of([0, 1]),
+            seed=0,
+            trace=sink,
+        )
+        with pytest.raises(ReplayDivergence):
+            run_elect(
+                cycle_graph(7),
+                Placement.of([0, 1]),
+                scheduler=ReplayScheduler.from_events(sink.events),
+                seed=0,
+            )
+
+
+class TestScheduleRecovery:
+    def test_schedule_matches_step_count(self):
+        sink = MemorySink()
+        outcome = run_elect(cycle_graph(5), Placement.of([0, 1]), trace=sink)
+        schedule = schedule_of(sink.events)
+        assert len(schedule) == outcome.steps
+        assert all(0 <= idx < 2 for idx in schedule)
+
+    def test_gap_in_steps_is_rejected(self):
+        events = [
+            TraceEvent(step=0, kind="read", agent=0, node=0),
+            TraceEvent(step=2, kind="read", agent=0, node=0),
+        ]
+        with pytest.raises(TraceError, match="non-contiguous"):
+            schedule_of(events)
+
+    def test_double_primary_step_is_rejected(self):
+        events = [
+            TraceEvent(step=0, kind="read", agent=0, node=0),
+            TraceEvent(step=0, kind="read", agent=1, node=1),
+        ]
+        with pytest.raises(TraceError, match="two primary"):
+            schedule_of(events)
+
+
+class TestFileReplay:
+    def test_record_then_replay_from_file(self, tmp_path):
+        path = str(tmp_path / "elect.jsonl")
+        outcome, _ = record_run(
+            "cycle", [6], [0, 2], protocol="elect", seed=3, path=path
+        )
+        assert outcome.elected
+        result = replay_trace(path)
+        assert result.matches
+        assert result.outcome.elected
+        assert result.outcome.steps == outcome.steps
+        assert result.outcome.total_moves == outcome.total_moves
+
+    def test_replay_petersen_duel_from_file(self, tmp_path):
+        path = str(tmp_path / "duel.jsonl")
+        outcome, _ = record_run(
+            "petersen", [], [0, 1], protocol="petersen-duel", seed=2, path=path
+        )
+        assert outcome.elected
+        result = replay_trace(path)
+        assert result.matches and result.outcome.elected
+
+    def test_headerless_trace_cannot_file_replay(self):
+        with pytest.raises(TraceError, match="no header"):
+            replay_trace((None, []))
+
+    def test_meta_less_trace_cannot_file_replay(self):
+        sink = MemorySink()
+        run_elect(cycle_graph(5), Placement.of([0, 1]), trace=sink)
+        # Header exists but carries no instance spec (graph/homes/...).
+        header = sink.header
+        header.meta.pop("graph", None)
+        with pytest.raises(TraceError, match="meta lacks"):
+            replay_trace((header, sink.events))
+
+    def test_unknown_graph_family_rejected(self):
+        with pytest.raises(TraceError, match="unknown graph family"):
+            record_run("moebius", [5], [0, 1])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(TraceError, match="unknown protocol"):
+            record_run("cycle", [5], [0, 1], protocol="best-effort")
