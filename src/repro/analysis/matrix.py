@@ -41,13 +41,16 @@ from ..core.runner import (
     run_petersen_duel,
     run_quantitative,
 )
+from ..errors import ReproductionError
 from ..graphs.builders import complete_graph, cycle_graph, petersen_graph
 from ..graphs.cayley import cycle_cayley, hypercube_cayley
 from ..graphs.network import AnonymousNetwork
+from ..perf import ParallelBatteryRunner
 from .instances import (
     Instance,
     asymmetric_instances,
     cayley_effectualness_instances,
+    evaluate_battery,
     impossibility_instances,
     petersen_duel_instances,
     quantitative_battery,
@@ -116,7 +119,11 @@ def _anonymous_counterexample_evidence() -> Tuple[str, int]:
     """
     net = cycle_cayley(6).network  # natural labeling: maximally symmetric
     cert = theorem21_certificate(net, Placement.of([0, 3]))
-    assert cert.proves_impossible
+    if not cert.proves_impossible:
+        raise ReproductionError(
+            "C_6 antipodal certificate does not prove impossibility: "
+            f"label classes of size {cert.label_class_size} (expected > 1)"
+        )
     return (
         f"C_6 antipodal: label classes of size {cert.label_class_size}, "
         f"symmetricity {cert.symmetricity} (Thm 2.1); rings are Cayley",
@@ -136,7 +143,11 @@ def _qualitative_universal_evidence() -> Tuple[str, int]:
     sym = space.fresh("*")
     net = AnonymousNetwork(2, [(0, sym, 1, sym)], name="K_2-sym")
     cert = theorem21_certificate(net, Placement.of([0, 1]))
-    assert cert.proves_impossible
+    if not cert.proves_impossible:
+        raise ReproductionError(
+            "symmetric K_2 certificate does not prove impossibility: "
+            f"label classes of size {cert.label_class_size} (expected 2)"
+        )
     return (
         f"K_2 with equal port symbols: label classes of size "
         f"{cert.label_class_size} (Thm 2.1)",
@@ -144,15 +155,59 @@ def _qualitative_universal_evidence() -> Tuple[str, int]:
     )
 
 
+# Battery evaluators.  Module-level so the process executor can pickle
+# them; each takes (instance, seed) and returns a small plain tuple, and
+# the reduction below runs serially in input order — so the cells (verdict,
+# evidence, instances_checked) are byte-identical for any worker count.
+
+
+def _eval_cayley_effectualness(item: Tuple[Instance, int]) -> Tuple[str, bool, bool]:
+    inst, seed = item
+    possible = cayley_election_possible(inst.network, inst.placement)
+    outcome = run_cayley_elect(inst.network, inst.placement, seed=seed)
+    return (inst.label, possible, outcome.elected)
+
+
+def _eval_petersen_duel(item: Tuple[Instance, int]) -> Tuple[str, bool, bool]:
+    inst, seed = item
+    elect_out = run_elect(inst.network, inst.placement, seed=seed)
+    duel_out = run_petersen_duel(inst.network, inst.placement, seed=seed)
+    return (inst.label, elect_out.failed, duel_out.elected)
+
+
+def _eval_quantitative(item: Tuple[Instance, int]) -> Tuple[str, bool]:
+    inst, seed = item
+    outcome = run_quantitative(inst.network, inst.placement, seed=seed)
+    return (inst.label, outcome.elected)
+
+
 def reproduce_table1(
     seed: int = 0,
     quick: bool = False,
+    workers: Optional[int] = 1,
+    runner: Optional[ParallelBatteryRunner] = None,
 ) -> Table1Result:
     """Re-derive every cell of Table 1 empirically.
 
     ``quick`` trims the instance batteries (used by unit tests; the
-    benchmark runs the full version).
+    benchmark runs the full version).  ``workers`` (or an explicit
+    ``runner``) fans the independent battery instances out over a process
+    pool; results are reduced in input order, so the returned cells are
+    byte-identical to the serial run.
     """
+    owns_runner = runner is None
+    if runner is None:
+        runner = ParallelBatteryRunner(workers=workers)
+    try:
+        return _reproduce_table1(seed, quick, runner)
+    finally:
+        if owns_runner:
+            runner.close()
+
+
+def _reproduce_table1(
+    seed: int, quick: bool, runner: ParallelBatteryRunner
+) -> Table1Result:
     result = Table1Result()
 
     # ----- Row: anonymous ------------------------------------------------
@@ -175,35 +230,48 @@ def reproduce_table1(
         max_per_count=3 if quick else 8,
         seed=seed,
     )
-    checked = 0
-    for inst in battery:
-        possible = cayley_election_possible(inst.network, inst.placement)
-        outcome = run_cayley_elect(inst.network, inst.placement, seed=seed)
-        if outcome.elected != possible:
-            result.cells[("qualitative", "effectual_cayley")] = CellResult(
-                verdict="No",
-                evidence=f"effectualness violated on {inst.label}",
-                instances_checked=checked,
-            )
-            break
-        checked += 1
+    outcomes = evaluate_battery(
+        [(inst, seed) for inst in battery], _eval_cayley_effectualness, runner
+    )
+    violation = next(
+        (
+            (idx, label)
+            for idx, (label, possible, elected) in enumerate(outcomes)
+            if elected != possible
+        ),
+        None,
+    )
+    if violation is not None:
+        idx, label = violation
+        result.cells[("qualitative", "effectual_cayley")] = CellResult(
+            verdict="No",
+            evidence=f"effectualness violated on {label}",
+            instances_checked=idx,
+        )
     else:
         result.cells[("qualitative", "effectual_cayley")] = CellResult(
             verdict="Yes",
             evidence="Cayley-ELECT elects iff election is possible on the battery",
-            instances_checked=checked,
+            instances_checked=len(outcomes),
         )
 
     # Effectual on arbitrary graphs: the paper's open question.  Reproduce
     # the evidence: ELECT fails on the Petersen instance although the
     # bespoke protocol solves it.
     duels = petersen_duel_instances()[: 2 if quick else 5]
-    petersen_evidence = 0
-    for inst in duels:
-        elect_out = run_elect(inst.network, inst.placement, seed=seed)
-        duel_out = run_petersen_duel(inst.network, inst.placement, seed=seed)
-        assert elect_out.failed and duel_out.elected
-        petersen_evidence += 1
+    for label, elect_failed, duel_elected in evaluate_battery(
+        [(inst, seed) for inst in duels], _eval_petersen_duel, runner
+    ):
+        if not elect_failed:
+            raise ReproductionError(
+                f"generic ELECT unexpectedly elected on {label}; the Petersen "
+                "instance should defeat it (Section 4)"
+            )
+        if not duel_elected:
+            raise ReproductionError(
+                f"the bespoke Figure 5 protocol failed to elect on {label}"
+            )
+    petersen_evidence = len(duels)
     result.cells[("qualitative", "effectual_arbitrary")] = CellResult(
         verdict="?",
         evidence=(
@@ -218,11 +286,15 @@ def reproduce_table1(
     battery = quantitative_battery(seed=seed)
     if quick:
         battery = battery[:5]
-    checked = 0
-    for inst in battery:
-        outcome = run_quantitative(inst.network, inst.placement, seed=seed)
-        assert outcome.elected, f"quantitative protocol failed on {inst.label}"
-        checked += 1
+    for label, elected in evaluate_battery(
+        [(inst, seed) for inst in battery], _eval_quantitative, runner
+    ):
+        if not elected:
+            raise ReproductionError(
+                f"quantitative protocol failed on {label}; Table 1's "
+                "quantitative row claims universal election"
+            )
+    checked = len(battery)
     for col in COLUMNS:
         result.cells[("quantitative", col)] = CellResult(
             verdict="Yes",

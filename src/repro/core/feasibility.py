@@ -37,6 +37,7 @@ from ..graphs.cayley import CayleyGraph
 from ..graphs.network import AnonymousNetwork
 from ..graphs.recognition import color_preserving_translations
 from ..graphs.views import symmetricity_of_labeling
+from ..perf import cache as _perf_cache
 from ..groups.permgroup import find_regular_subgroups, orbits_of
 from ..groups.symmetric import Permutation
 from .ordering import ClassStructure, compute_class_structure
@@ -87,6 +88,27 @@ class TranslationCertificate:
         return self.stabilizer_size > 1
 
 
+def regular_subgroups_of(network: AnonymousNetwork) -> List[Tuple[Permutation, ...]]:
+    """Regular subgroups of the uncolored automorphism group, memoized.
+
+    ``classify`` consults this in up to three branches per instance (and
+    the Table 1 batteries re-classify the same networks under many
+    placements); the subgroup search runs once per network.
+    """
+    cached = _perf_cache.memo(
+        network,
+        "regular_subgroups",
+        None,
+        lambda: tuple(
+            tuple(sub)
+            for sub in find_regular_subgroups(
+                color_preserving_automorphisms(network), network.num_nodes
+            )
+        ),
+    )
+    return [tuple(sub) for sub in cached]
+
+
 def translation_certificates(
     network: AnonymousNetwork,
     placement: Placement,
@@ -98,8 +120,9 @@ def translation_certificates(
     (i.e. is not a Cayley graph).
     """
     if automorphisms is None:
-        automorphisms = color_preserving_automorphisms(network)
-    subgroups = find_regular_subgroups(automorphisms, network.num_nodes)
+        subgroups = regular_subgroups_of(network)
+    else:
+        subgroups = find_regular_subgroups(automorphisms, network.num_nodes)
     if not subgroups:
         raise RecognitionError("network is not a Cayley graph")
     bicolor = placement.bicoloring(network)
@@ -181,12 +204,8 @@ def classify(network: AnonymousNetwork, placement: Placement) -> Classification:
     certificate = free_automorphism_certificate(network, bicolor)
     if certificate is not None:
         translation: Tuple[TranslationCertificate, ...] = ()
-        autos = color_preserving_automorphisms(network)
-        subgroups = find_regular_subgroups(autos, network.num_nodes)
-        if subgroups:
-            translation = tuple(
-                translation_certificates(network, placement, autos)
-            )
+        if regular_subgroups_of(network):
+            translation = tuple(translation_certificates(network, placement))
         return Classification(
             verdict=Feasibility.IMPOSSIBLE,
             reason=(
@@ -197,10 +216,8 @@ def classify(network: AnonymousNetwork, placement: Placement) -> Classification:
             elect=prediction,
             translation=translation,
         )
-    autos = color_preserving_automorphisms(network)
-    subgroups = find_regular_subgroups(autos, network.num_nodes)
-    if subgroups:
-        certs = translation_certificates(network, placement, autos)
+    if regular_subgroups_of(network):
+        certs = translation_certificates(network, placement)
         if any(c.proves_impossible for c in certs):
             return Classification(
                 verdict=Feasibility.IMPOSSIBLE,

@@ -103,3 +103,14 @@ class InvariantViolation(TraceError):
 
 class RecognitionError(ReproError):
     """Raised when Cayley-graph recognition fails or is ambiguous."""
+
+
+class ReproductionError(ReproError):
+    """Raised when an empirical reproduction contradicts the paper.
+
+    The Table 1 matrix and the certificate helpers raise this (instead of
+    ``assert``, which ``python -O`` would strip) when a protocol outcome or
+    an impossibility certificate disagrees with the paper's claim — e.g. a
+    quantitative election failing on a feasible instance, or the Petersen
+    duel not electing.  The message names the offending instance.
+    """

@@ -24,8 +24,9 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 from ..errors import GraphError
 from ..groups.permgroup import orbits_of
 from ..groups.symmetric import Permutation
+from ..perf import cache as _cache
 from .network import AnonymousNetwork
-from .views import _normalize_colors
+from .views import _colors_key, _normalize_colors
 
 NodeColoring = Sequence[Hashable]
 
@@ -75,7 +76,26 @@ def color_preserving_automorphisms(
 
     Raises :class:`GraphError` on non-simple networks or if more than
     ``limit`` automorphisms exist.
+
+    Memoized per ``(network, coloring, limit)`` — ``classify`` and the
+    Table 1 batteries ask for the same group several times per instance.
     """
+    cached = _cache.memo(
+        network,
+        "automorphisms",
+        (_colors_key(node_colors), limit),
+        lambda: tuple(
+            _color_preserving_automorphisms(network, node_colors, limit)
+        ),
+    )
+    return list(cached)
+
+
+def _color_preserving_automorphisms(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring],
+    limit: int,
+) -> List[Permutation]:
     if not network.is_simple:
         raise GraphError("automorphism search requires a simple network")
     n = network.num_nodes
@@ -223,8 +243,24 @@ def equivalence_classes(
 
     Computed without enumerating the automorphism group: candidate pairs
     come from the equitable refinement (orbits refine it), and one witness
-    automorphism per pair merges their union-find cells.
+    automorphism per pair merges their union-find cells.  Memoized per
+    ``(network, coloring)``.
     """
+    cached = _cache.memo(
+        network,
+        "equivalence_classes",
+        _colors_key(node_colors),
+        lambda: tuple(
+            tuple(cls) for cls in _equivalence_classes(network, node_colors)
+        ),
+    )
+    return [list(cls) for cls in cached]
+
+
+def _equivalence_classes(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring],
+) -> List[List[int]]:
     n = network.num_nodes
     adjacency = network.adjacency_sets()
     colors = _normalize_colors(network, node_colors)
@@ -314,8 +350,23 @@ def label_preserving_automorphisms(
     """All automorphisms preserving node colors and port labels.
 
     Works on multigraphs; at most ``n`` automorphisms exist (one candidate
-    per image of node 0), so enumeration is O(n·m).
+    per image of node 0), so enumeration is O(n·m).  Memoized per
+    ``(network, coloring)`` — ``theorem21_certificate`` needs the orbits
+    right after ``classify`` enumerated the same group.
     """
+    cached = _cache.memo(
+        network,
+        "label_automorphisms",
+        _colors_key(node_colors),
+        lambda: tuple(_label_preserving_automorphisms(network, node_colors)),
+    )
+    return list(cached)
+
+
+def _label_preserving_automorphisms(
+    network: AnonymousNetwork,
+    node_colors: Optional[NodeColoring],
+) -> List[Permutation]:
     colors = _normalize_colors(network, node_colors)
     result: List[Permutation] = []
     for target in network.nodes():

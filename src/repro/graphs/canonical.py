@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import GraphError
+from ..perf import cache as _cache
 
 CanonicalKey = Tuple[int, Tuple[int, ...], bytes]
 
@@ -195,9 +196,15 @@ def canonical_key(g: Digraph) -> CanonicalKey:
     ``canonical_key(g1) == canonical_key(g2)`` iff the colored digraphs are
     isomorphic; keys of non-isomorphic digraphs compare consistently in
     every process, giving the ``≺`` of Lemma 3.1.
+
+    Memoized on the (hashable, immutable) digraph itself: the
+    individualization–refinement search is by far the most expensive step
+    of the Lemma 3.1 ordering, and the batteries ask for the same
+    surrounding digraphs repeatedly.
     """
-    colors_row, matrix = canonical_encoding(g)
-    return (g.num_nodes, colors_row, matrix)
+    return _cache.memo_value(
+        "canonical_key", g, lambda: (g.num_nodes, *canonical_encoding(g))
+    )
 
 
 def canonical_node_order(g: Digraph) -> List[int]:

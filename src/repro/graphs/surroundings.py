@@ -20,9 +20,10 @@ from __future__ import annotations
 from typing import Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import GraphError
+from ..perf import cache as _cache
 from .canonical import CanonicalKey, Digraph, canonical_key, digraph_refinement
 from .network import AnonymousNetwork
-from .views import _normalize_colors
+from .views import _colors_key, _normalize_colors
 
 NodeColoring = Sequence[Hashable]
 
@@ -36,7 +37,23 @@ def surrounding(
 
     Requires a simple network (Definition 3.1 is stated for simple graphs;
     the surrounding of a multigraph would need arc multiplicities).
+    Memoized per ``(network, u, coloring)``: :func:`surrounding_profile`
+    and :func:`surrounding_key` both start from this digraph, and the
+    returned :class:`Digraph` is immutable so sharing is safe.
     """
+    return _cache.memo(
+        network,
+        "surrounding",
+        (u, _colors_key(node_colors)),
+        lambda: _surrounding(network, u, node_colors),
+    )
+
+
+def _surrounding(
+    network: AnonymousNetwork,
+    u: int,
+    node_colors: Optional[NodeColoring],
+) -> Digraph:
     if not network.is_simple:
         raise GraphError("surroundings are defined for simple networks")
     colors = _normalize_colors(network, node_colors)
@@ -55,8 +72,19 @@ def surrounding_key(
     u: int,
     node_colors: Optional[NodeColoring] = None,
 ) -> CanonicalKey:
-    """Canonical key of ``S(u)`` — the per-node sort key of Lemma 3.1."""
-    return canonical_key(surrounding(network, u, node_colors))
+    """Canonical key of ``S(u)`` — the per-node sort key of Lemma 3.1.
+
+    Memoized per ``(network, u, coloring)``; the underlying
+    :func:`canonical_key` is additionally memoized on the digraph, so even
+    a cold per-node entry is cheap when an isomorphic surrounding was
+    keyed before.
+    """
+    return _cache.memo(
+        network,
+        "surrounding_key",
+        (u, _colors_key(node_colors)),
+        lambda: canonical_key(surrounding(network, u, node_colors)),
+    )
 
 
 def in_degree_zero_nodes(g: Digraph) -> List[int]:
@@ -74,8 +102,22 @@ def surrounding_profile(
 
     Distinct profiles certify non-isomorphic surroundings; equal profiles
     are inconclusive.  Used to avoid the expensive canonical form when the
-    fingerprint already separates two classes.
+    fingerprint already separates two classes.  Memoized per
+    ``(network, u, coloring)`` alongside :func:`surrounding_key`.
     """
+    return _cache.memo(
+        network,
+        "surrounding_profile",
+        (u, _colors_key(node_colors)),
+        lambda: _surrounding_profile(network, u, node_colors),
+    )
+
+
+def _surrounding_profile(
+    network: AnonymousNetwork,
+    u: int,
+    node_colors: Optional[NodeColoring],
+) -> Tuple:
     g = surrounding(network, u, node_colors)
     palette = _normalize_colors(network, node_colors)
     refined = digraph_refinement(g, palette)

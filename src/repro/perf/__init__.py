@@ -1,0 +1,48 @@
+"""Performance layer: memoization, parallel batteries, benchmark tooling.
+
+Every feasibility question in the reproduction — Theorem 2.1 certificates,
+σ_ℓ(G) symmetricity, Lemma 3.1 class ordering, the Table 1 batteries —
+funnels through the view-refinement and canonical-form machinery in
+:mod:`repro.graphs`.  This package makes that layer fast and measurable:
+
+* :mod:`repro.perf.cache` — a per-:class:`~repro.graphs.AnonymousNetwork`
+  memo cache shared by ``view_refinement``, ``view_classes``,
+  ``views_equal``, ``symmetricity_of_labeling``, ``view_quotient``,
+  ``surrounding_key`` and ``canonical_key``, with hit/miss counters, an
+  explicit ``invalidate`` and an ``uncached()`` escape hatch;
+* :mod:`repro.perf.parallel` — :class:`ParallelBatteryRunner`, a
+  ``concurrent.futures`` fan-out over independent election instances with
+  deterministic result ordering (used by ``reproduce_table1`` and the
+  instance batteries);
+* :mod:`repro.perf.bench_compare` — the benchmark-regression comparator
+  (``python -m repro.perf.bench_compare baseline.json current.json``).
+
+Networks are immutable after construction (all transformations return
+copies), which is what makes identity-keyed caching sound; see DESIGN §8.2
+for the keying and invalidation rules.
+"""
+
+from .cache import (
+    cache_enabled,
+    cache_stats,
+    invalidate,
+    memo,
+    memo_value,
+    reset_cache_stats,
+    stats_rows,
+    uncached,
+)
+from .parallel import ParallelBatteryRunner, parallel_map
+
+__all__ = [
+    "ParallelBatteryRunner",
+    "parallel_map",
+    "cache_enabled",
+    "cache_stats",
+    "invalidate",
+    "memo",
+    "memo_value",
+    "reset_cache_stats",
+    "stats_rows",
+    "uncached",
+]

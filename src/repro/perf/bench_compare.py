@@ -1,0 +1,109 @@
+"""Compare two ``pytest-benchmark`` JSON files and flag regressions.
+
+Usage::
+
+    python -m repro.perf.bench_compare BASELINE.json CURRENT.json \
+        [--threshold 0.20] [--warn-only]
+
+Benchmarks are matched by ``fullname``; for each match the mean times are
+compared and any slowdown beyond ``--threshold`` (default 20%) is flagged.
+Exit status: 0 when no regression (or ``--warn-only``), 1 on regressions,
+2 on malformed input.  Benchmarks present in only one file are reported but
+never fail the comparison (suites grow).
+
+Deliberately stdlib-only so CI can run it before installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+
+def load_benchmarks(path: str) -> Dict[str, float]:
+    """Map ``fullname`` -> mean seconds from a pytest-benchmark JSON file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)):
+            out[name] = float(mean)
+    return out
+
+
+def compare(
+    baseline: Dict[str, float], current: Dict[str, float], threshold: float
+) -> Tuple[List[Tuple[str, float, float, float]], List[str], List[str]]:
+    """Return (regressions, only_in_baseline, only_in_current).
+
+    Each regression row is ``(name, base_mean, cur_mean, ratio)`` with
+    ``ratio = cur/base > 1 + threshold``.
+    """
+    regressions = []
+    for name in sorted(set(baseline) & set(current)):
+        base, cur = baseline[name], current[name]
+        if base <= 0:
+            continue
+        ratio = cur / base
+        if ratio > 1.0 + threshold:
+            regressions.append((name, base, cur, ratio))
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    return regressions, only_base, only_cur
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench_compare", description=__doc__
+    )
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown before flagging (default 0.20)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for cross-machine CI baselines)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    if not baseline or not current:
+        print("bench_compare: no benchmarks found in one of the inputs", file=sys.stderr)
+        return 2
+
+    regressions, only_base, only_cur = compare(baseline, current, args.threshold)
+
+    compared = len(set(baseline) & set(current))
+    print(
+        f"compared {compared} benchmark(s), threshold "
+        f"+{args.threshold:.0%}: {len(regressions)} regression(s)"
+    )
+    for name, base, cur, ratio in regressions:
+        print(f"  REGRESSION {name}: {base:.6f}s -> {cur:.6f}s ({ratio:.2f}x)")
+    for name in only_base:
+        print(f"  note: only in baseline: {name}")
+    for name in only_cur:
+        print(f"  note: new benchmark: {name}")
+
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

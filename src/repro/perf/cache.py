@@ -1,0 +1,168 @@
+"""Per-network memoization with observable hit counters.
+
+The analysis layer asks the same questions about the same network over and
+over: ``theorem21_certificate`` needs the view partition that
+``symmetricity_of_labeling`` just computed, ``order_equivalence_classes``
+re-derives surrounding keys that ``class_signature`` already produced, and
+every ``views_equal`` call inside a loop used to re-run the full refinement.
+This module provides the shared memo those callers route through.
+
+Keying rules
+------------
+* The primary key is the **network object identity** (held weakly, so caches
+  die with their networks).  :class:`~repro.graphs.network.AnonymousNetwork`
+  is immutable after construction — every transformation
+  (``with_ports_relabeled``, ``with_nodes_permuted``) returns a new object —
+  which is what makes identity keying sound.
+* The secondary key is ``(kind, key)`` where ``kind`` names the computation
+  (``"view_refinement"``, ``"surrounding_key"``, …) and ``key`` carries the
+  remaining arguments (normalised node-coloring tuple, root node, …).
+* Non-network-keyed values (canonical keys of hashable
+  :class:`~repro.graphs.canonical.Digraph` objects) go through
+  :func:`memo_value`, a bounded FIFO table.
+
+Escape hatches
+--------------
+* ``with uncached(): ...`` disables both lookup and insertion in the dynamic
+  extent (re-entrant; used by the parity property tests and benchmarks).
+* ``invalidate(network)`` drops one network's memo; ``invalidate()`` drops
+  everything including the bounded value table.
+
+Observability
+-------------
+``cache_stats()`` returns ``{kind: {"hits": h, "misses": m}}``; misses equal
+the number of *actual* computations, which is what the regression tests
+count.  ``stats_rows()`` renders the same data as table rows for the
+analysis/trace reporting machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+#: network -> {(kind, key): value}.  Weak keys: a cache entry must never
+#: keep a network alive.
+_network_store: "weakref.WeakKeyDictionary[Any, Dict[Tuple[str, Hashable], Any]]" = (
+    weakref.WeakKeyDictionary()
+)
+#: (kind, key) -> value for non-network-keyed computations, FIFO-bounded.
+_value_store: Dict[Tuple[str, Hashable], Any] = {}
+_VALUE_STORE_LIMIT = 8192
+
+_counters: Dict[str, List[int]] = {}  # kind -> [hits, misses]
+_lock = threading.RLock()
+_disabled_depth = 0
+
+
+def cache_enabled() -> bool:
+    """Whether memoization is active (False inside :func:`uncached`)."""
+    return _disabled_depth == 0
+
+
+@contextmanager
+def uncached() -> Iterator[None]:
+    """Disable the cache (lookup *and* insertion) in this dynamic extent.
+
+    Re-entrant.  Counters are not touched while disabled, so benchmark
+    baselines measured under ``uncached()`` stay comparable.
+    """
+    global _disabled_depth
+    with _lock:
+        _disabled_depth += 1
+    try:
+        yield
+    finally:
+        with _lock:
+            _disabled_depth -= 1
+
+
+def _count(kind: str, hit: bool) -> None:
+    slot = _counters.setdefault(kind, [0, 0])
+    slot[0 if hit else 1] += 1
+
+
+def memo(
+    network: Any, kind: str, key: Hashable, compute: Callable[[], Any]
+) -> Any:
+    """Memoize ``compute()`` under ``(network, kind, key)``.
+
+    The cached value is returned as-is; callers that hand out mutable
+    results must copy before returning (the views layer caches tuples).
+    """
+    if _disabled_depth:
+        return compute()
+    with _lock:
+        per_net = _network_store.get(network)
+        if per_net is None:
+            per_net = _network_store.setdefault(network, {})
+        full_key = (kind, key)
+        if full_key in per_net:
+            _count(kind, hit=True)
+            return per_net[full_key]
+        _count(kind, hit=False)
+    value = compute()
+    with _lock:
+        if not _disabled_depth:
+            per_net[full_key] = value
+    return value
+
+
+def memo_value(kind: str, key: Hashable, compute: Callable[[], Any]) -> Any:
+    """Memoize ``compute()`` under ``(kind, key)`` in the bounded table.
+
+    Used for canonical keys of hashable digraphs, which have no owning
+    network.  Eviction is FIFO once the table exceeds its limit.
+    """
+    if _disabled_depth:
+        return compute()
+    full_key = (kind, key)
+    with _lock:
+        if full_key in _value_store:
+            _count(kind, hit=True)
+            return _value_store[full_key]
+        _count(kind, hit=False)
+    value = compute()
+    with _lock:
+        if not _disabled_depth:
+            while len(_value_store) >= _VALUE_STORE_LIMIT:
+                _value_store.pop(next(iter(_value_store)))
+            _value_store[full_key] = value
+    return value
+
+
+def invalidate(network: Optional[Any] = None) -> None:
+    """Drop one network's memo, or everything when ``network`` is None."""
+    with _lock:
+        if network is None:
+            _network_store.clear()
+            _value_store.clear()
+        else:
+            _network_store.pop(network, None)
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Snapshot of hit/miss counters per computation kind."""
+    with _lock:
+        return {
+            kind: {"hits": slot[0], "misses": slot[1]}
+            for kind, slot in sorted(_counters.items())
+        }
+
+
+def reset_cache_stats() -> None:
+    """Zero all counters (does not drop cached values)."""
+    with _lock:
+        _counters.clear()
+
+
+def stats_rows() -> List[List[Any]]:
+    """Counter table rows ``[kind, hits, misses, hit-rate]`` for reporting."""
+    rows: List[List[Any]] = []
+    for kind, stat in cache_stats().items():
+        total = stat["hits"] + stat["misses"]
+        rate = f"{stat['hits'] / total:.0%}" if total else "-"
+        rows.append([kind, stat["hits"], stat["misses"], rate])
+    return rows

@@ -1,0 +1,148 @@
+"""Parallel evaluation of independent election instances.
+
+The Table 1 batteries, the effectualness sweeps and the E-series benchmarks
+all share one shape: a list of independent instances, one pure function
+applied to each, results reduced in order.  :class:`ParallelBatteryRunner`
+fans that shape out over ``concurrent.futures`` while keeping the results
+**deterministic**: outputs come back in input order regardless of worker
+scheduling, so a parallel battery is byte-identical to the serial one.
+
+Process pools are the default executor because the work is CPU-bound pure
+Python (partition refinement, canonical forms, protocol simulation); thread
+pools are available for callables that release the GIL or for environments
+where forking is undesirable.  ``workers <= 1`` short-circuits to a plain
+serial loop with zero executor overhead — the default, so nothing changes
+for existing callers until they opt in.
+
+The evaluation function and items must be picklable for the process
+executor (module-level functions over :class:`~repro.analysis.instances`
+batteries are; see ``repro.analysis.matrix``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_EXECUTORS = ("process", "thread")
+
+
+class ParallelBatteryRunner:
+    """Ordered fan-out of a pure function over independent instances.
+
+    Parameters
+    ----------
+    workers:
+        Degree of parallelism.  ``None`` means "one per CPU, capped at 8";
+        ``0``/``1`` mean serial (no executor is created at all).
+    executor:
+        ``"process"`` (default) or ``"thread"``.
+    chunksize:
+        Items per task submission for the process pool (amortizes IPC for
+        large batteries of small instances).  ``None`` (default) picks
+        ``ceil(len(items) / (4 * workers))`` per call: contiguous chunks
+        keep instances of the same network in the same worker, so that
+        worker's per-network memo cache is shared across them.
+
+    The underlying pool is created lazily on the first parallel ``map``
+    and **reused** across calls (worker start-up would otherwise dominate
+    short batteries); call :meth:`close` — or use the runner as a context
+    manager — to release it.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        executor: str = "process",
+        chunksize: Optional[int] = None,
+    ):
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.executor = executor
+        self.chunksize = chunksize
+        self._pool: Optional[Any] = None
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers <= 1
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            if self.executor == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (the runner can be reused; a new pool spawns)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBatteryRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in input order.
+
+        Exceptions raised by ``fn`` propagate to the caller (the first one
+        in input order, matching serial semantics as closely as the pool
+        allows).
+        """
+        items = list(items)
+        if self.is_serial or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        if self.executor == "thread":
+            return list(pool.map(fn, items))
+        chunk = self.chunksize
+        if chunk is None:
+            chunk = max(1, -(-len(items) // (4 * self.workers)))
+        return list(pool.map(fn, items, chunksize=chunk))
+
+    def starmap(
+        self, fn: Callable[..., R], items: Sequence[Iterable[Any]]
+    ) -> List[R]:
+        """Like :meth:`map` but unpacks each item as ``fn(*item)``."""
+        return self.map(_Star(fn), list(map(tuple, items)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "serial" if self.is_serial else self.executor
+        return f"ParallelBatteryRunner(workers={self.workers}, {mode})"
+
+
+class _Star:
+    """Picklable ``fn(*args)`` adapter (lambdas cannot cross process pools)."""
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: Sequence[Any]) -> Any:
+        return self.fn(*args)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = 1,
+    executor: str = "process",
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """One-shot convenience wrapper around :class:`ParallelBatteryRunner`."""
+    with ParallelBatteryRunner(
+        workers=workers, executor=executor, chunksize=chunksize
+    ) as runner:
+        return runner.map(fn, items)

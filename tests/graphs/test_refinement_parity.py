@@ -1,0 +1,153 @@
+"""Parity properties for the worklist view refinement.
+
+Three independent computations of view equivalence must induce the *same
+partition* on every network (simple, multi-edge, or looped):
+
+* the production worklist refinement (``view_refinement``),
+* the round-based reference implementation (``view_refinement_baseline``,
+  the Norris bound made executable), and
+* grouping nodes by their depth-``(n-1)`` :func:`view_tree` encodings
+  (Norris's theorem: depth ``n-1`` suffices to decide view equivalence).
+
+Also pinned here: cached and uncached calls agree, ``max_rounds`` routes to
+the round-based semantics, and the worklist's canonical class ids are
+equivariant under node renumbering (the property ``view_order_leader``'s
+correctness rests on).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.network import AnonymousNetwork
+from repro.graphs.views import (
+    view_refinement,
+    view_refinement_baseline,
+    view_tree,
+)
+from repro.perf import uncached
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def partition_of(ids):
+    """Node partition induced by a class-id vector (order-free form)."""
+    buckets = {}
+    for node, cid in enumerate(ids):
+        buckets.setdefault(cid, []).append(node)
+    return sorted(tuple(members) for members in buckets.values())
+
+
+@st.composite
+def port_networks(draw, max_nodes=7, allow_nonsimple=True):
+    """A connected port-labeled network with integer ports.
+
+    Random spanning tree plus extra edges; when ``allow_nonsimple`` those
+    extras may duplicate an edge or form a loop (the Figure 2(c) regime).
+    """
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    degree = [0] * n
+    records = []
+
+    def add_edge(u, v):
+        pu, pv = degree[u], degree[v] + (1 if u == v else 0)
+        degree[u] += 1
+        degree[v] += 1
+        records.append((u, pu, v, pv))
+
+    for v in range(1, n):
+        add_edge(rng.randrange(v), v)
+    for _ in range(draw(st.integers(0, n))):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if not allow_nonsimple:
+            if u == v or any(
+                {u, v} == {a, b} for (a, _, b, _) in records
+            ):
+                continue
+        add_edge(u, v)
+    return AnonymousNetwork(n, records)
+
+
+@st.composite
+def colored_networks(draw, max_nodes=7, allow_nonsimple=True):
+    net = draw(port_networks(max_nodes=max_nodes, allow_nonsimple=allow_nonsimple))
+    colors = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(0, 2),
+                min_size=net.num_nodes,
+                max_size=net.num_nodes,
+            ),
+        )
+    )
+    return net, colors
+
+
+@SETTINGS
+@given(colored_networks())
+def test_worklist_matches_baseline_partition(case):
+    net, colors = case
+    with uncached():
+        worklist = view_refinement(net, colors)
+        baseline = view_refinement_baseline(net, colors)
+    assert partition_of(worklist) == partition_of(baseline)
+
+
+@SETTINGS
+@given(colored_networks(max_nodes=5))
+def test_worklist_matches_view_tree_classes(case):
+    """Norris: nodes are view-equivalent iff their depth-(n-1) trees agree."""
+    net, colors = case
+    with uncached():
+        ids = view_refinement(net, colors)
+        trees = [
+            view_tree(net, v, net.num_nodes - 1, colors) for v in net.nodes()
+        ]
+    by_tree = {}
+    for v, tree in enumerate(trees):
+        by_tree.setdefault(tree.encoding, []).append(v)
+    assert partition_of(ids) == sorted(
+        tuple(members) for members in by_tree.values()
+    )
+
+
+@SETTINGS
+@given(colored_networks())
+def test_cached_equals_uncached(case):
+    net, colors = case
+    cached_once = view_refinement(net, colors)
+    cached_again = view_refinement(net, colors)
+    with uncached():
+        fresh = view_refinement(net, colors)
+    assert cached_once == cached_again == fresh
+
+
+@SETTINGS
+@given(colored_networks(max_nodes=6), st.integers(0, 6))
+def test_max_rounds_routes_to_round_semantics(case, rounds):
+    """Depth-limited classes are defined by the round-based reference."""
+    net, colors = case
+    assert view_refinement(net, colors, max_rounds=rounds) == (
+        view_refinement_baseline(net, colors, max_rounds=rounds)
+    )
+
+
+@SETTINGS
+@given(port_networks(), st.integers(0, 2**30))
+def test_class_ids_equivariant_under_renumbering(net, perm_seed):
+    """Canonical ids: renumbering nodes permutes the id vector accordingly."""
+    perm = list(range(net.num_nodes))
+    random.Random(perm_seed).shuffle(perm)
+    with uncached():
+        ids = view_refinement(net)
+        permuted_ids = view_refinement(net.with_nodes_permuted(perm))
+    assert all(
+        permuted_ids[perm[v]] == ids[v] for v in net.nodes()
+    )

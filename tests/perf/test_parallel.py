@@ -1,0 +1,121 @@
+"""ParallelBatteryRunner: determinism, ordering, serial equivalence.
+
+The binding contract: for ANY worker count the results equal the serial
+loop's, element for element, in input order — which is what lets
+``reproduce_table1(workers=N)`` promise byte-identical cells.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.matrix import reproduce_table1
+from repro.perf import ParallelBatteryRunner, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    if x == 3:
+        raise ValueError("instance 3 is broken")
+    return x
+
+
+def test_serial_runner_is_a_plain_loop():
+    runner = ParallelBatteryRunner(workers=1)
+    assert runner.is_serial
+    assert runner.map(square, range(10)) == [x * x for x in range(10)]
+    assert runner._pool is None  # no executor was ever created
+
+
+def test_workers_zero_and_none():
+    assert ParallelBatteryRunner(workers=0).is_serial
+    auto = ParallelBatteryRunner(workers=None)
+    assert auto.workers == min(os.cpu_count() or 1, 8)
+    with pytest.raises(ValueError):
+        ParallelBatteryRunner(workers=-1)
+    with pytest.raises(ValueError):
+        ParallelBatteryRunner(executor="rayon")
+
+
+@pytest.mark.parametrize("executor", ["process", "thread"])
+def test_parallel_results_in_input_order(executor):
+    items = list(range(25))
+    with ParallelBatteryRunner(workers=3, executor=executor) as runner:
+        assert not runner.is_serial
+        assert runner.map(square, items) == [x * x for x in items]
+        # The pool is reused across calls.
+        pool = runner._pool
+        assert runner.map(square, items) == [x * x for x in items]
+        assert runner._pool is pool
+    assert runner._pool is None  # context exit closed it
+
+
+def test_single_item_short_circuits():
+    runner = ParallelBatteryRunner(workers=4)
+    assert runner.map(square, [7]) == [49]
+    assert runner._pool is None
+    runner.close()
+
+
+def test_exceptions_propagate():
+    with ParallelBatteryRunner(workers=2) as runner:
+        with pytest.raises(ValueError, match="instance 3"):
+            runner.map(boom, range(6))
+
+
+def test_starmap():
+    with ParallelBatteryRunner(workers=2) as runner:
+        assert runner.starmap(pow, [(2, 3), (3, 2)]) == [8, 9]
+
+
+def test_parallel_map_convenience():
+    assert parallel_map(square, range(5), workers=2) == [0, 1, 4, 9, 16]
+
+
+def test_explicit_chunksize_respected():
+    with ParallelBatteryRunner(workers=2, chunksize=5) as runner:
+        assert runner.map(square, range(11)) == [x * x for x in range(11)]
+
+
+# ----------------------------------------------------------------------
+# End-to-end determinism: Table 1 is worker-count invariant
+# ----------------------------------------------------------------------
+
+
+def cells_as_tuples(result):
+    return {
+        key: (cell.verdict, cell.evidence, cell.instances_checked)
+        for key, cell in result.cells.items()
+    }
+
+
+def test_table1_parallel_is_byte_identical():
+    serial = reproduce_table1(quick=True)
+    parallel = reproduce_table1(quick=True, workers=2)
+    assert cells_as_tuples(serial) == cells_as_tuples(parallel)
+    assert serial.all_match and parallel.all_match
+    assert serial.render() == parallel.render()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="wall-time improvement needs more than one CPU",
+)
+def test_table1_parallel_improves_wall_time():
+    import time
+
+    from repro.perf import invalidate
+
+    invalidate()
+    t0 = time.perf_counter()
+    serial = reproduce_table1(quick=False)
+    serial_s = time.perf_counter() - t0
+    invalidate()
+    t0 = time.perf_counter()
+    parallel = reproduce_table1(quick=False, workers=os.cpu_count())
+    parallel_s = time.perf_counter() - t0
+    assert cells_as_tuples(serial) == cells_as_tuples(parallel)
+    assert parallel_s < serial_s
