@@ -10,18 +10,22 @@ Usage::
 Prints each experiment's reproduced artifact next to the paper's claim.
 ``--workers N`` fans the instance batteries out over a process pool
 (deterministic: the artifacts are identical to the serial run);
-``--perf-stats`` appends the memo-cache hit/miss counters.
+``--perf-stats`` appends one line of JSON — the memo-cache hit/miss
+counters plus the merged metrics snapshot — so scripts can pipe the tail
+of the output straight into ``json.loads`` / ``jq``.
 The same code paths back the pytest benchmarks in ``benchmarks/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List
 
-from ..perf import ParallelBatteryRunner, cache_stats, stats_rows
+from ..obs.registry import collect_snapshot
+from ..perf import ParallelBatteryRunner, cache_stats
 from .complexity import complexity_sweep, max_ratio, ratio_table
 from .instances import (
     cayley_effectualness_instances,
@@ -33,7 +37,7 @@ from .matrix import (
     _eval_petersen_duel,
     reproduce_table1,
 )
-from .report import render_kv, render_table
+from .report import render_kv
 
 #: Worker count for the current invocation (set by ``main`` from --workers).
 _WORKERS = 1
@@ -157,7 +161,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--perf-stats",
         action="store_true",
-        help="print memo-cache hit/miss counters after the experiments",
+        help="print one JSON line of cache counters and the merged metrics "
+        "snapshot after the experiments",
     )
     args = parser.parse_args(argv)
     global _WORKERS
@@ -179,11 +184,14 @@ def main(argv: List[str] = None) -> int:
         EXPERIMENTS[name](args.quick)
         print(f"\n[{name} done in {time.perf_counter() - t0:.1f}s]\n")
     if args.perf_stats:
-        rows = stats_rows()
-        if rows:
-            print(render_table(["cache kind", "hits", "misses", "hit rate"], rows))
-        else:
-            print("cache: no memoized computations ran")
+        # One line, valid JSON: earlier versions printed an ASCII table
+        # here, which broke every consumer that piped the stats onward.
+        print(
+            json.dumps(
+                {"cache": cache_stats(), "metrics": collect_snapshot()},
+                sort_keys=True,
+            )
+        )
     return 0
 
 

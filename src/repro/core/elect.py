@@ -48,6 +48,15 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..colors import Color
 from ..errors import ProtocolError
+from ..obs.spans import (
+    AGENT_REDUCE,
+    ANNOUNCE,
+    AWAIT,
+    COMPUTE_ORDER,
+    MAP_DRAWING,
+    NODE_REDUCE,
+    PhaseClock,
+)
 from ..sim.actions import Log, NodeView, Read, TryAcquire, WaitUntil, Write
 from ..sim.agent import Agent, ProtocolGen
 from ..sim.signs import (
@@ -121,10 +130,21 @@ class ElectAgent(Agent):
     # ------------------------------------------------------------------
 
     def protocol(self, start: NodeView) -> ProtocolGen:
+        # Phase spans (DESIGN §8.3): the clock attributes the agent's wall
+        # time between phase transitions to the four ELECT phases.  The
+        # runtime injects its registry as ``obs_registry`` when metrics are
+        # enabled and closes the clock when the agent terminates; against a
+        # disabled registry every call below is a no-op.
+        self.obs_clock = PhaseClock(
+            registry=getattr(self, "obs_registry", None),
+            agent=self.color.name or "?",
+        )
+        self.obs_clock.enter(MAP_DRAWING)
         drawer = draw_map if self.map_strategy == "dfs" else draw_map_frontier
         local_map: LocalMap = yield from drawer(self.color, start)
         self._map = local_map
         self._nav = Navigator(local_map)
+        self.obs_clock.enter(COMPUTE_ORDER)
         structure = compute_class_structure(
             local_map.network, local_map.bicoloring()
         )
@@ -218,6 +238,9 @@ class ElectAgent(Agent):
                 "phase-start",
                 (spec.phase_id, 0 if spec.kind == "agent" else 1, len(active)),
             )
+            self.obs_clock.enter(
+                AGENT_REDUCE if spec.kind == "agent" else NODE_REDUCE
+            )
             if spec.kind == "agent":
                 if spec.phase_id >= 2:
                     yield from self._activate_class(spec)
@@ -249,6 +272,7 @@ class ElectAgent(Agent):
         Returns the incoming active set D as map home nodes (via the colors
         of the activation signs and the map's home-base registry).
         """
+        self.obs_clock.enter(AWAIT)
 
         def ready(view: NodeView) -> bool:
             colors = {
@@ -551,6 +575,7 @@ class ElectAgent(Agent):
 
     def _become_leader(self) -> ProtocolGen:
         """Tour the whole network announcing leadership, then finish."""
+        self.obs_clock.enter(ANNOUNCE)
 
         def visit(node: int, view: NodeView) -> ProtocolGen:
             yield Write(Sign(kind=LEADER_ANNOUNCE, color=self.color))
@@ -561,6 +586,7 @@ class ElectAgent(Agent):
 
     def _await_announcement(self) -> ProtocolGen:
         """Wait at home for the leader's announcement sign."""
+        self.obs_clock.enter(AWAIT)
         yield from self._nav.goto(self._map.home)
 
         def announced(view: NodeView) -> bool:

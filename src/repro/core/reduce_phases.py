@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 from ..errors import ProtocolError
+from ..obs.spans import span
 
 
 @dataclass(frozen=True)
@@ -178,6 +179,11 @@ def build_schedule(sizes: Sequence[int], num_agent_classes: int) -> Schedule:
     emitted while the running gcd exceeds 1 and classes remain, exactly as
     the two while-loops of Figure 3.
     """
+    with span("build_schedule"):
+        return _build_schedule(sizes, num_agent_classes)
+
+
+def _build_schedule(sizes: Sequence[int], num_agent_classes: int) -> Schedule:
     if num_agent_classes < 1 or num_agent_classes > len(sizes):
         raise ProtocolError("invalid number of agent classes")
     phases: List[PhaseSpec] = []

@@ -101,6 +101,17 @@ class InvariantViolation(TraceError):
     """
 
 
+class MetricsError(ReproError):
+    """Raised for invalid metrics-registry usage.
+
+    Examples: registering one metric name as two different types,
+    decrementing a counter, or asking an exporter for an unknown format.
+    Note that *high label cardinality* does not raise — the registry folds
+    excess series into an overflow series and records a structured finding
+    instead, so instrumentation can never crash the instrumented run.
+    """
+
+
 class RecognitionError(ReproError):
     """Raised when Cayley-graph recognition fails or is ambiguous."""
 

@@ -1,0 +1,207 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, snapshot diffs.
+
+A *snapshot* is the JSON-safe dict produced by
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` /
+:func:`~repro.obs.registry.collect_snapshot`::
+
+    {"metrics": {name: {"type", "help", "series": [{"labels", "value"}]}},
+     "findings": [{"name", "detail", "stats"}]}
+
+* :func:`to_prometheus` renders it in the Prometheus text exposition
+  format (counters and gauges verbatim; histograms as summaries with
+  ``quantile`` labels plus ``_count``/``_sum``), so a scrape endpoint or a
+  pushgateway upload needs nothing beyond this string;
+* :func:`to_json` / :func:`load_snapshot` round-trip snapshots through
+  files — the interchange format of ``python -m repro.obs export``;
+* :func:`diff_snapshots` compares two snapshots series-by-series — the
+  backing of ``python -m repro.obs diff``, used to answer "what did this
+  change cost?" between two recorded runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import MetricsError
+from .registry import QUANTILES
+
+FORMATS = ("prom", "json")
+
+
+def _sanitize(name: str) -> str:
+    """Project a metric/label name onto the Prometheus grammar."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _label_str(labels: Mapping[str, Any], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(str(k), str(v)) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_sanitize(k)}="{v}"'.replace("\n", " ") for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    f = float(value)
+    return repr(int(f)) if f == int(f) else repr(f)
+
+
+def to_prometheus(snapshot: Mapping[str, Any], prefix: str = "repro_") -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.get("metrics", {})):
+        data = snapshot["metrics"][name]
+        full = _sanitize(prefix + name)
+        kind = data.get("type", "untyped")
+        prom_kind = "summary" if kind == "histogram" else kind
+        if data.get("help"):
+            lines.append(f"# HELP {full} {data['help']}")
+        lines.append(f"# TYPE {full} {prom_kind}")
+        for series in data.get("series", []):
+            labels = series.get("labels", {})
+            value = series.get("value")
+            if kind == "histogram":
+                assert isinstance(value, Mapping)
+                for q in QUANTILES:
+                    lines.append(
+                        f"{full}{_label_str(labels, ('quantile', str(q)))} "
+                        f"{_fmt(value.get(f'p{int(q * 100)}'))}"
+                    )
+                lines.append(f"{full}_count{_label_str(labels)} {_fmt(value['count'])}")
+                lines.append(f"{full}_sum{_label_str(labels)} {_fmt(value['sum'])}")
+            else:
+                lines.append(f"{full}{_label_str(labels)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(snapshot: Mapping[str, Any], indent: Optional[int] = 2) -> str:
+    """Serialize a snapshot (sorted keys: snapshots diff cleanly as text)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_snapshot(
+    snapshot: Mapping[str, Any], path: str, format: str = "json"
+) -> None:
+    """Write a snapshot to ``path`` in ``"json"`` or ``"prom"`` format."""
+    if format not in FORMATS:
+        raise MetricsError(f"unknown export format {format!r}; use {FORMATS}")
+    rendered = (
+        to_json(snapshot) if format == "json" else to_prometheus(snapshot)
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(rendered)
+        if not rendered.endswith("\n"):
+            fh.write("\n")
+
+
+def load_snapshot(source: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Read a JSON snapshot back (path or open file)."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_snapshot(fh)
+    data = json.load(source)
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise MetricsError("not a metrics snapshot (no 'metrics' key)")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Diff
+# ---------------------------------------------------------------------------
+
+
+def _series_index(
+    snapshot: Mapping[str, Any],
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Tuple[str, Any]]:
+    index: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Tuple[str, Any]] = {}
+    for name, data in snapshot.get("metrics", {}).items():
+        for series in data.get("series", []):
+            key = (
+                name,
+                tuple(sorted(
+                    (str(k), str(v))
+                    for k, v in series.get("labels", {}).items()
+                )),
+            )
+            index[key] = (data.get("type", "untyped"), series.get("value"))
+    return index
+
+
+def _scalar_of(kind: str, value: Any) -> Optional[float]:
+    """The comparable scalar of a series value (histograms: the sum)."""
+    if value is None:
+        return None
+    if kind == "histogram":
+        return float(value.get("sum", 0.0))
+    return float(value)
+
+
+def diff_snapshots(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> List[Dict[str, Any]]:
+    """Per-series deltas between two snapshots.
+
+    Returns one record per series present in either snapshot —
+    ``{"metric", "labels", "type", "before", "after", "delta"}`` — sorted
+    by metric name then labels, with ``before``/``after`` ``None`` for
+    series that exist on only one side.  Histogram series compare by
+    ``sum`` (and carry counts in ``before_count``/``after_count``).
+    """
+    left = _series_index(before)
+    right = _series_index(after)
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(set(left) | set(right)):
+        name, labels = key
+        l_kind, l_value = left.get(key, (None, None))
+        r_kind, r_value = right.get(key, (None, None))
+        kind = r_kind or l_kind or "untyped"
+        b = _scalar_of(kind, l_value)
+        a = _scalar_of(kind, r_value)
+        row: Dict[str, Any] = {
+            "metric": name,
+            "labels": dict(labels),
+            "type": kind,
+            "before": b,
+            "after": a,
+            "delta": None if b is None or a is None else a - b,
+        }
+        if kind == "histogram":
+            row["before_count"] = None if l_value is None else l_value.get("count")
+            row["after_count"] = None if r_value is None else r_value.get("count")
+        rows.append(row)
+    return rows
+
+
+def render_diff(rows: List[Dict[str, Any]], only_changed: bool = True) -> str:
+    """ASCII table of a snapshot diff (``only_changed`` hides zero deltas)."""
+    from ..analysis.report import render_table
+
+    def _show(row: Dict[str, Any]) -> bool:
+        if not only_changed:
+            return True
+        return row["delta"] is None or abs(row["delta"]) > 0
+
+    table_rows = []
+    for row in rows:
+        if not _show(row):
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        table_rows.append([
+            row["metric"],
+            labels or "-",
+            "-" if row["before"] is None else f"{row['before']:g}",
+            "-" if row["after"] is None else f"{row['after']:g}",
+            "-" if row["delta"] is None else f"{row['delta']:+g}",
+        ])
+    if not table_rows:
+        return "no differing series"
+    return render_table(
+        ["metric", "labels", "before", "after", "delta"], table_rows
+    )

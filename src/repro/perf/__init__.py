@@ -28,6 +28,8 @@ from .cache import (
     invalidate,
     memo,
     memo_value,
+    metrics_registry,
+    reset,
     reset_cache_stats,
     stats_rows,
     uncached,
@@ -42,6 +44,8 @@ __all__ = [
     "invalidate",
     "memo",
     "memo_value",
+    "metrics_registry",
+    "reset",
     "reset_cache_stats",
     "stats_rows",
     "uncached",

@@ -30,10 +30,17 @@ Escape hatches
 
 Observability
 -------------
-``cache_stats()`` returns ``{kind: {"hits": h, "misses": m}}``; misses equal
-the number of *actual* computations, which is what the regression tests
-count.  ``stats_rows()`` renders the same data as table rows for the
-analysis/trace reporting machinery.
+Counters live in a dedicated **always-enabled**
+:class:`~repro.obs.registry.MetricsRegistry` (metrics ``cache_hits_total``
+/ ``cache_misses_total``, label ``kind``), registered as the
+``"perf.cache"`` collector so they appear in
+:func:`repro.obs.collect_snapshot` without the default registry being
+switched on — the regression tests count misses regardless of global
+metrics state.  ``cache_stats()`` keeps its historical return shape
+``{kind: {"hits": h, "misses": m}}``; misses equal the number of *actual*
+computations.  ``stats_rows()`` renders the same data as table rows for
+the analysis/trace reporting machinery, and :func:`reset` zeroes the
+counters explicitly.
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ import threading
 import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..obs.registry import MetricsRegistry, register_collector
 
 #: network -> {(kind, key): value}.  Weak keys: a cache entry must never
 #: keep a network alive.
@@ -52,7 +61,19 @@ _network_store: "weakref.WeakKeyDictionary[Any, Dict[Tuple[str, Hashable], Any]]
 _value_store: Dict[Tuple[str, Hashable], Any] = {}
 _VALUE_STORE_LIMIT = 8192
 
-_counters: Dict[str, List[int]] = {}  # kind -> [hits, misses]
+#: The cache's own registry — always enabled, independent of the global
+#: default (hit/miss accounting is part of the cache's contract, not an
+#: opt-in diagnostic).
+_metrics = MetricsRegistry(enabled=True)
+_hits = _metrics.counter(
+    "cache_hits_total", help="memo hits, by computation kind"
+)
+_misses = _metrics.counter(
+    "cache_misses_total",
+    help="memo misses (actual computations), by computation kind",
+)
+register_collector("perf.cache", _metrics)
+
 _lock = threading.RLock()
 _disabled_depth = 0
 
@@ -80,8 +101,7 @@ def uncached() -> Iterator[None]:
 
 
 def _count(kind: str, hit: bool) -> None:
-    slot = _counters.setdefault(kind, [0, 0])
-    slot[0 if hit else 1] += 1
+    (_hits if hit else _misses).inc(kind=kind)
 
 
 def memo(
@@ -143,19 +163,31 @@ def invalidate(network: Optional[Any] = None) -> None:
             _network_store.pop(network, None)
 
 
+def metrics_registry() -> MetricsRegistry:
+    """The cache's own always-enabled registry (the ``perf.cache`` collector)."""
+    return _metrics
+
+
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Snapshot of hit/miss counters per computation kind."""
-    with _lock:
-        return {
-            kind: {"hits": slot[0], "misses": slot[1]}
-            for kind, slot in sorted(_counters.items())
-        }
+    hits = {dict(key).get("kind", "?"): int(v) for key, v in _hits.series().items()}
+    misses = {
+        dict(key).get("kind", "?"): int(v) for key, v in _misses.series().items()
+    }
+    return {
+        kind: {"hits": hits.get(kind, 0), "misses": misses.get(kind, 0)}
+        for kind in sorted(set(hits) | set(misses))
+    }
+
+
+def reset() -> None:
+    """Zero all counters (does not drop cached values)."""
+    _metrics.reset()
 
 
 def reset_cache_stats() -> None:
-    """Zero all counters (does not drop cached values)."""
-    with _lock:
-        _counters.clear()
+    """Historical alias of :func:`reset`."""
+    reset()
 
 
 def stats_rows() -> List[List[Any]]:

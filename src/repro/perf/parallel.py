@@ -22,8 +22,11 @@ batteries are; see ``repro.analysis.matrix``).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..obs.registry import get_registry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -101,8 +104,34 @@ class ParallelBatteryRunner:
         Exceptions raised by ``fn`` propagate to the caller (the first one
         in input order, matching serial semantics as closely as the pool
         allows).
+
+        When the default metrics registry is enabled, each call records a
+        ``parallel_map_seconds`` observation and bumps
+        ``parallel_items_total`` (label ``mode`` ∈ serial/thread/process).
         """
         items = list(items)
+        registry = get_registry()
+        if not registry.enabled:
+            return self._map(fn, items)
+        start = time.perf_counter()
+        try:
+            return self._map(fn, items)
+        finally:
+            mode = (
+                "serial"
+                if self.is_serial or len(items) <= 1
+                else self.executor
+            )
+            registry.histogram(
+                "parallel_map_seconds",
+                help="wall-time of battery map calls, by execution mode",
+            ).observe(time.perf_counter() - start, mode=mode)
+            registry.counter(
+                "parallel_items_total",
+                help="instances evaluated by battery maps, by execution mode",
+            ).inc(len(items), mode=mode)
+
+    def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
         if self.is_serial or len(items) <= 1:
             return [fn(item) for item in items]
         pool = self._ensure_pool()

@@ -29,14 +29,26 @@ record the run as a structured event stream (one primary event per
 scheduler step, see :mod:`repro.trace.events`).  The default (no sink)
 costs a single attribute test per emit site; recorded runs replay
 bit-for-bit through :class:`~repro.trace.replay.ReplayScheduler`.
+
+Metrics registry: pass a :class:`~repro.obs.registry.MetricsRegistry` as
+``metrics`` (default: the process-wide registry, which ships disabled) and
+the runtime feeds per-agent move/access counters, scheduler-step timings
+and the live Theorem 3.1 budget gauges (:mod:`repro.obs.budget`).  A
+disabled registry is normalized to ``None`` at construction, so the main
+loop pays exactly one ``is not None`` test per emit site — the same
+zero-cost contract as the trace sink.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs.budget import BudgetTracker
+from ..obs.registry import MetricsRegistry, get_registry
 
 from ..colors import Color
 from ..errors import (
@@ -141,6 +153,14 @@ class Simulation:
         header and every runtime event (wake/move/read/write/erase/acquire/
         wait/block/unblock/log/done).  ``None`` (default) disables tracing
         at zero cost.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  ``None``
+        (default) falls back to the process-wide registry, which ships
+        disabled; a disabled registry costs nothing.  When enabled, the
+        run feeds ``agent_moves_total`` / ``agent_accesses_total``
+        counters, ``scheduler_steps_total`` and ``scheduler_step_seconds``,
+        and arms a live Theorem 3.1 :class:`~repro.obs.budget.BudgetTracker`
+        (exposed as ``self.budget``).
     """
 
     def __init__(
@@ -154,6 +174,7 @@ class Simulation:
         collect_trace: bool = False,
         port_shuffle_seed: int = 0,
         trace: Optional[Any] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not placements:
             raise PlacementError("at least one agent is required")
@@ -210,7 +231,71 @@ class Simulation:
             self._tev = trace_events
         else:
             self._tev = None
+        # Same normalization as the trace sink: a disabled registry costs
+        # the hot loop exactly one ``is not None`` test per emit site.
+        if metrics is None:
+            metrics = get_registry()
+        self._metrics: Optional[MetricsRegistry] = (
+            metrics if metrics.enabled else None
+        )
+        self.budget: Optional[BudgetTracker] = None
+        if self._metrics is not None:
+            self._arm_metrics()
         self._step = -1  # PRE_RUN_STEP until the scheduler's first choice
+
+    def _arm_metrics(self) -> None:
+        """Create the counters, gauges and budget gauges for this run.
+
+        Per-agent counters are pre-bound (:meth:`Counter.labels`) so the
+        per-move cost when metrics are enabled is one dict update.
+        """
+        reg = self._metrics
+        assert reg is not None
+        self.budget = BudgetTracker(
+            num_agents=len(self.records),
+            num_edges=self.network.num_edges,
+            registry=reg,
+        )
+        moves = reg.counter(
+            "agent_moves_total", help="edge traversals, by agent color"
+        )
+        accesses = reg.counter(
+            "agent_accesses_total", help="whiteboard accesses, by agent color"
+        )
+        labels = [
+            rec.agent.color.name or f"agent{i}"
+            for i, rec in enumerate(self.records)
+        ]
+        self._m_moves = [moves.labels(agent=lb) for lb in labels]
+        self._m_accesses = [accesses.labels(agent=lb) for lb in labels]
+        self._m_steps = reg.counter(
+            "scheduler_steps_total", help="scheduler steps executed"
+        )
+        self._m_step_hist = reg.histogram(
+            "scheduler_step_seconds",
+            help="wall-time per scheduler step, by the acting agent's phase",
+        )
+
+    def _metric_access(self, idx: int) -> None:
+        """One whiteboard access happened (callers guard on ``_metrics``)."""
+        self._m_accesses[idx].inc()
+        assert self.budget is not None
+        self.budget.record_access()
+
+    def _record_step(self, idx: int, started: float) -> None:
+        """Account one scheduler step (callers guard on ``_metrics``).
+
+        The step's wall time is attributed to the acting agent's current
+        protocol phase (read off its :class:`~repro.obs.spans.PhaseClock`,
+        if it keeps one), which is what lets ``python -m repro.obs report``
+        break scheduler time down per phase.
+        """
+        self._m_steps.inc()
+        clock = getattr(self.records[idx].agent, "obs_clock", None)
+        phase = getattr(clock, "phase", None) or "-"
+        self._m_step_hist.observe(
+            time.perf_counter() - started, phase=phase
+        )
 
     # ------------------------------------------------------------------
     # Views
@@ -273,6 +358,10 @@ class Simulation:
         rec = self.records[idx]
         if rec.state is not AgentState.ASLEEP:
             return
+        if self._metrics is not None:
+            # Hand phase-instrumented protocols (ElectAgent's PhaseClock)
+            # this run's registry; they fall back to the global default.
+            rec.agent.obs_registry = self._metrics
         rec.gen = rec.agent.protocol(self._view(idx, rec.node))
         rec.pending = None
         rec.state = AgentState.READY
@@ -299,6 +388,10 @@ class Simulation:
         rec.state = AgentState.DONE
         rec.result = result
         rec.gen = None
+        if self._metrics is not None:
+            clock = getattr(rec.agent, "obs_clock", None)
+            if clock is not None:
+                clock.close()
         if self._sink is not None:
             self._emit(
                 self._tev.DONE,
@@ -324,6 +417,9 @@ class Simulation:
             new_node, entry = self.network.traverse(rec.node, action.port)
             rec.node = new_node
             rec.moves += 1
+            if self._metrics is not None:
+                self._m_moves[idx].inc()
+                self.budget.record_move()
             if self._sink is not None:
                 self._emit(
                     self._tev.MOVE,
@@ -339,6 +435,8 @@ class Simulation:
             return self._view(idx, new_node, entry_port=entry)
         if isinstance(action, Read):
             rec.accesses += 1
+            if self._metrics is not None:
+                self._metric_access(idx)
             if self._sink is not None:
                 self._emit(self._tev.READ, idx, rec.node)
             return self._view(idx, rec.node)
@@ -351,6 +449,8 @@ class Simulation:
                     f"agent {idx} attempted to forge a sign of another color"
                 )
             rec.accesses += 1
+            if self._metrics is not None:
+                self._metric_access(idx)
             board.append(sign)
             if self._sink is not None:
                 self._emit(
@@ -364,6 +464,8 @@ class Simulation:
             return None
         if isinstance(action, Erase):
             rec.accesses += 1
+            if self._metrics is not None:
+                self._metric_access(idx)
             removed = board.erase_own(color, action.kind, action.payload)
             if self._sink is not None:
                 self._emit(
@@ -379,6 +481,8 @@ class Simulation:
             return removed
         if isinstance(action, TryAcquire):
             rec.accesses += 1
+            if self._metrics is not None:
+                self._metric_access(idx)
             ok = board.try_acquire(color, action.kind, action.payload, action.capacity)
             if self._sink is not None:
                 self._emit(
@@ -394,6 +498,8 @@ class Simulation:
             return ok
         if isinstance(action, WaitUntil):
             rec.accesses += 1
+            if self._metrics is not None:
+                self._metric_access(idx)
             view = self._view(idx, rec.node)
             if action.predicate(view):
                 if self._sink is not None:
@@ -476,15 +582,22 @@ class Simulation:
                     )
                 self._step = steps
                 rec = self.records[idx]
+                step_start = (
+                    time.perf_counter() if self._metrics is not None else 0.0
+                )
                 try:
                     action = rec.gen.send(rec.pending)
                 except StopIteration as stop:
                     self._finish(idx, stop.value)
+                    if self._metrics is not None:
+                        self._record_step(idx, step_start)
                     steps += 1
                     continue
                 rec.pending = self._execute(idx, action)
                 if rec.state is AgentState.BLOCKED:
                     rec.pending = None
+                if self._metrics is not None:
+                    self._record_step(idx, step_start)
                 steps += 1
         finally:
             if self._sink is not None:

@@ -13,6 +13,27 @@ from typing import Callable, List, Optional, Tuple
 from ..colors import Color
 from .signs import Sign
 
+#: Optional observation hook called with the operation name on every board
+#: primitive (``snapshot``/``append``/``erase``/``acquire``).  Installed by
+#: :func:`repro.obs.instrument_whiteboards` to feed a metrics registry;
+#: ``None`` (the default) costs each operation one global load and an
+#: ``is not None`` test.  Process-global on purpose: whiteboards are
+#: constructed in bulk by the runtime and carry no registry reference.
+_obs_hook: Optional[Callable[[str], None]] = None
+
+
+def set_observation_hook(
+    hook: Optional[Callable[[str], None]],
+) -> Optional[Callable[[str], None]]:
+    """Install (or clear, with ``None``) the board-operation hook.
+
+    Returns the previous hook so callers can restore it.
+    """
+    global _obs_hook
+    previous = _obs_hook
+    _obs_hook = hook
+    return previous
+
 
 class Whiteboard:
     """The sign store of a single node."""
@@ -32,10 +53,14 @@ class Whiteboard:
 
     def snapshot(self) -> Tuple[Sign, ...]:
         """All signs, in write order."""
+        if _obs_hook is not None:
+            _obs_hook("snapshot")
         return tuple(self._signs)
 
     def append(self, sign: Sign) -> None:
         """Write a sign (atomic under the runtime's one-action-per-step)."""
+        if _obs_hook is not None:
+            _obs_hook("append")
         self._signs.append(sign)
         self._version += 1
 
@@ -46,6 +71,8 @@ class Whiteboard:
         payload: Optional[Tuple[int, ...]] = None,
     ) -> int:
         """Remove the given agent's signs matching kind/payload."""
+        if _obs_hook is not None:
+            _obs_hook("erase")
         before = len(self._signs)
         self._signs = [
             s
@@ -69,6 +96,8 @@ class Whiteboard:
         capacity: int,
     ) -> bool:
         """Atomic test-and-write (see :class:`repro.sim.actions.TryAcquire`)."""
+        if _obs_hook is not None:
+            _obs_hook("acquire")
         if self.count(kind, payload) >= capacity:
             return False
         self.append(Sign(kind=kind, color=color, payload=tuple(payload)))

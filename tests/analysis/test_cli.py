@@ -1,5 +1,7 @@
 """Smoke tests for the experiment command-line runner."""
 
+import json
+
 import pytest
 
 from repro.analysis.__main__ import EXPERIMENTS, main
@@ -25,3 +27,15 @@ class TestCli:
         assert main(["table1", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "qualitative" in out and "all cells match the paper: True" in out
+
+    def test_perf_stats_emits_valid_json(self, capsys):
+        # Regression: --perf-stats used to print an ASCII table, breaking
+        # every consumer that parsed the output.  The last line must now be
+        # one self-contained JSON object.
+        assert main(["complexity", "--quick", "--perf-stats"]) == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        data = json.loads(last)
+        assert set(data) == {"cache", "metrics"}
+        for stats in data["cache"].values():
+            assert set(stats) == {"hits", "misses"}
+        assert "metrics" in data["metrics"]

@@ -1,0 +1,65 @@
+"""The python -m repro.obs command line: report, export, diff."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+class TestReport:
+    def test_default_instance_is_consistent(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem 3.1 budget" in out
+        assert "-> consistent" in out
+        assert "map_drawing" in out  # per-phase wall-time table
+        assert "moves" in out  # per-agent counter table
+
+    def test_report_can_export_a_snapshot(self, capsys, tmp_path):
+        path = str(tmp_path / "snap.json")
+        assert main(["report", "--export", path]) == 0
+        data = json.loads(open(path).read())
+        assert "agent_moves_total" in data["metrics"]
+
+
+class TestExport:
+    def test_json_snapshot(self, capsys, tmp_path):
+        path = str(tmp_path / "m.json")
+        assert main(["export", "--out", path]) == 0
+        data = json.loads(open(path).read())
+        assert "theorem31_budget" in data["metrics"]
+        assert "span_seconds" in data["metrics"]
+
+    def test_prometheus_exposition(self, capsys, tmp_path):
+        path = str(tmp_path / "m.prom")
+        assert main(["export", "--out", path, "--format", "prom"]) == 0
+        text = open(path).read()
+        assert "# TYPE repro_agent_moves_total counter" in text
+        assert "# TYPE repro_span_seconds summary" in text
+
+
+class TestDiff:
+    def test_diff_two_snapshots(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        assert main(["export", "--out", a, "--seed", "7"]) == 0
+        assert main(["export", "--out", b, "--seed", "11"]) == 0
+        capsys.readouterr()
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out
+
+    def test_identical_snapshots_and_timers_differ_only_in_histograms(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "a.json")
+        assert main(["export", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["diff", path, path]) == 0
+        assert "no differing series" in capsys.readouterr().out
+
+    def test_bad_snapshot_is_a_user_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["diff", str(bad), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,105 @@
+"""Exporters: Prometheus text, JSON round-trip, snapshot diffs."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.exporters import (
+    diff_snapshots,
+    load_snapshot,
+    render_diff,
+    to_json,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("moves_total", help="moves").inc(5, agent="a")
+    reg.counter("moves_total").inc(7, agent="b")
+    reg.gauge("headroom").set(42.0)
+    hist = reg.histogram("step_seconds", help="step cost")
+    for v in (0.1, 0.2, 0.3):
+        hist.observe(v, phase="p1")
+    return reg
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# TYPE repro_moves_total counter" in text
+        assert 'repro_moves_total{agent="a"} 5' in text
+        assert "# HELP repro_moves_total moves" in text
+        assert "repro_headroom 42" in text
+
+    def test_histograms_render_as_summaries(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# TYPE repro_step_seconds summary" in text
+        assert 'repro_step_seconds{phase="p1",quantile="0.5"} 0.2' in text
+        assert 'repro_step_seconds_count{phase="p1"} 3' in text
+        assert 'repro_step_seconds_sum{phase="p1"}' in text
+
+    def test_prefix_and_name_sanitization(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.x").inc()
+        text = to_prometheus(reg.snapshot(), prefix="x_")
+        assert "x_weird_name_x 1" in text
+
+
+class TestJsonRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        snap = sample_registry().snapshot()
+        path = str(tmp_path / "snap.json")
+        write_snapshot(snap, path, format="json")
+        loaded = load_snapshot(path)
+        assert loaded["metrics"]["moves_total"]["series"] == [
+            {"labels": {"agent": "a"}, "value": 5.0},
+            {"labels": {"agent": "b"}, "value": 7.0},
+        ]
+
+    def test_to_json_is_deterministic(self):
+        snap = sample_registry().snapshot()
+        assert to_json(snap) == to_json(sample_registry().snapshot())
+
+    def test_load_rejects_non_snapshots(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"just": "data"}')
+        with pytest.raises(MetricsError):
+            load_snapshot(str(path))
+
+    def test_write_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(MetricsError):
+            write_snapshot({}, str(tmp_path / "x"), format="xml")
+
+
+class TestDiff:
+    def test_deltas_and_one_sided_series(self):
+        before = sample_registry()
+        after = sample_registry()
+        after.counter("moves_total").inc(3, agent="a")
+        after.counter("fresh_total").inc(agent="new")
+        rows = diff_snapshots(before.snapshot(), after.snapshot())
+        by_key = {
+            (r["metric"], tuple(sorted(r["labels"].items()))): r for r in rows
+        }
+        grown = by_key[("moves_total", (("agent", "a"),))]
+        assert grown["before"] == 5.0 and grown["after"] == 8.0
+        assert grown["delta"] == 3.0
+        fresh = by_key[("fresh_total", (("agent", "new"),))]
+        assert fresh["before"] is None and fresh["delta"] is None
+
+    def test_histograms_compare_by_sum_and_carry_counts(self):
+        before = sample_registry()
+        after = sample_registry()
+        after.histogram("step_seconds").observe(0.4, phase="p1")
+        rows = diff_snapshots(before.snapshot(), after.snapshot())
+        (row,) = [r for r in rows if r["metric"] == "step_seconds"]
+        assert row["delta"] == pytest.approx(0.4)
+        assert row["before_count"] == 3 and row["after_count"] == 4
+
+    def test_render_hides_unchanged_by_default(self):
+        snap = sample_registry().snapshot()
+        rows = diff_snapshots(snap, snap)
+        assert render_diff(rows) == "no differing series"
+        assert "moves_total" in render_diff(rows, only_changed=False)

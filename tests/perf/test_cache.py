@@ -126,6 +126,27 @@ def test_stats_rows_render_shape():
     assert row == ["k", 1, 1, "50%"]
 
 
+def test_counters_live_in_the_perf_cache_collector():
+    from repro.obs.registry import collectors
+
+    net = cycle_graph(4)
+    memo(net, "k", None, lambda: 1)
+    registry = collectors()["perf.cache"]
+    assert registry is cache_module.metrics_registry()
+    assert registry.counter("cache_misses_total").value(kind="k") == 1.0
+
+
+def test_reset_zeroes_counters_but_keeps_cached_values():
+    net = cycle_graph(4)
+    memo(net, "k", None, lambda: "v")
+    assert cache_stats()["k"]["misses"] == 1
+    cache_module.reset()
+    assert cache_stats() == {}
+    # The memoized value survived: the next lookup is a hit, not a miss.
+    assert memo(net, "k", None, lambda: "recomputed") == "v"
+    assert cache_stats()["k"] == {"hits": 1, "misses": 0}
+
+
 # ----------------------------------------------------------------------
 # Regression tests: the analysis layer must not recompute partitions
 # ----------------------------------------------------------------------
