@@ -131,12 +131,26 @@ def _experiment_trace(quick: bool) -> None:
     )
 
 
+def _experiment_faults(quick: bool) -> None:
+    from ..fault.campaign import run_campaign
+
+    report = run_campaign(
+        pairs=40 if quick else 208, workers=_WORKERS, quick=quick
+    )
+    print(report.render())
+    print(
+        "\nno-silent-wrong-answer oracle holds: "
+        f"{not report.impossible_rows}"
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "table1": _experiment_table1,
     "complexity": _experiment_complexity,
     "effectual": _experiment_effectual,
     "petersen": _experiment_petersen,
     "trace": _experiment_trace,
+    "faults": _experiment_faults,
 }
 
 

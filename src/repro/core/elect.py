@@ -61,6 +61,7 @@ from ..sim.actions import Log, NodeView, Read, TryAcquire, WaitUntil, Write
 from ..sim.agent import Agent, ProtocolGen
 from ..sim.signs import (
     ACTIVATE,
+    DFS_VISITED,
     LEADER_ANNOUNCE,
     MATCH,
     NODE_ACQUIRED,
@@ -140,6 +141,17 @@ class ElectAgent(Agent):
             agent=self.color.name or "?",
         )
         self.obs_clock.enter(MAP_DRAWING)
+        # Checkpoint hook: our own dfs-visited mark on the start view means
+        # this protocol instance was restarted by the watchdog after a crash
+        # — the whiteboards *are* the checkpoint.  MAP-DRAWING re-enters
+        # idempotently (deterministic port order revisits the old numbering)
+        # and every later stage keys off persistent signs, so the restarted
+        # run resumes the same election.  The Log is purely diagnostic.
+        if any(
+            s.kind == DFS_VISITED and s.color == self.color
+            for s in start.signs
+        ):
+            yield Log("restart-from-checkpoint", ())
         drawer = draw_map if self.map_strategy == "dfs" else draw_map_frontier
         local_map: LocalMap = yield from drawer(self.color, start)
         self._map = local_map

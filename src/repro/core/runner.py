@@ -34,6 +34,8 @@ def run_election(
     seed: int = 0,
     colors: Optional[Sequence[Color]] = None,
     trace: Optional[Any] = None,
+    fault: Optional[Any] = None,
+    watchdog: Optional[Any] = None,
     **sim_kwargs: Any,
 ) -> ElectionOutcome:
     """Run any election protocol on ``(G, p)`` and aggregate the outcome.
@@ -54,6 +56,15 @@ def run_election(
     trace:
         Optional :class:`~repro.trace.sinks.TraceSink` recording the run as
         a structured event stream (annotated with the agent type and seed).
+    fault:
+        Optional :class:`~repro.fault.plan.FaultPlan` compiled onto the
+        run (crashes, stall windows, board faults).  A faulted run either
+        completes, or fails loudly with a classified stall — never returns
+        a silently wrong outcome (the fault campaign sweeps exactly this).
+    watchdog:
+        Optional :class:`~repro.fault.watchdog.Watchdog` supervising the
+        run: blocked-too-long classification, checkpoint restarts within
+        budget, :class:`~repro.errors.StallDetected` on exhaustion.
     """
     if colors is None:
         colors = placement.fresh_colors()
@@ -76,6 +87,8 @@ def run_election(
         list(zip(agents, placement.homes)),
         scheduler=scheduler or RandomScheduler(seed=seed),
         trace=trace,
+        fault=fault,
+        watchdog=watchdog,
         **sim_kwargs,
     )
     result = sim.run()

@@ -60,12 +60,35 @@ class DeadlockError(SimulationError):
     """
 
 
+class StallDetected(DeadlockError):
+    """Raised by the watchdog when stalled agents exhaust their recovery budget.
+
+    A refinement of :class:`DeadlockError`: the run was supervised by a
+    :class:`~repro.fault.watchdog.Watchdog`, the stall was *classified*
+    (per-agent blocked durations, restart attempts consumed), and recovery
+    either was disabled or did not unstick the run.  Catching
+    ``DeadlockError`` catches this too, so existing impossibility-side
+    handlers keep working under supervision.
+    """
+
+
 class StepBudgetExceeded(SimulationError):
     """Raised when a simulation exceeds its configured step budget.
 
     Used to bound executions of protocols on instances where the protocol is
     not guaranteed to terminate (e.g. symmetric executions driven by an
     adversarial scheduler).
+    """
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault-injection configurations.
+
+    Examples: a :class:`~repro.fault.plan.FaultPlan` targeting an agent or
+    node the instance does not have, or an unknown action kind in a
+    crash-on-action spec.  Note that *injected* faults never raise this —
+    they surface as classified stalls or detected corruption; this error is
+    strictly about misconfigured plans.
     """
 
 

@@ -1,0 +1,90 @@
+"""Command-line fault campaign: ``python -m repro.fault``.
+
+Sweeps the fault matrix across the standard instance battery, prints the
+classification counts, optionally writes the full JSON report, and exits
+non-zero if any pair lands in the ``silent-wrong-answer`` bucket (or fails
+its structural trace audit) — the CI contract of the robustness suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .campaign import CampaignConfig, run_campaign
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fault",
+        description="Run the fault-injection campaign over the instance "
+        "battery and classify every (instance, plan) pair.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instance slice for smoke runs",
+    )
+    parser.add_argument(
+        "--pairs",
+        type=int,
+        default=208,
+        help="number of (instance, plan) pairs to sweep (default: 208)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=int,
+        default=400,
+        help="watchdog stall timeout in steps (default: 400)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="per-agent checkpoint-restart budget (default: 2)",
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the per-run structural trace audit",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the full JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(
+        seed=args.seed,
+        timeout=args.timeout,
+        max_restarts=args.max_restarts,
+        audit=not args.no_audit,
+    )
+    report = run_campaign(
+        pairs=args.pairs,
+        config=config,
+        workers=args.workers,
+        quick=args.quick,
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

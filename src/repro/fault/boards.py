@@ -1,0 +1,114 @@
+"""Whiteboard faults: lost and corrupted writes, with CRC detection.
+
+:class:`FaultyWhiteboard` replaces a node's board and misbehaves on a
+declaratively chosen agent write — the *nth* runtime-era append is dropped
+(the agent believes it wrote; nothing lands) or corrupted (an integer delta
+is applied to the payload).  Every append also journals the CRC-32
+fingerprint of the sign the agent *asked* to store
+(:meth:`repro.sim.signs.Sign.fingerprint`), so :meth:`FaultyWhiteboard.audit`
+can afterwards detect any surviving corrupted sign — the detection side of
+the fault model, analogous to checksummed storage.
+
+Home-base marks (``kind == "homebase"``) are exempt from both faults and
+from the nth-write counting: the paper treats them as part of the *instance*
+("the home-base of a is marked with a sign of color c(a)"), not as runtime
+messages, and dropping one would change which election problem is being
+solved rather than perturb how it is solved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.signs import HOMEBASE, Sign
+from ..sim.whiteboard import Whiteboard
+
+
+class FaultyWhiteboard(Whiteboard):
+    """A whiteboard that drops or corrupts selected agent writes."""
+
+    __slots__ = ("node", "_drops", "_corruptions", "_appends", "journal", "_log")
+
+    def __init__(
+        self,
+        node: int,
+        drops: Sequence[int] = (),
+        corruptions: Sequence[Tuple[int, int]] = (),
+        log: Optional[object] = None,
+    ):
+        """``drops`` are 1-based agent-write indices to lose; ``corruptions``
+        are ``(nth, delta)`` pairs applying ``delta`` to the first payload
+        element of the nth agent write.  ``log`` is the fault plan's
+        injection journal (anything with ``record(kind, **info)``)."""
+        super().__init__()
+        self.node = node
+        self._drops = frozenset(drops)
+        self._corruptions = dict(corruptions)
+        self._appends = 0
+        #: ``(stored_sign, requested_fingerprint)`` pairs.  Strong
+        #: references on purpose: the audit must be able to recompute the
+        #: fingerprint of exactly the object that was stored.
+        self.journal: List[Tuple[Sign, int]] = []
+        self._log = log
+
+    def append(self, sign: Sign) -> Optional[Sign]:
+        if sign.kind == HOMEBASE:
+            return super().append(sign)
+        self._appends += 1
+        nth = self._appends
+        if nth in self._drops:
+            if self._log is not None:
+                self._log.record(
+                    "write-drop", node=self.node, sign=sign.kind, nth=nth
+                )
+            # The write is lost: no board mutation, no version bump.  The
+            # runtime's Write path returns None to signal the loss (the
+            # *agent* is not told — that is the point of the fault).
+            return None
+        requested = sign
+        delta = self._corruptions.get(nth)
+        if delta is not None:
+            payload = sign.payload
+            payload = (
+                (payload[0] + delta,) + payload[1:] if payload else (delta,)
+            )
+            sign = Sign(kind=sign.kind, color=sign.color, payload=payload)
+            if self._log is not None:
+                self._log.record(
+                    "write-corrupt",
+                    node=self.node,
+                    sign=sign.kind,
+                    nth=nth,
+                    delta=delta,
+                )
+        stored = super().append(sign)
+        self.journal.append((stored, requested.fingerprint()))
+        return stored
+
+    def audit(self) -> List[str]:
+        """CRC check: find journaled writes whose surviving sign mismatches.
+
+        Returns one human-readable finding per corrupted sign still on the
+        board (erased signs cannot mislead anyone and are skipped).  An
+        empty list means every surviving write is bit-identical to what its
+        writer requested.
+        """
+        # Read the raw list (not snapshot()) so audits do not perturb the
+        # whiteboard observation hook's counters.
+        live = {id(s) for s in self._signs}
+        findings = []
+        for stored, requested_fp in self.journal:
+            if id(stored) not in live:
+                continue
+            if stored.fingerprint() != requested_fp:
+                findings.append(
+                    f"node {self.node}: stored {stored.kind} sign "
+                    f"payload={stored.payload} fails its write-time CRC"
+                )
+        return findings
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultyWhiteboard(node={self.node}, {len(self._signs)} signs, "
+            f"drops={sorted(self._drops)}, corruptions={self._corruptions})"
+        )

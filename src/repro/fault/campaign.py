@@ -1,0 +1,400 @@
+"""The fault-injection campaign: sweep fault plans across the battery.
+
+A campaign is a deterministic matrix sweep: every ``(instance, FaultPlan)``
+pair runs one supervised simulation (watchdog + trace + fault journal) and
+is classified against the schedule-independent ground truth of Theorem 3.1
+(:func:`repro.core.feasibility.elect_prediction`):
+
+* ``elected-correctly`` — the run completed with the predicted outcome
+  (a unique leader where election is feasible, unanimous failure where it
+  is not) without consuming any restart;
+* ``recovered`` — same, but only after one or more watchdog checkpoint
+  restarts (the interesting rows: the fault fired *and* was absorbed);
+* ``detected-stall`` — the run failed **loudly**: a classified stall or
+  deadlock, a step-budget livelock, or a wrong completion that is fully
+  explained by journaled board faults (the write-time CRC journal and the
+  runtime's failed-write results make dropped/corrupted writes detected
+  events, not silent ones);
+* ``silent-wrong-answer`` — the impossible bucket: a wrong outcome with no
+  exception and no board-fault evidence.  Crashes, delays and restarts are
+  all within the asynchronous model (a crash is an infinite delay, a stall
+  window is a legal schedule), so nothing in this sweep may ever land here;
+  one such row fails the campaign.
+
+Classification never compares against a fault-free baseline *leader*: on
+electable instances leader identity is race-decided, so only the predicted
+feasibility (and report consistency, via
+:meth:`~repro.core.result.ElectionOutcome.validate`) is oracle material.
+
+Determinism: every per-pair seed is derived with :func:`zlib.crc32` from
+``(config.seed, pair index, plan name)`` — no process-dependent ``hash()``
+— and :class:`~repro.perf.parallel.ParallelBatteryRunner` preserves input
+order, so a campaign is a pure function of its configuration regardless of
+worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.elect import ElectAgent
+from ..core.feasibility import elect_prediction
+from ..core.result import aggregate
+from ..errors import ProtocolError, ReproError
+from ..sim.runtime import Simulation
+from ..sim.scheduler import RandomScheduler
+from ..trace.invariants import THEOREM31_CONSTANT, audit_trace
+from ..trace.sinks import MemorySink
+from .metrics import count_outcome
+from .plan import FaultPlan, random_fault_plans
+from .watchdog import DEFAULT_BACKOFF, Watchdog
+
+#: Outcome classifications, best to worst.
+ELECTED = "elected-correctly"
+RECOVERED = "recovered"
+DETECTED = "detected-stall"
+IMPOSSIBLE = "silent-wrong-answer"
+OUTCOMES: Tuple[str, ...] = (ELECTED, RECOVERED, DETECTED, IMPOSSIBLE)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Sweep-wide policy: seeds, watchdog limits, audit switch."""
+
+    seed: int = 0
+    #: Steps an agent may stay blocked before the watchdog flags a stall.
+    timeout: int = 400
+    #: Per-agent checkpoint-restart budget.
+    max_restarts: int = 2
+    backoff: Tuple[int, ...] = DEFAULT_BACKOFF
+    jitter: int = 0
+    #: Hard step budget per run (``None``: the runtime's size-derived cap).
+    max_steps: Optional[int] = None
+    #: Run the structural trace audit on every completed run.
+    audit: bool = True
+
+    def watchdog(self, pair_seed: int) -> Watchdog:
+        return Watchdog(
+            timeout=self.timeout,
+            max_restarts=self.max_restarts,
+            backoff=self.backoff,
+            jitter=self.jitter,
+            seed=pair_seed,
+        )
+
+
+@dataclass
+class CampaignRow:
+    """One classified ``(instance, plan)`` run."""
+
+    index: int
+    instance: str
+    family: str
+    plan: str
+    predicted: bool
+    outcome: str
+    detail: str = ""
+    steps: int = 0
+    moves: int = 0
+    restarts: int = 0
+    stalls: int = 0
+    injections: Tuple[str, ...] = ()
+    audit_failures: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "instance": self.instance,
+            "family": self.family,
+            "plan": self.plan,
+            "predicted": self.predicted,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "steps": self.steps,
+            "moves": self.moves,
+            "restarts": self.restarts,
+            "stalls": self.stalls,
+            "injections": list(self.injections),
+            "audit_failures": list(self.audit_failures),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """All rows of one campaign plus the headline counts."""
+
+    rows: List[CampaignRow]
+    seed: int
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {name: 0 for name in OUTCOMES}
+        for row in self.rows:
+            out[row.outcome] = out.get(row.outcome, 0) + 1
+        return out
+
+    @property
+    def impossible_rows(self) -> List[CampaignRow]:
+        return [r for r in self.rows if r.outcome == IMPOSSIBLE]
+
+    @property
+    def audit_failures(self) -> List[CampaignRow]:
+        return [r for r in self.rows if r.audit_failures]
+
+    @property
+    def ok(self) -> bool:
+        """The campaign's verdict: no silent wrong answer, clean audits."""
+        return not self.impossible_rows and not self.audit_failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "pairs": len(self.rows),
+            "counts": self.counts,
+            "ok": self.ok,
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"fault campaign: {len(self.rows)} (instance, plan) pairs, "
+            f"seed={self.seed}"
+        ]
+        counts = self.counts
+        for name in OUTCOMES:
+            lines.append(f"  {name:>22}: {counts.get(name, 0)}")
+        total_restarts = sum(r.restarts for r in self.rows)
+        total_stalls = sum(r.stalls for r in self.rows)
+        lines.append(
+            f"  restarts={total_restarts}  stalls={total_stalls}  "
+            f"audit-failures={len(self.audit_failures)}"
+        )
+        for row in self.impossible_rows:
+            lines.append(
+                f"  IMPOSSIBLE #{row.index} {row.instance} / {row.plan}: "
+                f"{row.detail}"
+            )
+        for row in self.audit_failures:
+            lines.append(
+                f"  AUDIT #{row.index} {row.instance} / {row.plan}: "
+                + "; ".join(row.audit_failures)
+            )
+        lines.append("verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _pair_seed(seed: int, index: int, plan_name: str) -> int:
+    """Stable per-pair seed (no ``hash()``: must survive process hopping)."""
+    return zlib.crc32(f"{seed}:{index}:{plan_name}".encode("utf-8"))
+
+
+def _classify_completion(
+    sim: Simulation,
+    result: Any,
+    predicted: bool,
+) -> Tuple[str, str]:
+    """Classify a run that terminated (all agents reported)."""
+    fault_state = sim.fault_state
+    findings = fault_state.audit_boards() if fault_state is not None else []
+    injected = fault_state.log.kinds() if fault_state is not None else ()
+    restarted = any(result.restarts)
+
+    def board_fault_excuse() -> Optional[str]:
+        # A wrong completion is *detected*, not silent, exactly when the
+        # board-fault journal can testify: a surviving CRC mismatch, or a
+        # journaled corrupt/dropped write (the runtime also surfaced the
+        # drop to the writer as a failed-write result).
+        if findings:
+            return "crc-corruption: " + "; ".join(findings)
+        if "write-corrupt" in injected:
+            return "journaled write corruption"
+        if "write-drop" in injected:
+            return "journaled write drop"
+        return None
+
+    try:
+        election = aggregate(
+            result.results,
+            total_moves=result.total_moves,
+            total_accesses=result.total_accesses,
+            steps=result.steps,
+        )
+    except ProtocolError as exc:
+        excuse = board_fault_excuse()
+        if excuse is not None:
+            return DETECTED, f"inconsistent reports ({excuse})"
+        return IMPOSSIBLE, f"split-brain: {exc}"
+
+    correct = (
+        election.elected
+        if predicted
+        else (not election.elected and election.failed)
+    )
+    if correct:
+        if restarted:
+            return RECOVERED, f"after {sum(result.restarts)} restart(s)"
+        return ELECTED, "" if predicted else "correctly reported failure"
+
+    excuse = board_fault_excuse()
+    if excuse is not None:
+        return DETECTED, f"wrong completion ({excuse})"
+    got = "elected" if election.elected else "failed"
+    return IMPOSSIBLE, (
+        f"predicted {'electable' if predicted else 'impossible'} "
+        f"but run {got} with no detectable cause"
+    )
+
+
+def _evaluate_pair(task: Tuple[int, Any, FaultPlan, CampaignConfig]) -> CampaignRow:
+    """Run and classify one pair.  Module-level: pickled to pool workers."""
+    index, instance, plan, cfg = task
+    pair_seed = _pair_seed(cfg.seed, index, plan.name)
+    predicted = elect_prediction(instance.network, instance.placement).succeeds
+
+    colors = instance.placement.fresh_colors()
+    agents = [
+        ElectAgent(color, rng=random.Random(f"{pair_seed}:{i}"))
+        for i, color in enumerate(colors)
+    ]
+    sink = MemorySink()
+    sim = Simulation(
+        instance.network,
+        list(zip(agents, instance.placement.homes)),
+        scheduler=RandomScheduler(seed=pair_seed),
+        trace=sink,
+        fault=plan,
+        watchdog=cfg.watchdog(pair_seed),
+        max_steps=cfg.max_steps,
+    )
+
+    row = CampaignRow(
+        index=index,
+        instance=instance.label,
+        family=instance.family,
+        plan=plan.describe(),
+        predicted=predicted,
+        outcome=DETECTED,
+    )
+    result = None
+    try:
+        result = sim.run()
+    except ReproError as exc:
+        # Every loud failure is a *detection*: classified stalls
+        # (StallDetected), deadlocks, step-budget livelocks, and protocol /
+        # map-consistency errors tripped by injected board faults (e.g. a
+        # dropped DFS sign making a drawn map self-contradictory).
+        row.detail = f"{type(exc).__name__}: {exc}"
+    else:
+        row.outcome, row.detail = _classify_completion(sim, result, predicted)
+        row.steps = result.steps
+        row.moves = result.total_moves
+        row.restarts = sum(result.restarts)
+        row.stalls = len(result.stall_events)
+        if cfg.audit and sink.header is not None:
+            # Restarted agents redo work from their checkpoint, so the
+            # Theorem 3.1 gauge is scaled by the restart budget: recovered
+            # moves still count against (a scaled) C·r·|E|.
+            reports = audit_trace(
+                sink.events,
+                header=sink.header,
+                moves=result.moves,
+                accesses=result.accesses,
+                steps=result.steps,
+                theorem31_constant=THEOREM31_CONSTANT
+                * (1 + cfg.max_restarts),
+            )
+            row.audit_failures = tuple(
+                f"{rep.name}: {rep.detail}" for rep in reports if not rep.ok
+            )
+    if result is None:
+        # Loud failure: salvage the watchdog's journal for the row.
+        row.stalls = len(sim.watchdog.stall_events) if sim.watchdog else 0
+        row.restarts = sim.watchdog.total_restarts if sim.watchdog else 0
+    if sim.fault_state is not None:
+        row.injections = sim.fault_state.log.kinds()
+    return row
+
+
+def standard_battery(quick: bool = False) -> List[Any]:
+    """The campaign's instance slice: every impossible canonical instance
+    plus a deterministic stride sample of the asymmetric (electable) ones.
+
+    ``quick=True`` shrinks to a handful of instances for smoke runs.
+    """
+    from ..analysis.instances import (
+        asymmetric_instances,
+        impossibility_instances,
+    )
+
+    impossible = impossibility_instances()
+    electable = asymmetric_instances()
+    if quick:
+        return impossible[:3] + electable[::17][:4]
+    return impossible + electable[::4]
+
+
+def build_pairs(
+    instances: Sequence[Any],
+    pairs: int,
+    config: CampaignConfig,
+) -> List[Tuple[int, Any, FaultPlan, CampaignConfig]]:
+    """The deterministic ``(index, instance, plan, config)`` task matrix.
+
+    Plans are generated per instance (seeded from the campaign seed and the
+    instance's position) so every instance sees every fault family, then the
+    matrix is trimmed to exactly ``pairs`` rows.
+    """
+    if not instances:
+        raise ValueError("campaign needs at least one instance")
+    plans_per = max(1, -(-pairs // len(instances)))
+    tasks: List[Tuple[int, Any, FaultPlan, CampaignConfig]] = []
+    for j, inst in enumerate(instances):
+        plans = random_fault_plans(
+            plans_per,
+            num_agents=inst.placement.num_agents,
+            num_nodes=inst.network.num_nodes,
+            seed=_pair_seed(config.seed, j, inst.label),
+        )
+        for plan in plans:
+            tasks.append((len(tasks), inst, plan, config))
+    # Interleave instances so trimming keeps battery breadth.
+    tasks.sort(key=lambda t: (t[0] % plans_per, t[0]))
+    tasks = tasks[:pairs]
+    return [
+        (i, inst, plan, cfg) for i, (_, inst, plan, cfg) in enumerate(tasks)
+    ]
+
+
+def run_campaign(
+    instances: Optional[Sequence[Any]] = None,
+    pairs: int = 208,
+    config: Optional[CampaignConfig] = None,
+    workers: Optional[int] = 1,
+    quick: bool = False,
+) -> CampaignReport:
+    """Sweep the fault matrix; return the classified report.
+
+    Deterministic in ``(instances, pairs, config)`` — worker count only
+    changes wall-clock time (the battery runner preserves input order and
+    every seed is derived per pair).
+    """
+    cfg = config or CampaignConfig()
+    if instances is None:
+        instances = standard_battery(quick=quick)
+    tasks = build_pairs(instances, pairs, cfg)
+
+    from ..perf.parallel import ParallelBatteryRunner
+
+    runner = ParallelBatteryRunner(workers=workers)
+    rows = runner.map(_evaluate_pair, tasks)
+    for row in rows:
+        count_outcome(row.outcome)
+    return CampaignReport(rows=list(rows), seed=cfg.seed)

@@ -1,0 +1,324 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a frozen, picklable description of a set of faults —
+the unit the campaign runner sweeps and ships to worker processes.  Plans
+say nothing about *mechanism*; :meth:`FaultPlan.install` compiles the specs
+onto a concrete :class:`~repro.sim.runtime.Simulation` at construction time
+(the runtime calls it when given ``fault=plan``):
+
+* :class:`CrashAtStep` / :class:`CrashOnAction` wrap the target agent in a
+  :class:`~repro.fault.agents.FaultedAgent`;
+* :class:`StallWindow` decorates the scheduler with a
+  :class:`~repro.fault.sched.DelayScheduler`;
+* :class:`WriteDrop` / :class:`WriteCorrupt` replace the target node's
+  board with a :class:`~repro.fault.boards.FaultyWhiteboard`.
+
+Installation returns an :class:`InstalledFaults` handle holding the
+injection journal (which faults actually fired) and the board-corruption
+CRC audit — the evidence the campaign classifier uses.
+
+:func:`random_fault_plans` generates seeded plan batteries: same seed, same
+plans, independent of process or worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import FaultError
+from .agents import ACTION_KINDS, FaultedAgent
+from .boards import FaultyWhiteboard
+from .metrics import count_injection
+from .sched import DelayScheduler
+
+
+@dataclass(frozen=True)
+class CrashAtStep:
+    """Agent ``agent`` crashes after executing ``after_actions`` actions."""
+
+    agent: int
+    after_actions: int
+
+    def describe(self) -> str:
+        return f"crash(agent={self.agent}, after={self.after_actions})"
+
+
+@dataclass(frozen=True)
+class CrashOnAction:
+    """Agent ``agent`` crashes at its first action of kind ``action_kind``
+    (a name from :data:`repro.fault.agents.ACTION_KINDS`)."""
+
+    agent: int
+    action_kind: str
+
+    def __post_init__(self) -> None:
+        if self.action_kind not in ACTION_KINDS:
+            raise FaultError(
+                f"unknown action kind {self.action_kind!r}; expected one of "
+                f"{sorted(ACTION_KINDS)}"
+            )
+
+    def describe(self) -> str:
+        return f"crash(agent={self.agent}, on={self.action_kind})"
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """Agent ``agent`` is not scheduled during steps
+    ``[at_step, at_step + duration)`` — a transient stall (it resumes) or an
+    adversarial delay, which in the asynchronous model are the same fault."""
+
+    agent: int
+    at_step: int
+    duration: int
+
+    def describe(self) -> str:
+        return (
+            f"stall(agent={self.agent}, steps={self.at_step}"
+            f"..{self.at_step + self.duration})"
+        )
+
+
+@dataclass(frozen=True)
+class WriteDrop:
+    """The ``nth`` (1-based) agent write to node ``node``'s board is lost."""
+
+    node: int
+    nth: int
+
+    def describe(self) -> str:
+        return f"drop(node={self.node}, nth={self.nth})"
+
+
+@dataclass(frozen=True)
+class WriteCorrupt:
+    """The ``nth`` agent write to node ``node`` lands with ``delta`` added
+    to its first payload element (CRC-detectable, see
+    :meth:`repro.fault.boards.FaultyWhiteboard.audit`)."""
+
+    node: int
+    nth: int
+    delta: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"corrupt(node={self.node}, nth={self.nth}, delta={self.delta})"
+        )
+
+
+#: Everything a plan may contain.
+FaultSpec = Union[CrashAtStep, CrashOnAction, StallWindow, WriteDrop, WriteCorrupt]
+
+
+@dataclass
+class Injection:
+    """One fault that actually fired during a run."""
+
+    kind: str
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+        return f"{self.kind}({details})"
+
+
+class InjectionLog:
+    """Journal of fired injections, shared by a plan's installed parts."""
+
+    def __init__(self) -> None:
+        self.injections: List[Injection] = []
+
+    def record(self, kind: str, **info: Any) -> None:
+        self.injections.append(Injection(kind, dict(info)))
+        count_injection(kind)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(inj.kind for inj in self.injections)
+
+    def __len__(self) -> int:
+        return len(self.injections)
+
+
+@dataclass
+class InstalledFaults:
+    """Handle returned by :meth:`FaultPlan.install` (``sim.fault_state``)."""
+
+    plan: "FaultPlan"
+    log: InjectionLog
+    boards: List[FaultyWhiteboard]
+
+    def audit_boards(self) -> List[str]:
+        """CRC findings for corrupted signs still on any faulty board."""
+        findings: List[str] = []
+        for board in self.boards:
+            findings.extend(board.audit())
+        return findings
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable bundle of fault specs."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    name: str = ""
+
+    def describe(self) -> str:
+        if not self.faults:
+            return self.name or "fault-free"
+        body = " + ".join(spec.describe() for spec in self.faults)
+        return f"{self.name}: {body}" if self.name else body
+
+    def validate(self, num_agents: int, num_nodes: int) -> None:
+        """Fail fast on specs that target nonexistent agents or nodes."""
+        for spec in self.faults:
+            agent = getattr(spec, "agent", None)
+            if agent is not None and not 0 <= agent < num_agents:
+                raise FaultError(
+                    f"{spec.describe()}: agent index out of range "
+                    f"(run has {num_agents} agents)"
+                )
+            node = getattr(spec, "node", None)
+            if node is not None and not 0 <= node < num_nodes:
+                raise FaultError(
+                    f"{spec.describe()}: node index out of range "
+                    f"(network has {num_nodes} nodes)"
+                )
+
+    def install(self, sim: Any) -> InstalledFaults:
+        """Compile this plan onto a simulation (wrap agents, replace boards,
+        decorate the scheduler).  Called by ``Simulation.__init__``."""
+        self.validate(len(sim.records), len(sim.boards))
+        log = InjectionLog()
+
+        # Agent crashes: one wrapper per spec; multiple specs on the same
+        # agent chain (innermost fires first, each fires at most once).
+        for spec in self.faults:
+            if isinstance(spec, (CrashAtStep, CrashOnAction)):
+                rec = sim.records[spec.agent]
+                agent_idx = spec.agent
+
+                def on_fire(
+                    wrapper: FaultedAgent, reason: str, _idx: int = agent_idx
+                ) -> None:
+                    log.record("crash", agent=_idx, reason=reason)
+
+                rec.agent = FaultedAgent(
+                    rec.agent,
+                    crash_after=(
+                        spec.after_actions
+                        if isinstance(spec, CrashAtStep)
+                        else None
+                    ),
+                    crash_on=(
+                        spec.action_kind
+                        if isinstance(spec, CrashOnAction)
+                        else None
+                    ),
+                    on_fire=on_fire,
+                )
+
+        # Board faults: group specs per node, one faulty board per node.
+        drops: Dict[int, List[int]] = {}
+        corruptions: Dict[int, List[Tuple[int, int]]] = {}
+        for spec in self.faults:
+            if isinstance(spec, WriteDrop):
+                drops.setdefault(spec.node, []).append(spec.nth)
+            elif isinstance(spec, WriteCorrupt):
+                corruptions.setdefault(spec.node, []).append(
+                    (spec.nth, spec.delta)
+                )
+        boards: List[FaultyWhiteboard] = []
+        for node in sorted(set(drops) | set(corruptions)):
+            board = FaultyWhiteboard(
+                node,
+                drops=drops.get(node, ()),
+                corruptions=corruptions.get(node, ()),
+                log=log,
+            )
+            sim.boards[node] = board
+            boards.append(board)
+
+        # Scheduler delays: one decorator carrying every window.
+        windows = [s for s in self.faults if isinstance(s, StallWindow)]
+        if windows:
+            sim.scheduler = DelayScheduler(sim.scheduler, windows)
+
+        return InstalledFaults(plan=self, log=log, boards=boards)
+
+
+#: The spec kinds :func:`random_fault_plans` draws from.
+PLAN_KINDS: Tuple[str, ...] = (
+    "crash-at-step",
+    "crash-on-action",
+    "stall-window",
+    "write-drop",
+    "write-corrupt",
+)
+
+
+def _random_spec(
+    rng: random.Random, kind: str, num_agents: int, num_nodes: int
+) -> FaultSpec:
+    if kind == "crash-at-step":
+        return CrashAtStep(
+            agent=rng.randrange(num_agents),
+            after_actions=rng.randrange(1, 150),
+        )
+    if kind == "crash-on-action":
+        return CrashOnAction(
+            agent=rng.randrange(num_agents),
+            action_kind=rng.choice(
+                ("move", "write", "try-acquire", "wait-until")
+            ),
+        )
+    if kind == "stall-window":
+        return StallWindow(
+            agent=rng.randrange(num_agents),
+            at_step=rng.randrange(0, 200),
+            duration=rng.randrange(20, 250),
+        )
+    if kind == "write-drop":
+        return WriteDrop(
+            node=rng.randrange(num_nodes), nth=rng.randrange(1, 15)
+        )
+    if kind == "write-corrupt":
+        return WriteCorrupt(
+            node=rng.randrange(num_nodes),
+            nth=rng.randrange(1, 15),
+            delta=rng.randrange(1, 7),
+        )
+    raise FaultError(f"unknown plan kind {kind!r}")
+
+
+def random_fault_plans(
+    count: int,
+    num_agents: int,
+    num_nodes: int,
+    seed: int = 0,
+    kinds: Optional[Tuple[str, ...]] = None,
+    combine_probability: float = 0.3,
+) -> List[FaultPlan]:
+    """Generate ``count`` seeded fault plans for an instance shape.
+
+    Kinds round-robin through ``kinds`` (default :data:`PLAN_KINDS`) so
+    every battery covers every fault family; with probability
+    ``combine_probability`` a plan carries a second, independently drawn
+    spec (compound faults).  Deterministic in ``(seed, count, shape)``.
+    """
+    kinds = kinds or PLAN_KINDS
+    rng = random.Random(seed)
+    plans = []
+    for k in range(count):
+        kind = kinds[k % len(kinds)]
+        specs: List[FaultSpec] = [
+            _random_spec(rng, kind, num_agents, num_nodes)
+        ]
+        if rng.random() < combine_probability:
+            extra_kind = kinds[rng.randrange(len(kinds))]
+            specs.append(
+                _random_spec(rng, extra_kind, num_agents, num_nodes)
+            )
+        plans.append(FaultPlan(faults=tuple(specs), name=f"plan{k}-{kind}"))
+    return plans

@@ -1,0 +1,49 @@
+"""Adversarial scheduling faults: transient stalls and delays.
+
+:class:`DelayScheduler` decorates any :class:`~repro.sim.scheduler.Scheduler`
+and suppresses chosen agents during declared step windows — modeling both
+"agent x freezes for a while and resumes" (transient stall) and "the
+adversary refuses to schedule x while its rivals race ahead" (adversarial
+delay); in the asynchronous model these are the same fault.
+
+Fairness is preserved structurally: a window only *filters* the runnable
+set, and if filtering would empty it the full set is used unchanged — the
+scheduler fault can slow agents down arbitrarily but can never manufacture
+a deadlock on its own, exactly like the paper's finite-but-unpredictable
+action times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..sim.scheduler import Scheduler, SchedulerDecorator
+
+
+class DelayScheduler(SchedulerDecorator):
+    """Suppress agents inside their stall windows, then delegate.
+
+    ``windows`` is a sequence of objects with ``agent``/``at_step``/
+    ``duration`` attributes (:class:`repro.fault.plan.StallWindow`): agent
+    ``agent`` is not scheduled for steps in ``[at_step, at_step+duration)``.
+    """
+
+    def __init__(self, inner: Scheduler, windows: Sequence[object]):
+        super().__init__(inner)
+        self.windows: Tuple[object, ...] = tuple(windows)
+
+    def _delayed(self, agent: int, step: int) -> bool:
+        return any(
+            w.agent == agent and w.at_step <= step < w.at_step + w.duration
+            for w in self.windows
+        )
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        allowed = [i for i in runnable if not self._delayed(i, step)]
+        # Never let a delay window turn into a starvation deadlock: if every
+        # runnable agent is suppressed, the fault yields and the full set
+        # goes through (the adversary must keep the execution fair).
+        return self.inner.choose(allowed or list(runnable), step)
+
+    def __repr__(self) -> str:
+        return f"DelayScheduler({self.inner!r}, windows={len(self.windows)})"

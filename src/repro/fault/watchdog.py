@@ -1,0 +1,127 @@
+"""The stall watchdog: timeout classification and restart budgeting.
+
+The runtime cannot distinguish "slow" from "crashed" (asynchrony makes them
+observationally identical), but it *can* bound how long it is willing to
+wait.  A :class:`Watchdog` holds that policy:
+
+* ``timeout`` — how many scheduler steps an agent may stay blocked before
+  the episode is classified as a **stall** (flagged exactly once per
+  episode; an agent that unblocks and re-blocks starts a new episode);
+* ``max_restarts`` — per-agent budget of checkpoint restarts
+  (:meth:`repro.sim.runtime.Simulation._restart`); ``0`` means classify
+  only, never recover;
+* ``backoff`` — deterministic restart delays in steps: the k-th restart of
+  an agent waits ``backoff[min(k, len(backoff)-1)]`` steps (plus seeded
+  ``jitter``, if any) before the agent re-enters the runnable set.
+
+Everything is driven by the scheduler's step counter — no wall clock — so
+supervised runs stay fully deterministic and replayable.  The watchdog
+itself is runtime-agnostic bookkeeping: the :class:`~repro.sim.runtime.
+Simulation` main loop calls :meth:`plan_restart` / :meth:`record_stall` /
+:meth:`victim` and performs the actual recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default restart backoff schedule (steps before the restarted agent may
+#: run again): immediate first retry, then increasingly patient.
+DEFAULT_BACKOFF: Tuple[int, ...] = (0, 16, 64)
+
+
+class Watchdog:
+    """Stall-classification and restart policy for one supervised run."""
+
+    def __init__(
+        self,
+        timeout: Optional[int] = None,
+        max_restarts: int = 0,
+        backoff: Sequence[int] = DEFAULT_BACKOFF,
+        jitter: int = 0,
+        seed: int = 0,
+    ):
+        if timeout is not None and timeout < 1:
+            raise ValueError("timeout must be >= 1 step (or None)")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if not backoff:
+            raise ValueError("backoff needs at least one delay")
+        if any(d < 0 for d in backoff):
+            raise ValueError("backoff delays must be >= 0")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.timeout = timeout
+        self.max_restarts = max_restarts
+        self.backoff = tuple(int(d) for d in backoff)
+        self.jitter = int(jitter)
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear per-run state (called by the runtime at run start)."""
+        self._rng = random.Random(self.seed)
+        #: agent index -> restarts consumed.
+        self.restarts: Dict[int, int] = {}
+        #: ``(step, agent, blocked_for)`` — one entry per classified stall.
+        self.stall_events: List[Tuple[int, int, int]] = []
+        #: ``(step, agent, wake_at)`` — one entry per planned restart.
+        self.restart_events: List[Tuple[int, int, int]] = []
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+    def can_restart(self, agent: int) -> bool:
+        """Whether the agent still has restart budget."""
+        return self.restarts.get(agent, 0) < self.max_restarts
+
+    def record_stall(self, agent: int, blocked_for: int, step: int) -> None:
+        """Journal one stall classification (the runtime flags episodes)."""
+        self.stall_events.append((step, agent, blocked_for))
+
+    def plan_restart(self, agent: int, step: int) -> int:
+        """Consume one restart for ``agent``; return its wake-at step.
+
+        The delay is the backoff entry for this attempt plus seeded jitter —
+        a pure function of ``(seed, call sequence)``, so identical runs plan
+        identical restart schedules.
+        """
+        attempt = self.restarts.get(agent, 0)
+        self.restarts[agent] = attempt + 1
+        delay = self.backoff[min(attempt, len(self.backoff) - 1)]
+        if self.jitter:
+            delay += self._rng.randrange(self.jitter + 1)
+        wake_at = step + delay
+        self.restart_events.append((step, agent, wake_at))
+        return wake_at
+
+    def victim(
+        self, blocked: Sequence[Tuple[int, int]], step: int
+    ) -> Optional[int]:
+        """Pick which blocked agent to restart when nothing is runnable.
+
+        ``blocked`` holds ``(agent, blocked_since_step)`` pairs.  The
+        longest-blocked agent with remaining budget is chosen (crashed
+        agents block earliest, so this biases recovery toward the actual
+        fault); ties break on the lower index.  Returns ``None`` when no
+        candidate has budget left — the runtime then classifies the run as
+        a stall with recovery exhausted.
+        """
+        candidates = [
+            (since, agent)
+            for agent, since in blocked
+            if self.can_restart(agent)
+        ]
+        if not candidates:
+            return None
+        _, agent = min(candidates)
+        return agent
+
+    def __repr__(self) -> str:
+        return (
+            f"Watchdog(timeout={self.timeout}, "
+            f"max_restarts={self.max_restarts}, backoff={self.backoff}, "
+            f"jitter={self.jitter}, seed={self.seed})"
+        )

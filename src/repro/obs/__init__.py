@@ -19,6 +19,13 @@ audit, this package measures *what it cost*, live:
 Metrics ship **disabled**: enable them with :func:`enable`, the
 ``REPRO_METRICS=1`` environment variable, or by handing an enabled
 registry to :class:`repro.sim.runtime.Simulation` as ``metrics=``.
+
+Subsystems with always-on counters register themselves as *collectors*
+(merged into :func:`collect_snapshot`): ``"perf"`` (memo-cache hit/miss)
+and ``"fault"`` (:mod:`repro.fault.metrics` — fired injections by kind and
+campaign outcome classifications).  A metrics-armed supervised run also
+exposes ``watchdog_stalls_total`` / ``watchdog_restarts_total`` in its own
+registry.
 """
 
 from .budget import ACCESSES, DEFAULT_CONSTANT, MOVES, BudgetTracker

@@ -20,12 +20,16 @@ from .scheduler import (
     RecordingScheduler,
     RoundRobinScheduler,
     Scheduler,
+    SchedulerDecorator,
     default_scheduler_suite,
 )
 from .signs import Sign, distinct_colors, signs_of_kind
-from .faults import CrashAfter, CrashOnKind
 from .traversal import LocalMap, Navigator, draw_map, draw_map_frontier
 from .whiteboard import Whiteboard
+
+# Deprecated aliases into repro.fault; imported last so the whole sim
+# substrate is initialized before anything fault-layer-adjacent loads.
+from .faults import CrashAfter, CrashOnKind
 
 __all__ = [
     "Action",
@@ -44,6 +48,7 @@ __all__ = [
     "SimulationResult",
     "run_agents",
     "Scheduler",
+    "SchedulerDecorator",
     "RandomScheduler",
     "RoundRobinScheduler",
     "GreedyAgentScheduler",

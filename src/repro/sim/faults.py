@@ -1,75 +1,58 @@
-"""Fault injection: crash wrappers for robustness testing.
+"""Deprecated crash wrappers — thin aliases into :mod:`repro.fault`.
 
-The paper's model has no crash faults — protocol correctness assumes every
-agent keeps taking steps.  These wrappers let the test-suite verify the
-*diagnostic* behavior of the runtime when that assumption breaks: a crashed
-agent should never cause silent wrong answers, only a detectable stall
-(:class:`~repro.errors.DeadlockError` naming the blocked waiters, or a
-``deadlocked`` result under ``deadlock_ok``).
+This module predates the fault subsystem and is kept only for backward
+compatibility: :class:`CrashAfter` and :class:`CrashOnKind` now delegate to
+:class:`repro.fault.agents.FaultedAgent`, which also fixes their original
+spurious-wake bug (the old implementations raised an ``AssertionError``
+if a board change ever satisfied the dead wait's predicate; the new
+wrapper re-yields the dead wait forever).
+
+New code should use :class:`repro.fault.plan.FaultPlan` (declarative,
+seedable, campaign-sweepable) or :class:`repro.fault.agents.FaultedAgent`
+directly.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
-
-from .actions import NodeView, WaitUntil
+from .actions import NodeView
 from .agent import Agent, ProtocolGen
 
 
 class CrashAfter(Agent):
-    """Run the wrapped agent's protocol, then crash after N actions.
+    """Deprecated alias: crash the wrapped agent after N actions.
 
-    A "crash" is modeled as blocking forever (the agent stops taking
-    steps but does not terminate); that is the observable behavior of a
-    failed mobile agent in the whiteboard model.
+    Use :class:`repro.fault.plan.CrashAtStep` in a fault plan, or
+    :class:`repro.fault.agents.FaultedAgent` directly.
     """
 
     def __init__(self, inner: Agent, actions: int):
         super().__init__(inner.color, rng=inner.rng)
+        # Deferred import: repro.sim must be importable before repro.fault
+        # (the fault layer builds on the sim substrate, not vice versa).
+        from ..fault.agents import FaultedAgent
+
         self.inner = inner
         self.crash_at = actions
+        self._impl = FaultedAgent(inner, crash_after=actions)
 
     def protocol(self, start: NodeView) -> ProtocolGen:
-        gen = self.inner.protocol(start)
-        taken = 0
-        send_value: Any = None
-        while True:
-            try:
-                action = gen.send(send_value)
-            except StopIteration as stop:
-                return stop.value
-            if taken >= self.crash_at:
-                yield WaitUntil(
-                    lambda view: False,
-                    reason=f"agent crashed after {self.crash_at} actions",
-                )
-                raise AssertionError("unreachable: crash wait satisfied")
-            taken += 1
-            send_value = yield action
+        return self._impl.protocol(start)
 
 
 class CrashOnKind(Agent):
-    """Crash the wrapped agent the first time it performs a given action
-    type (e.g. its first ``TryAcquire``) — targets protocol-critical
-    moments rather than a step count."""
+    """Deprecated alias: crash at the first action of a given type.
+
+    Use :class:`repro.fault.plan.CrashOnAction` in a fault plan, or
+    :class:`repro.fault.agents.FaultedAgent` directly.
+    """
 
     def __init__(self, inner: Agent, action_type: type):
         super().__init__(inner.color, rng=inner.rng)
+        from ..fault.agents import FaultedAgent
+
         self.inner = inner
         self.action_type = action_type
+        self._impl = FaultedAgent(inner, crash_on=action_type)
 
     def protocol(self, start: NodeView) -> ProtocolGen:
-        gen = self.inner.protocol(start)
-        send_value: Any = None
-        while True:
-            try:
-                action = gen.send(send_value)
-            except StopIteration as stop:
-                return stop.value
-            if isinstance(action, self.action_type):
-                yield WaitUntil(
-                    lambda view: False,
-                    reason=f"agent crashed at first {self.action_type.__name__}",
-                )
-                raise AssertionError("unreachable")
-            send_value = yield action
+        return self._impl.protocol(start)

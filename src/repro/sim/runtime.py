@@ -56,6 +56,7 @@ from ..errors import (
     PlacementError,
     ProtocolError,
     SimulationError,
+    StallDetected,
     StepBudgetExceeded,
 )
 from ..graphs.network import AnonymousNetwork, PortLabel
@@ -99,6 +100,14 @@ class AgentRecord:
     result: Any = None
     moves: int = 0
     accesses: int = 0
+    # Watchdog bookkeeping: step at which the current blocked episode began
+    # (-1 when not blocked), whether that episode has already been flagged as
+    # a stall, and how many times this agent was restarted from its home-base
+    # checkpoint.  Move/access counters above keep accumulating across
+    # restarts: recovered work still counts against the Theorem 3.1 budget.
+    blocked_at: int = -1
+    stall_flagged: bool = False
+    restarts: int = 0
 
 
 @dataclass
@@ -113,6 +122,10 @@ class SimulationResult:
     deadlocked: bool = False
     blocked_reasons: List[str] = field(default_factory=list)
     trace: List[Tuple[int, str, Tuple[int, ...]]] = field(default_factory=list)
+    #: Per-agent watchdog restart counts (all zero without a watchdog).
+    restarts: List[int] = field(default_factory=list)
+    #: ``(step, agent, blocked_for)`` stall classifications from the watchdog.
+    stall_events: List[Tuple[int, int, int]] = field(default_factory=list)
 
     @property
     def total_moves(self) -> int:
@@ -161,6 +174,22 @@ class Simulation:
         counters, ``scheduler_steps_total`` and ``scheduler_step_seconds``,
         and arms a live Theorem 3.1 :class:`~repro.obs.budget.BudgetTracker`
         (exposed as ``self.budget``).
+    fault:
+        Optional fault plan (duck-typed: anything with an ``install(sim)``
+        method, canonically :class:`repro.fault.plan.FaultPlan`).  Installed
+        at construction time — it may wrap agents, replace whiteboards and
+        decorate the scheduler.  The returned handle is kept as
+        ``self.fault_state`` (injection journal + corruption audit).
+    watchdog:
+        Optional stall supervisor (duck-typed, canonically
+        :class:`repro.fault.watchdog.Watchdog`).  When present, agents
+        blocked longer than its ``timeout`` are flagged as stalls, restart
+        budget permitting they are restarted from their home-base
+        whiteboard checkpoint (fresh ``protocol()`` generator, counters
+        preserved), and a run that still cannot progress raises
+        :class:`~repro.errors.StallDetected` (a ``DeadlockError`` subclass)
+        instead of a bare ``DeadlockError`` — unless ``deadlock_ok`` is
+        set, which keeps returning a ``deadlocked=True`` result.
     """
 
     def __init__(
@@ -175,6 +204,8 @@ class Simulation:
         port_shuffle_seed: int = 0,
         trace: Optional[Any] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault: Optional[Any] = None,
+        watchdog: Optional[Any] = None,
     ):
         if not placements:
             raise PlacementError("at least one agent is required")
@@ -231,6 +262,12 @@ class Simulation:
             self._tev = trace_events
         else:
             self._tev = None
+        # Fault installation happens before metrics arming so that metric
+        # label pre-binding sees the (color-preserving) wrapped agents, and
+        # before the first run so replayed runs re-install identically.
+        self.watchdog = watchdog
+        self._restart_pending: Dict[int, int] = {}  # agent idx -> wake-at step
+        self.fault_state = fault.install(self) if fault is not None else None
         # Same normalization as the trace sink: a disabled registry costs
         # the hot loop exactly one ``is not None`` test per emit site.
         if metrics is None:
@@ -275,6 +312,16 @@ class Simulation:
             "scheduler_step_seconds",
             help="wall-time per scheduler step, by the acting agent's phase",
         )
+        stalls = reg.counter(
+            "watchdog_stalls_total",
+            help="blocked episodes classified as stalls, by agent color",
+        )
+        restarts = reg.counter(
+            "watchdog_restarts_total",
+            help="checkpoint restarts performed, by agent color",
+        )
+        self._m_stalls = [stalls.labels(agent=lb) for lb in labels]
+        self._m_restarts = [restarts.labels(agent=lb) for lb in labels]
 
     def _metric_access(self, idx: int) -> None:
         """One whiteboard access happened (callers guard on ``_metrics``)."""
@@ -379,6 +426,10 @@ class Simulation:
                 rec.pending = view
                 rec.blocked_on = None
                 rec.state = AgentState.READY
+                rec.blocked_at = -1
+                rec.stall_flagged = False
+                # A legitimately unblocked agent no longer needs recovery.
+                self._restart_pending.pop(idx, None)
                 self._blocked_by_node[node].discard(idx)
                 if self._sink is not None:
                     self._emit(self._tev.UNBLOCK, idx, rec.node)
@@ -451,14 +502,18 @@ class Simulation:
             rec.accesses += 1
             if self._metrics is not None:
                 self._metric_access(idx)
-            board.append(sign)
+            stored = board.append(sign)
             if self._sink is not None:
+                # ``result`` records whether the write actually landed —
+                # always 1 on a healthy board, 0 when a fault-injecting
+                # board dropped it (the agent is not told either way).
                 self._emit(
                     self._tev.WRITE,
                     idx,
                     rec.node,
                     sign=sign.kind,
                     payload=sign.payload,
+                    result=int(stored is not None),
                 )
             self._board_changed(rec.node)
             return None
@@ -509,6 +564,8 @@ class Simulation:
                 return view
             rec.blocked_on = action
             rec.state = AgentState.BLOCKED
+            rec.blocked_at = self._step
+            rec.stall_flagged = False
             self._blocked_by_node.setdefault(rec.node, set()).add(idx)
             if self._sink is not None:
                 self._emit(
@@ -536,6 +593,9 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Execute until all agents are done (or deadlock / budget)."""
         self.scheduler.reset()
+        if self.watchdog is not None:
+            self.watchdog.reset()
+            self._restart_pending.clear()
         if self._sink is not None:
             self._emit_header()
         # Mark every home-base with a sign of its agent's color (paper
@@ -552,6 +612,8 @@ class Simulation:
         steps = 0
         try:
             while True:
+                if self.watchdog is not None:
+                    self._service_watchdog(steps)
                 runnable = [
                     i
                     for i, rec in enumerate(self.records)
@@ -562,10 +624,18 @@ class Simulation:
                         rec.state is AgentState.DONE for rec in self.records
                     ):
                         break
+                    if self.watchdog is not None and self._handle_stall(steps):
+                        continue
                     reasons = self._stall_reasons()
                     if self.deadlock_ok:
                         return self._result(
                             steps, deadlocked=True, reasons=reasons
+                        )
+                    if self.watchdog is not None:
+                        raise StallDetected(
+                            "watchdog: stall with recovery exhausted "
+                            f"(restarts={self.watchdog.total_restarts}); "
+                            "stalled agents: " + "; ".join(reasons)
                         )
                     raise DeadlockError(
                         "no agent can make progress; stalled agents: "
@@ -604,6 +674,137 @@ class Simulation:
                 self._sink.flush()
         return self._result(steps)
 
+    # ------------------------------------------------------------------
+    # Watchdog: stall classification and checkpoint restart
+    # ------------------------------------------------------------------
+
+    def _service_watchdog(self, steps: int) -> None:
+        """Fire due restarts and flag freshly over-timeout blocked agents.
+
+        Runs once per scheduler iteration (only when a watchdog is armed).
+        A stall is flagged at most once per blocked episode
+        (``stall_flagged`` resets on unblock), which is what makes the
+        "timeout fires exactly once per stalled agent" contract hold.
+
+        Flagging is pure *classification*: while other agents still make
+        progress a long wait may yet be satisfied, so restarts are decided
+        only on the no-runnable path (:meth:`_handle_stall`), where the
+        victim heuristic targets the longest-blocked agent — the actual
+        crash — instead of every healthy waiter queued up behind it.
+        """
+        wd = self.watchdog
+        if self._restart_pending:
+            due = sorted(
+                idx
+                for idx, wake_at in self._restart_pending.items()
+                if wake_at <= steps
+            )
+            for idx in due:
+                del self._restart_pending[idx]
+                self._restart(idx, steps)
+        if wd.timeout is None:
+            return
+        for idx, rec in enumerate(self.records):
+            if rec.state is not AgentState.BLOCKED or rec.stall_flagged:
+                continue
+            if rec.blocked_at < 0:
+                continue
+            blocked_for = steps - rec.blocked_at
+            if blocked_for <= wd.timeout:
+                continue
+            self._flag_stall(idx, blocked_for, steps)
+
+    def _handle_stall(self, steps: int) -> bool:
+        """No agent is runnable: try to recover.  Returns True on progress.
+
+        Recovery ladder: (1) fast-forward a scheduled restart past its
+        backoff delay (nothing else can advance the step counter anyway);
+        (2) defensively re-check every blocked predicate (a spurious-wake
+        sweep — catches any missed notification); (3) ask the watchdog for
+        a restart victim among the blocked agents, budget permitting.
+        """
+        while self._restart_pending:
+            idx = min(
+                self._restart_pending,
+                key=lambda i: (self._restart_pending[i], i),
+            )
+            del self._restart_pending[idx]
+            if self._restart(idx, steps):
+                return True
+        for node in list(self._blocked_by_node):
+            self._board_changed(node)
+        if any(rec.state is AgentState.READY for rec in self.records):
+            return True
+        wd = self.watchdog
+        blocked = [
+            (idx, rec.blocked_at)
+            for idx, rec in enumerate(self.records)
+            if rec.state is AgentState.BLOCKED
+        ]
+        victim = wd.victim(blocked, steps)
+        if victim is None:
+            return False
+        rec = self.records[victim]
+        if not rec.stall_flagged:
+            self._flag_stall(victim, steps - rec.blocked_at, steps)
+        self._restart_pending[victim] = wd.plan_restart(victim, steps)
+        return True
+
+    def _flag_stall(self, idx: int, blocked_for: int, steps: int) -> None:
+        rec = self.records[idx]
+        rec.stall_flagged = True
+        self.watchdog.record_stall(idx, blocked_for, steps)
+        if self._metrics is not None:
+            self._m_stalls[idx].inc()
+        if self._sink is not None:
+            reason = rec.blocked_on.reason if rec.blocked_on else None
+            self._emit(
+                self._tev.STALL,
+                idx,
+                rec.node,
+                detail=f"blocked {blocked_for} steps: {reason or 'waiting'}",
+            )
+
+    def _restart(self, idx: int, steps: int) -> bool:
+        """Restart a blocked agent from its home-base whiteboard checkpoint.
+
+        The agent is teleported home (modeling recovery of the physical
+        agent at its home-base — the paper's agents are hosted by nodes)
+        and handed a fresh ``protocol()`` generator.  All whiteboard state
+        survives, so the restarted protocol re-enters MAP-DRAWING against
+        its own previous signs; :func:`repro.sim.traversal.draw_map` makes
+        that re-entry idempotent.  Move/access counters are *not* reset:
+        recovered work counts against the Theorem 3.1 budget.
+        """
+        rec = self.records[idx]
+        if rec.state is not AgentState.BLOCKED:
+            return False
+        origin = rec.node
+        if rec.blocked_on is not None:
+            self._blocked_by_node.get(rec.node, set()).discard(idx)
+            rec.blocked_on = None
+        rec.blocked_at = -1
+        rec.stall_flagged = False
+        if self._metrics is not None:
+            clock = getattr(rec.agent, "obs_clock", None)
+            if clock is not None:
+                clock.close()
+            self._m_restarts[idx].inc()
+        rec.node = rec.home
+        rec.restarts += 1
+        rec.pending = None
+        rec.gen = rec.agent.protocol(self._view(idx, rec.home))
+        rec.state = AgentState.READY
+        if self._sink is not None:
+            self._emit(
+                self._tev.RESTART,
+                idx,
+                origin,
+                dest=rec.home,
+                detail=f"restart {rec.restarts} from checkpoint",
+            )
+        return True
+
     def _stall_reasons(self) -> List[str]:
         reasons = []
         for i, rec in enumerate(self.records):
@@ -630,6 +831,12 @@ class Simulation:
             deadlocked=deadlocked,
             blocked_reasons=reasons or [],
             trace=self._trace,
+            restarts=[rec.restarts for rec in self.records],
+            stall_events=(
+                list(self.watchdog.stall_events)
+                if self.watchdog is not None
+                else []
+            ),
         )
 
 

@@ -38,6 +38,28 @@ class Scheduler(ABC):
         """Called once when a simulation starts (stateful schedulers)."""
 
 
+class SchedulerDecorator(Scheduler):
+    """Base class for schedulers that wrap (and delegate to) another one.
+
+    Subclasses override :meth:`choose` to filter or observe the runnable set
+    before handing the decision to ``inner``; :meth:`reset` forwarding comes
+    for free.  Used by :class:`RecordingScheduler` below and by the fault
+    layer's :class:`repro.fault.sched.DelayScheduler`.
+    """
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        return self.inner.choose(runnable, step)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.inner!r})"
+
+
 class RandomScheduler(Scheduler):
     """Uniform random choice; fair with probability 1."""
 
@@ -129,7 +151,7 @@ class BiasedScheduler(Scheduler):
         return f"BiasedScheduler(seed={self.seed}, bias={self.bias})"
 
 
-class RecordingScheduler(Scheduler):
+class RecordingScheduler(SchedulerDecorator):
     """Wrap any scheduler and record its choice sequence.
 
     The recorded ``choices`` list is a complete schedule: feeding it back
@@ -140,20 +162,17 @@ class RecordingScheduler(Scheduler):
     """
 
     def __init__(self, inner: Scheduler):
-        self.inner = inner
+        super().__init__(inner)
         self.choices: List[int] = []
 
     def reset(self) -> None:
-        self.inner.reset()
+        super().reset()
         self.choices = []
 
     def choose(self, runnable: Sequence[int], step: int) -> int:
         idx = self.inner.choose(runnable, step)
         self.choices.append(idx)
         return idx
-
-    def __repr__(self) -> str:
-        return f"RecordingScheduler({self.inner!r})"
 
 
 def default_scheduler_suite(seed: int = 0) -> List[Scheduler]:

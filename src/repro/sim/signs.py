@@ -17,6 +17,7 @@ enforces the own-color rule.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -64,6 +65,19 @@ class Sign:
                 "sign payloads may contain only ints: colors have no agreed "
                 "encoding in the qualitative model"
             )
+
+    def fingerprint(self) -> int:
+        """CRC-32 over the sign's observable content (kind, color name, payload).
+
+        Used by the fault layer to detect whiteboard corruption: the checksum
+        of what an agent *asked* to write is journaled at write time, and an
+        audit recomputes fingerprints of what is actually on the board.  The
+        color contributes only its *name* — names are minting artifacts, not
+        an ordering, so this stays inside the qualitative model.
+        """
+        name = self.color.name if self.color is not None else ""
+        text = "|".join((self.kind, name, ",".join(map(str, self.payload))))
+        return zlib.crc32(text.encode("utf-8"))
 
     def matches(self, kind: str, payload: Optional[Tuple[int, ...]] = None) -> bool:
         """Filter helper: same kind and (if given) exact payload."""

@@ -98,7 +98,10 @@ def draw_map(color: Color, start: NodeView) -> ActionGen:
         return None
 
     register(0, start)
-    yield Write(Sign(kind=DFS_VISITED, color=color, payload=(0,)))
+    if my_visit_number(start) is None:
+        # Skipped on a checkpoint restart: the home already carries this
+        # agent's own (0,) mark from the crashed attempt.
+        yield Write(Sign(kind=DFS_VISITED, color=color, payload=(0,)))
     counter = 0
     current = 0
     # Stack of ports leading back toward the home-base along the DFS tree.
@@ -115,7 +118,21 @@ def draw_map(color: Color, start: NodeView) -> ActionGen:
             entry = view.entry_port
             assert entry is not None
             known = my_visit_number(view)
-            if known is not None:
+            if known is not None and known not in explored:
+                # Checkpoint re-entry: our own mark from a previous
+                # (crashed) attempt on a node this run has not registered
+                # yet.  The per-(agent, node) port presentation is
+                # deterministic, so re-exploration revisits nodes in the
+                # original discovery order — adopt the recorded number as
+                # a fresh discovery instead of re-writing the sign.
+                counter = max(counter, known)
+                register(known, view)
+                explored[current][next_port] = (known, entry)
+                explored[known][entry] = (current, next_port)
+                edge_records.append((current, next_port, known, entry))
+                backtrack.append(entry)
+                current = known
+            elif known is not None:
                 # Cross / back edge to an already-mapped node: record both
                 # edge-ends and retreat.
                 explored[current][next_port] = (known, entry)
@@ -217,7 +234,9 @@ def draw_map_frontier(color: Color, start: NodeView) -> ActionGen:
         return None
 
     register(0, start)
-    yield Write(Sign(kind=DFS_VISITED, color=color, payload=(0,)))
+    if my_visit_number(start) is None:
+        # Skipped on a checkpoint restart (see draw_map).
+        yield Write(Sign(kind=DFS_VISITED, color=color, payload=(0,)))
     counter = 0
     current = 0
 
@@ -233,7 +252,16 @@ def draw_map_frontier(color: Color, start: NodeView) -> ActionGen:
         entry = view.entry_port
         assert entry is not None
         known = my_visit_number(view)
-        if known is not None:
+        if known is not None and known not in explored:
+            # Checkpoint re-entry: adopt our own recorded number as a
+            # fresh discovery (see draw_map for the reasoning).
+            counter = max(counter, known)
+            register(known, view)
+            explored[current][probe] = (known, entry)
+            explored[known][entry] = (current, probe)
+            edge_records.append((current, probe, known, entry))
+            current = known
+        elif known is not None:
             explored[current][probe] = (known, entry)
             explored[known][entry] = (current, probe)
             edge_records.append((current, probe, known, entry))

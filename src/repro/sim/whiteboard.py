@@ -57,12 +57,20 @@ class Whiteboard:
             _obs_hook("snapshot")
         return tuple(self._signs)
 
-    def append(self, sign: Sign) -> None:
-        """Write a sign (atomic under the runtime's one-action-per-step)."""
+    def append(self, sign: Sign) -> Optional[Sign]:
+        """Write a sign (atomic under the runtime's one-action-per-step).
+
+        Returns the sign actually stored, or ``None`` if the write was lost.
+        The base board never loses writes; fault-injecting subclasses
+        (:class:`repro.fault.boards.FaultyWhiteboard`) may drop or alter the
+        sign, and :meth:`try_acquire` consults the return value so a dropped
+        write can never masquerade as a successful acquisition.
+        """
         if _obs_hook is not None:
             _obs_hook("append")
         self._signs.append(sign)
         self._version += 1
+        return sign
 
     def erase_own(
         self,
@@ -100,8 +108,10 @@ class Whiteboard:
             _obs_hook("acquire")
         if self.count(kind, payload) >= capacity:
             return False
-        self.append(Sign(kind=kind, color=color, payload=tuple(payload)))
-        return True
+        stored = self.append(Sign(kind=kind, color=color, payload=tuple(payload)))
+        # A fault-injecting subclass may have dropped the write: report the
+        # acquisition as failed rather than granting a phantom slot.
+        return stored is not None
 
     def __len__(self) -> int:
         return len(self._signs)

@@ -44,6 +44,8 @@ from .events import (
     PRE_RUN_STEP,
     PRIMARY_KINDS,
     READ,
+    RESTART,
+    STALL,
     UNBLOCK,
     WAIT,
     WAKE,
@@ -60,6 +62,7 @@ from .invariants import (
     check_lifecycle,
     check_mutual_exclusion,
     check_positions,
+    check_restart_discipline,
     check_step_contiguity,
     check_theorem31,
 )
@@ -103,6 +106,8 @@ __all__ = [
     "UNBLOCK",
     "LOG",
     "DONE",
+    "STALL",
+    "RESTART",
     # sinks
     "TraceSink",
     "NullSink",
@@ -130,6 +135,7 @@ __all__ = [
     "check_positions",
     "check_lifecycle",
     "check_accounting",
+    "check_restart_discipline",
     "check_theorem31",
     # summary
     "TraceSummary",

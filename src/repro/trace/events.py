@@ -42,14 +42,21 @@ BLOCK = "block"  #: WaitUntil that suspended the agent (``detail`` = reason)
 UNBLOCK = "unblock"  #: a board change released a blocked agent (secondary)
 LOG = "log"  #: protocol-level Log action (``detail`` = event name)
 DONE = "done"  #: agent terminated (``result`` = 1 if it returned a value)
+STALL = "stall"  #: watchdog classified a blocked episode as a stall
+RESTART = "restart"  #: watchdog restarted the agent from its checkpoint
+#: (``node`` = where it was stuck, ``dest`` = its home-base)
 
 #: All event kinds, in a stable presentation order.
 KINDS: Tuple[str, ...] = (
     WAKE, MOVE, READ, WRITE, ERASE, ACQUIRE, WAIT, BLOCK, UNBLOCK, LOG, DONE,
+    STALL, RESTART,
 )
 
 #: Kinds that can be the scheduled agent's own step — exactly one of these
 #: occurs per scheduler step, which is how the schedule is recovered.
+#: STALL/RESTART are runtime (watchdog) interventions between steps, never
+#: an agent's own action, so they stay out of this set and schedule
+#: recovery is unchanged by fault supervision.
 PRIMARY_KINDS = frozenset({MOVE, READ, WRITE, ERASE, ACQUIRE, WAIT, BLOCK, LOG, DONE})
 
 #: Kinds that count as one whiteboard access in the runtime's metrics

@@ -18,6 +18,9 @@ Shipped checkers:
   every event;
 * **lifecycle** — each agent wakes at most once, acts only after waking,
   and emits nothing after ``done``;
+* **restart discipline** — watchdog ``stall``/``restart`` events only hit
+  blocked agents, and every restart resumes at the agent's home-base
+  checkpoint (given a header);
 * **accounting agreement** — per-agent ``move``/access event counts equal
   the runtime's :class:`~repro.sim.runtime.SimulationResult` metrics (the
   counters and the trace tell the same story);
@@ -33,9 +36,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import InvariantViolation
 from .events import (
+    BLOCK,
     DONE,
     MOVE,
     PRE_RUN_STEP,
+    RESTART,
+    STALL,
     UNBLOCK,
     WAKE,
     TraceEvent,
@@ -124,12 +130,14 @@ def check_positions(
                 f"step {ev.step}: agent {ev.agent} recorded at node "
                 f"{ev.node} but occupies node {where}",
             )
-        if ev.kind == MOVE:
+        if ev.kind in (MOVE, RESTART):
+            # A restart teleports the agent back to its home-base; the
+            # event's ``dest`` records where, exactly like a move's.
             if ev.dest is None:
                 return InvariantReport(
                     "positional-consistency",
                     False,
-                    f"step {ev.step}: move event lacks a destination",
+                    f"step {ev.step}: {ev.kind} event lacks a destination",
                 )
             pos[ev.agent] = ev.dest
     return InvariantReport("positional-consistency", True)
@@ -169,6 +177,64 @@ def check_lifecycle(events: Sequence[TraceEvent]) -> InvariantReport:
         "agent-lifecycle",
         True,
         stats={"woke": float(len(woke)), "done": float(len(done))},
+    )
+
+
+def check_restart_discipline(
+    events: Sequence[TraceEvent],
+    header: Optional[TraceHeader] = None,
+) -> InvariantReport:
+    """Watchdog interventions follow the recovery protocol.
+
+    * a ``restart`` may only hit an agent whose most recent own event is a
+      ``block`` or a ``stall`` classification (only stuck agents recover);
+    * every ``restart`` carries a destination, and with a header available
+      that destination must be the agent's home-base (checkpoint restarts
+      always resume from the home whiteboard);
+    * a ``stall`` may only be flagged for an agent that is currently
+      blocked (its latest own event is ``block`` or another ``stall``).
+    """
+    last_kind: Dict[int, str] = {}
+    restarts = 0
+    stalls = 0
+    for ev in events:
+        if ev.kind == RESTART:
+            restarts += 1
+            prev = last_kind.get(ev.agent)
+            if prev not in (BLOCK, STALL):
+                return InvariantReport(
+                    "restart-discipline",
+                    False,
+                    f"step {ev.step}: agent {ev.agent} restarted while its "
+                    f"latest event was {prev or 'absent'!r}, not block/stall",
+                )
+            if ev.dest is None:
+                return InvariantReport(
+                    "restart-discipline",
+                    False,
+                    f"step {ev.step}: restart event lacks a destination",
+                )
+            if header is not None and ev.dest != header.homes[ev.agent]:
+                return InvariantReport(
+                    "restart-discipline",
+                    False,
+                    f"step {ev.step}: agent {ev.agent} restarted at node "
+                    f"{ev.dest}, not its home-base {header.homes[ev.agent]}",
+                )
+        elif ev.kind == STALL:
+            stalls += 1
+            if last_kind.get(ev.agent) not in (BLOCK, STALL):
+                return InvariantReport(
+                    "restart-discipline",
+                    False,
+                    f"step {ev.step}: agent {ev.agent} flagged as stalled "
+                    f"without being blocked",
+                )
+        last_kind[ev.agent] = ev.kind
+    return InvariantReport(
+        "restart-discipline",
+        True,
+        stats={"restarts": float(restarts), "stalls": float(stalls)},
     )
 
 
@@ -278,6 +344,7 @@ def audit_trace(
         check_step_contiguity(events),
         check_mutual_exclusion(events),
         check_lifecycle(events),
+        check_restart_discipline(events, header=header),
     ]
     if header is not None:
         reports.append(check_positions(events, header))

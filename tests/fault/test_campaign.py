@@ -1,0 +1,119 @@
+"""Campaign runner: classification, determinism, CLI contract."""
+
+import json
+
+import pytest
+
+from repro.fault.campaign import (
+    IMPOSSIBLE,
+    OUTCOMES,
+    CampaignConfig,
+    build_pairs,
+    run_campaign,
+    standard_battery,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_campaign(pairs=16, workers=1, quick=True)
+
+
+class TestBattery:
+    def test_standard_battery_mixes_feasibility(self):
+        from repro.core.feasibility import elect_prediction
+
+        instances = standard_battery()
+        verdicts = {
+            elect_prediction(i.network, i.placement).succeeds
+            for i in instances
+        }
+        assert verdicts == {True, False}
+
+    def test_build_pairs_trims_to_exact_count(self):
+        instances = standard_battery(quick=True)
+        tasks = build_pairs(instances, 13, CampaignConfig())
+        assert len(tasks) == 13
+        assert [t[0] for t in tasks] == list(range(13))
+        # Trimming keeps battery breadth: more than one instance survives.
+        assert len({t[1].label for t in tasks}) > 1
+
+    def test_build_pairs_requires_instances(self):
+        with pytest.raises(ValueError):
+            build_pairs([], 10, CampaignConfig())
+
+
+class TestClassification:
+    def test_no_silent_wrong_answer(self, quick_report):
+        assert quick_report.impossible_rows == []
+        assert quick_report.ok
+
+    def test_counts_cover_every_row(self, quick_report):
+        assert sum(quick_report.counts.values()) == len(quick_report.rows)
+        assert all(row.outcome in OUTCOMES for row in quick_report.rows)
+        assert quick_report.counts[IMPOSSIBLE] == 0
+
+    def test_rows_carry_run_evidence(self, quick_report):
+        completed = [
+            r for r in quick_report.rows if r.outcome != "detected-stall"
+        ]
+        assert completed, "quick battery must complete some runs"
+        assert all(r.steps > 0 and r.moves >= 0 for r in completed)
+        recovered = [r for r in quick_report.rows if r.outcome == "recovered"]
+        assert all(r.restarts > 0 for r in recovered)
+
+    def test_structural_audits_green(self, quick_report):
+        assert quick_report.audit_failures == []
+
+    def test_report_json_round_trips(self, quick_report):
+        data = json.loads(quick_report.to_json())
+        assert data["pairs"] == len(quick_report.rows)
+        assert data["ok"] is True
+        assert len(data["rows"]) == len(quick_report.rows)
+
+    def test_render_mentions_verdict(self, quick_report):
+        text = quick_report.render()
+        assert "verdict: OK" in text
+        for name in OUTCOMES:
+            assert name in text
+
+
+class TestDeterminism:
+    def test_same_config_same_report(self, quick_report):
+        again = run_campaign(pairs=16, workers=1, quick=True)
+        assert again.to_dict() == quick_report.to_dict()
+
+    def test_worker_count_does_not_change_the_report(self, quick_report):
+        parallel = run_campaign(pairs=16, workers=2, quick=True)
+        assert parallel.to_dict() == quick_report.to_dict()
+
+    def test_seed_changes_the_sweep(self, quick_report):
+        other = run_campaign(
+            pairs=16, workers=1, quick=True, config=CampaignConfig(seed=99)
+        )
+        assert other.to_dict() != quick_report.to_dict()
+        assert other.impossible_rows == []
+
+
+class TestMetrics:
+    def test_campaign_outcomes_counted(self):
+        from repro.fault import metrics
+
+        metrics.reset()
+        report = run_campaign(pairs=8, workers=1, quick=True)
+        snap = metrics._metrics.snapshot()["metrics"]
+        series = snap["campaign_outcomes_total"]["series"]
+        total = sum(int(s["value"]) for s in series)
+        assert total == len(report.rows) == 8
+
+
+class TestCli:
+    def test_cli_quick_run_writes_report(self, tmp_path):
+        from repro.fault.__main__ import main
+
+        out = tmp_path / "campaign.json"
+        code = main(["--quick", "--pairs", "8", "--out", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["pairs"] == 8
+        assert data["counts"][IMPOSSIBLE] == 0

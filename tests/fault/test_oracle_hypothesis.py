@@ -1,0 +1,62 @@
+"""The no-silent-wrong-answer oracle, property-based.
+
+Random instances x random fault plans: whatever crashes, delays, drops or
+corruptions are injected, a run must end in a correct election, a correct
+failure report, or a *detected* failure — never a silently wrong answer
+(`python -m pytest --hypothesis-seed=0` reproduces the sweep exactly).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fault.campaign import (
+    IMPOSSIBLE,
+    OUTCOMES,
+    CampaignConfig,
+    _evaluate_pair,
+    standard_battery,
+)
+from repro.fault.plan import random_fault_plans
+
+INSTANCES = standard_battery(quick=True)
+CONFIG = CampaignConfig(seed=0, timeout=200, max_restarts=2)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    database=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    instance_index=st.integers(min_value=0, max_value=len(INSTANCES) - 1),
+    plan_seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_random_faults_never_produce_a_silent_wrong_answer(
+    instance_index, plan_seed
+):
+    instance = INSTANCES[instance_index]
+    plan = random_fault_plans(
+        1,
+        num_agents=instance.placement.num_agents,
+        num_nodes=instance.network.num_nodes,
+        seed=plan_seed,
+    )[0]
+    row = _evaluate_pair((plan_seed % 997, instance, plan, CONFIG))
+    assert row.outcome in OUTCOMES
+    assert row.outcome != IMPOSSIBLE, row.to_dict()
+    assert row.audit_failures == (), row.to_dict()
+
+
+@settings(max_examples=15, deadline=None, database=None)
+@given(plan_seed=st.integers(min_value=0, max_value=10**6))
+def test_classification_is_a_pure_function_of_the_pair(plan_seed):
+    instance = INSTANCES[plan_seed % len(INSTANCES)]
+    plan = random_fault_plans(
+        1,
+        num_agents=instance.placement.num_agents,
+        num_nodes=instance.network.num_nodes,
+        seed=plan_seed,
+    )[0]
+    task = (plan_seed % 997, instance, plan, CONFIG)
+    assert _evaluate_pair(task).to_dict() == _evaluate_pair(task).to_dict()

@@ -1,0 +1,159 @@
+"""Fault plans: spec validation, seeded generation, installation wiring."""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core.elect import ElectAgent
+from repro.errors import FaultError
+from repro.fault import (
+    PLAN_KINDS,
+    CrashAtStep,
+    CrashOnAction,
+    DelayScheduler,
+    FaultedAgent,
+    FaultPlan,
+    FaultyWhiteboard,
+    InjectionLog,
+    InstalledFaults,
+    StallWindow,
+    WriteCorrupt,
+    WriteDrop,
+    random_fault_plans,
+)
+from repro.graphs import cycle_graph
+from repro.sim import Simulation
+from repro.sim.signs import DFS_VISITED, HOMEBASE, Sign
+
+
+def make_agents(count):
+    space = ColorSpace()
+    return [ElectAgent(space.fresh(), rng=random.Random(i)) for i in range(count)]
+
+
+class TestSpecs:
+    def test_crash_on_action_rejects_unknown_kind(self):
+        with pytest.raises(FaultError):
+            CrashOnAction(agent=0, action_kind="teleport")
+
+    def test_specs_describe_themselves(self):
+        specs = [
+            CrashAtStep(0, 10),
+            CrashOnAction(1, "move"),
+            StallWindow(0, 5, 20),
+            WriteDrop(2, 1),
+            WriteCorrupt(3, 2, delta=4),
+        ]
+        for spec in specs:
+            assert spec.describe()
+        plan = FaultPlan(tuple(specs), name="combo")
+        assert "combo" in plan.describe()
+
+    def test_validate_rejects_out_of_range_targets(self):
+        with pytest.raises(FaultError):
+            FaultPlan((CrashAtStep(agent=5, after_actions=3),)).validate(
+                num_agents=2, num_nodes=4
+            )
+        with pytest.raises(FaultError):
+            FaultPlan((WriteDrop(node=9, nth=1),)).validate(
+                num_agents=2, num_nodes=4
+            )
+
+    def test_plans_are_picklable(self):
+        import pickle
+
+        plans = random_fault_plans(10, num_agents=3, num_nodes=6, seed=7)
+        assert pickle.loads(pickle.dumps(plans)) == plans
+
+
+class TestRandomPlans:
+    def test_deterministic_in_seed(self):
+        a = random_fault_plans(20, num_agents=3, num_nodes=8, seed=11)
+        b = random_fault_plans(20, num_agents=3, num_nodes=8, seed=11)
+        assert a == b
+        c = random_fault_plans(20, num_agents=3, num_nodes=8, seed=12)
+        assert a != c
+
+    def test_kinds_round_robin(self):
+        plans = random_fault_plans(
+            len(PLAN_KINDS), num_agents=2, num_nodes=5, seed=0
+        )
+        for plan, kind in zip(plans, PLAN_KINDS):
+            assert kind in plan.name
+
+    def test_specs_respect_instance_shape(self):
+        plans = random_fault_plans(50, num_agents=2, num_nodes=4, seed=3)
+        for plan in plans:
+            plan.validate(num_agents=2, num_nodes=4)
+
+
+class TestInstall:
+    def test_install_wires_every_layer(self):
+        net = cycle_graph(4)
+        agents = make_agents(2)
+        plan = FaultPlan(
+            (
+                CrashAtStep(agent=0, after_actions=5),
+                WriteDrop(node=1, nth=1),
+                StallWindow(agent=1, at_step=0, duration=10),
+            )
+        )
+        sim = Simulation(net, list(zip(agents, [0, 2])), fault=plan)
+        assert isinstance(sim.fault_state, InstalledFaults)
+        assert isinstance(sim.records[0].agent, FaultedAgent)
+        assert isinstance(sim.boards[1], FaultyWhiteboard)
+        assert isinstance(sim.scheduler, DelayScheduler)
+
+    def test_install_rejects_invalid_plan(self):
+        net = cycle_graph(4)
+        agents = make_agents(2)
+        plan = FaultPlan((CrashAtStep(agent=7, after_actions=5),))
+        with pytest.raises(FaultError):
+            Simulation(net, list(zip(agents, [0, 2])), fault=plan)
+
+
+class TestFaultyWhiteboard:
+    def sign(self, kind=DFS_VISITED, payload=(3,)):
+        return Sign(kind=kind, color=ColorSpace().fresh(), payload=payload)
+
+    def test_drop_loses_the_write_and_journals_it(self):
+        log = InjectionLog()
+        board = FaultyWhiteboard(0, drops=(1,), log=log)
+        assert board.append(self.sign()) is None
+        assert len(board) == 0
+        assert log.kinds() == ("write-drop",)
+        # The next write goes through.
+        assert board.append(self.sign()) is not None
+        assert len(board) == 1
+
+    def test_corrupt_mutates_payload_and_audit_catches_it(self):
+        log = InjectionLog()
+        board = FaultyWhiteboard(0, corruptions=((1, 5),), log=log)
+        stored = board.append(self.sign(payload=(3,)))
+        assert stored is not None and stored.payload[0] == 8
+        assert log.kinds() == ("write-corrupt",)
+        findings = board.audit()
+        assert len(findings) == 1 and "CRC" in findings[0]
+
+    def test_erased_corruption_is_not_reported(self):
+        board = FaultyWhiteboard(0, corruptions=((1, 5),), log=InjectionLog())
+        stored = board.append(self.sign(payload=(3,)))
+        board._signs.remove(stored)
+        assert board.audit() == []
+
+    def test_homebase_is_exempt_and_uncounted(self):
+        log = InjectionLog()
+        board = FaultyWhiteboard(0, drops=(1,), log=log)
+        home = Sign(kind=HOMEBASE, color=ColorSpace().fresh())
+        assert board.append(home) is not None
+        # The homebase mark did not consume the nth-write counter: the
+        # first *agent* write is still the one that gets dropped.
+        assert board.append(self.sign()) is None
+        assert log.kinds() == ("write-drop",)
+
+    def test_clean_writes_pass_audit(self):
+        board = FaultyWhiteboard(0, log=InjectionLog())
+        board.append(self.sign(payload=(1,)))
+        board.append(self.sign(payload=(2,)))
+        assert board.audit() == []

@@ -1,0 +1,143 @@
+"""Watchdog policy and runtime integration: stalls classified, budgets kept."""
+
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core.elect import ElectAgent
+from repro.errors import DeadlockError, StallDetected
+from repro.fault import CrashAtStep, FaultPlan, Watchdog
+from repro.graphs import complete_bipartite_graph
+from repro.sim import Simulation
+
+
+def crash_sim(watchdog, deadlock_ok=False, crash_after=10):
+    """Five agents on K_{2,3}; agent 0 crashes mid map-drawing."""
+    net = complete_bipartite_graph(2, 3)
+    space = ColorSpace()
+    agents = [
+        ElectAgent(space.fresh(), rng=random.Random(i)) for i in range(5)
+    ]
+    plan = FaultPlan((CrashAtStep(agent=0, after_actions=crash_after),))
+    return Simulation(
+        net,
+        list(zip(agents, [0, 1, 2, 3, 4])),
+        fault=plan,
+        watchdog=watchdog,
+        deadlock_ok=deadlock_ok,
+    )
+
+
+class TestPolicy:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(timeout=0)
+        with pytest.raises(ValueError):
+            Watchdog(max_restarts=-1)
+        with pytest.raises(ValueError):
+            Watchdog(backoff=())
+        with pytest.raises(ValueError):
+            Watchdog(backoff=(-1,))
+        with pytest.raises(ValueError):
+            Watchdog(jitter=-2)
+
+    def test_backoff_schedule_is_deterministic_under_fixed_seed(self):
+        def schedule(seed):
+            wd = Watchdog(
+                timeout=10,
+                max_restarts=4,
+                backoff=(0, 16, 64),
+                jitter=9,
+                seed=seed,
+            )
+            return [wd.plan_restart(0, step=100 * k) for k in range(4)]
+
+        assert schedule(42) == schedule(42)
+        # Without jitter the schedule is the pure backoff table (the last
+        # entry repeats once attempts outrun it).
+        wd = Watchdog(timeout=10, max_restarts=4, backoff=(0, 16, 64))
+        wakes = [wd.plan_restart(0, step=0) for _ in range(4)]
+        assert wakes == [0, 16, 64, 64]
+
+    def test_budget_is_per_agent(self):
+        wd = Watchdog(timeout=10, max_restarts=1)
+        assert wd.can_restart(0) and wd.can_restart(1)
+        wd.plan_restart(0, step=5)
+        assert not wd.can_restart(0)
+        assert wd.can_restart(1)
+        assert wd.total_restarts == 1
+
+    def test_victim_prefers_longest_blocked_then_lowest_index(self):
+        wd = Watchdog(timeout=10, max_restarts=1)
+        blocked = [(2, 30), (1, 5), (3, 5)]
+        assert wd.victim(blocked, step=100) == 1
+        wd.plan_restart(1, step=100)
+        assert wd.victim(blocked, step=100) == 3
+        wd.plan_restart(3, step=100)
+        wd.plan_restart(2, step=100)
+        assert wd.victim(blocked, step=100) is None
+
+    def test_reset_clears_run_state(self):
+        wd = Watchdog(timeout=10, max_restarts=2, jitter=3, seed=9)
+        wd.plan_restart(0, step=1)
+        wd.record_stall(0, blocked_for=11, step=12)
+        wd.reset()
+        assert wd.total_restarts == 0
+        assert wd.stall_events == [] and wd.restart_events == []
+
+
+class TestRuntimeIntegration:
+    def test_exhausted_recovery_raises_stall_detected(self):
+        sim = crash_sim(Watchdog(timeout=40, max_restarts=0))
+        with pytest.raises(StallDetected) as err:
+            sim.run()
+        assert "recovery exhausted" in str(err.value)
+
+    def test_stall_detected_is_a_deadlock_error(self):
+        # Existing `except DeadlockError` handlers keep working when a
+        # watchdog is added to a run.
+        sim = crash_sim(Watchdog(timeout=40, max_restarts=0))
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_deadlock_ok_still_returns_deadlocked_result(self):
+        sim = crash_sim(Watchdog(timeout=40, max_restarts=0), deadlock_ok=True)
+        result = sim.run()
+        assert result.deadlocked
+        assert result.blocked_reasons
+        assert result.stall_events, "the watchdog classified the stall"
+
+    def test_stall_flagged_exactly_once_per_blocked_episode(self):
+        sim = crash_sim(Watchdog(timeout=30, max_restarts=0), deadlock_ok=True)
+        result = sim.run()
+        episodes = [
+            (agent, step - blocked_for)
+            for (step, agent, blocked_for) in result.stall_events
+        ]
+        assert len(episodes) == len(set(episodes))
+
+    def test_restart_recovers_the_crashed_agent(self):
+        sim = crash_sim(Watchdog(timeout=40, max_restarts=2))
+        result = sim.run()
+        assert result.restarts[0] >= 1
+        assert all(r == 0 for r in result.restarts[1:])
+        from repro.core.result import Verdict
+
+        verdicts = sorted(r.verdict.value for r in result.results)
+        assert verdicts.count("leader") == 1
+
+    def test_supervised_run_without_faults_is_clean(self):
+        net = complete_bipartite_graph(2, 3)
+        space = ColorSpace()
+        agents = [
+            ElectAgent(space.fresh(), rng=random.Random(i)) for i in range(5)
+        ]
+        sim = Simulation(
+            net,
+            list(zip(agents, [0, 1, 2, 3, 4])),
+            watchdog=Watchdog(timeout=5_000, max_restarts=2),
+        )
+        result = sim.run()
+        assert result.restarts == [0, 0, 0, 0, 0]
+        assert result.stall_events == []

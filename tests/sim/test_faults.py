@@ -10,7 +10,7 @@ from repro.core import Placement
 from repro.core.elect import ElectAgent
 from repro.errors import DeadlockError
 from repro.graphs import complete_bipartite_graph, cycle_graph
-from repro.sim import Simulation, TryAcquire
+from repro.sim import Agent, Log, Simulation, TryAcquire, WaitUntil
 from repro.sim.faults import CrashAfter, CrashOnKind
 from repro.trace import MemorySink, ReplayScheduler, assert_invariants
 
@@ -129,6 +129,43 @@ class TestCrashFaults:
         assert [e.to_dict() for e in recorded.events] == [
             e.to_dict() for e in replayed.events
         ]
+
+    def test_aliases_delegate_into_the_fault_layer(self):
+        # sim.faults is now a thin compatibility shim over repro.fault.
+        from repro.fault import FaultedAgent
+
+        space = ColorSpace()
+        inner = ElectAgent(space.fresh(), rng=random.Random(0))
+        wrapped = CrashAfter(inner, 7)
+        assert wrapped.inner is inner and wrapped.crash_at == 7
+        assert isinstance(wrapped._impl, FaultedAgent)
+        kinded = CrashOnKind(inner, TryAcquire)
+        assert kinded.action_type is TryAcquire
+        assert isinstance(kinded._impl, FaultedAgent)
+
+    def test_spurious_wakeup_cannot_resurrect_a_crashed_agent(self):
+        # The original CrashAfter asserted (unreachably, it believed) that
+        # its dead wait was never satisfied; a board change that satisfied
+        # a predicate turned the crash into an AssertionError.  The fault
+        # layer re-yields the dead wait forever instead.
+        class ChattyAgent(Agent):
+            def protocol(self, start):
+                yield Log("a", ())
+                yield Log("b", ())
+                return "done"
+
+        space = ColorSpace()
+        wrapped = CrashAfter(ChattyAgent(space.fresh()), 1)
+        gen = wrapped.protocol(None)
+        first = next(gen)
+        assert isinstance(first, Log)
+        # The crash fires before the second action; from here on every
+        # resumption (spurious or not) yields the same dead wait.
+        for send_value in (None, object(), "satisfied-view"):
+            action = gen.send(send_value)
+            assert isinstance(action, WaitUntil)
+            assert not action.predicate(send_value)
+            assert "crashed after 1 actions" in action.reason
 
     def test_crash_on_failure_path_does_not_matter(self):
         # gcd > 1: every agent decides failure from its own map; one agent
