@@ -1,0 +1,59 @@
+"""E12 — adversarial schedule exploration: fuzz throughput and coverage.
+
+DESIGN.md §8.5: the interleaving fuzzer sweeps (instance × scheduler ×
+optional fault plan) cases and deduplicates explored interleavings by
+schedule signature.  The benchmark measures sweep wall-time while the
+assertions check the coverage shape: a seeded full-battery sweep reaches
+hundreds of distinct interleavings with zero silent wrong answers, and the
+ddmin minimizer shrinks an injected-regression schedule to a small pinned
+core that replays byte-identically.
+"""
+
+from repro.adversary import (
+    FuzzConfig,
+    InstanceSpec,
+    minimize_row,
+    run_fuzz,
+)
+
+K23 = InstanceSpec("complete_bipartite", (2, 3), (0, 1, 2, 3, 4), "K_2,3")
+
+
+def run_sweep():
+    return run_fuzz(runs=400, workers=4)
+
+
+def run_regression_hunt():
+    config = FuzzConfig(seed=1, agent_kwargs=(("matching", "toctou"),))
+    report = run_fuzz(instances=[K23], runs=120, config=config, workers=4)
+    results = [
+        minimize_row(row, config=config) for row in report.failures[:2]
+    ]
+    return report, results
+
+
+def test_bench_fuzz_sweep_coverage(once):
+    report = once(run_sweep)
+    assert report.ok
+    assert report.counts["silent-wrong-answer"] == 0
+    assert report.distinct_schedules >= 250
+    print(
+        f"\nfuzz sweep: {len(report.rows)} cases, "
+        f"{report.distinct_schedules} distinct interleavings "
+        f"({report.duplicate_schedules} dedup hits)"
+    )
+
+
+def test_bench_regression_hunt_and_minimize(once):
+    report, results = once(run_regression_hunt)
+    assert not report.ok and report.failures
+    for result in results:
+        assert result.verified
+        assert result.reduction <= 0.25
+    best = min(results, key=lambda r: r.minimized_len)
+    print(
+        f"\nregression hunt: {len(report.failures)} failures in "
+        f"{len(report.rows)} cases; best reproducer "
+        f"{best.minimized_len}/{best.original_len} pins "
+        f"({100 * best.reduction:.1f}%)"
+    )

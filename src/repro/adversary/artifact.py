@@ -1,0 +1,161 @@
+"""Reproducer artifacts: a failing adversarial run as a portable file.
+
+A :class:`Reproducer` pins everything a failure needs to recur: the
+instance (via the trace graph registry), the agent construction kwargs and
+seed, the pinned schedule decisions, the deterministic fallback scheduler
+filling the unpinned steps, and the optional :class:`FaultPlan`.  The
+artifact is a frozen picklable dataclass with a stable JSON form, so it
+survives process pools, CI artifact uploads, and hand inspection alike;
+``python -m repro.adversary repro <file>`` re-executes one and checks the
+recorded failure signature still fires.
+
+Semantics of ``decisions``: a sparse ``step -> agent`` map over the run's
+own step counter.  At a pinned step the pinned agent runs (if runnable —
+a vanished agent falls through); every other step is filled by the
+fallback scheduler.  A fully-pinned artifact is an exact schedule replay;
+a ddmin-minimized one keeps only the decisions that *matter*, which is
+what makes the reproducer readable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import AdversaryError
+from ..fault.plan import (
+    CrashAtStep,
+    CrashOnAction,
+    FaultPlan,
+    StallWindow,
+    WriteCorrupt,
+    WriteDrop,
+)
+from .specs import InstanceSpec
+
+ARTIFACT_VERSION = 1
+
+_SPEC_CLASSES = {
+    "CrashAtStep": CrashAtStep,
+    "CrashOnAction": CrashOnAction,
+    "StallWindow": StallWindow,
+    "WriteDrop": WriteDrop,
+    "WriteCorrupt": WriteCorrupt,
+}
+
+
+def plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """JSON form of a fault plan (specs tagged by class name)."""
+    faults = []
+    for spec in plan.faults:
+        entry = {"kind": type(spec).__name__}
+        entry.update(
+            {
+                name: getattr(spec, name)
+                for name in spec.__dataclass_fields__
+            }
+        )
+        faults.append(entry)
+    return {"name": plan.name, "faults": faults}
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> FaultPlan:
+    """Rebuild a fault plan from its JSON form."""
+    faults = []
+    for entry in data.get("faults", ()):
+        kind = entry.get("kind")
+        if kind not in _SPEC_CLASSES:
+            raise AdversaryError(
+                f"unknown fault spec kind {kind!r}; known: "
+                f"{', '.join(sorted(_SPEC_CLASSES))}"
+            )
+        kwargs = {k: v for k, v in entry.items() if k != "kind"}
+        faults.append(_SPEC_CLASSES[kind](**kwargs))
+    return FaultPlan(tuple(faults), name=data.get("name", ""))
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """A minimal, self-describing failing run."""
+
+    instance: InstanceSpec
+    case_seed: int
+    #: Sparse pinned schedule: ``(step, agent)`` pairs, ascending steps.
+    decisions: Tuple[Tuple[int, int], ...]
+    #: Scheduler spec filling unpinned steps (deterministic kinds only).
+    fallback: Tuple[Tuple[str, Any], ...]
+    #: The failure this artifact reproduces (``failure_signature`` form).
+    failure: str
+    #: Test-only agent kwargs the failing run was built with.
+    agent_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    plan: Optional[FaultPlan] = None
+    #: Length of the originally recorded failing schedule.
+    original_len: int = 0
+    max_steps: Optional[int] = None
+    version: int = ARTIFACT_VERSION
+
+    @property
+    def minimized_len(self) -> int:
+        return len(self.decisions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "instance": self.instance.to_dict(),
+            "case_seed": self.case_seed,
+            "decisions": [list(d) for d in self.decisions],
+            "fallback": dict(self.fallback),
+            "failure": self.failure,
+            "agent_kwargs": dict(self.agent_kwargs),
+            "plan": plan_to_dict(self.plan) if self.plan is not None else None,
+            "original_len": self.original_len,
+            "max_steps": self.max_steps,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Reproducer":
+        version = data.get("version")
+        if version != ARTIFACT_VERSION:
+            raise AdversaryError(
+                f"unsupported reproducer version {version!r} "
+                f"(this build reads version {ARTIFACT_VERSION})"
+            )
+        plan_data = data.get("plan")
+        return cls(
+            instance=InstanceSpec.from_dict(data["instance"]),
+            case_seed=data["case_seed"],
+            decisions=tuple(
+                (int(step), int(agent)) for step, agent in data["decisions"]
+            ),
+            fallback=tuple(sorted(data["fallback"].items())),
+            failure=data["failure"],
+            agent_kwargs=tuple(sorted(data.get("agent_kwargs", {}).items())),
+            plan=plan_from_dict(plan_data) if plan_data is not None else None,
+            original_len=data.get("original_len", 0),
+            max_steps=data.get("max_steps"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Reproducer":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AdversaryError(f"cannot read reproducer {path!r}: {exc}")
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        plan = f", plan={self.plan.name}" if self.plan is not None else ""
+        return (
+            f"{self.instance.label}: {self.minimized_len} pinned decisions "
+            f"(of {self.original_len} recorded{plan}) -> {self.failure}"
+        )

@@ -1,0 +1,348 @@
+"""The interleaving fuzzer: systematic exploration of schedule space.
+
+The paper's correctness claims are universally quantified over fair
+asynchronous schedules, but any test run only witnesses one interleaving.
+The fuzzer sweeps a deterministic grid of
+``(instance × scheduler spec × optional FaultPlan)`` cases on the
+``perf.parallel`` workers, records every schedule through a
+:class:`~repro.sim.scheduler.RecordingScheduler`, deduplicates explored
+interleavings by *schedule signature* (a SHA-256 over the choice
+sequence), and classifies every case against the schedule-independent
+Theorem 3.1 prediction with the fault campaign's vocabulary:
+
+* fault-free cases must land in ``elected-correctly`` — under a fair
+  schedule with no faults, *any* exception is a protocol bug and lands in
+  the extra ``schedule-failure`` bucket, and a wrong completed answer is a
+  ``silent-wrong-answer``; either fails the sweep (exit 1 on the CLI);
+* faulted cases reuse the campaign classifier unchanged
+  (``recovered`` / ``detected-stall`` are acceptable, silence is not).
+
+Failing rows retain their recorded choices and runnable sizes, ready for
+:mod:`repro.adversary.minimize` to shrink into a reproducer artifact.
+
+Determinism: per-case seeds derive from :func:`zlib.crc32` over
+``(config.seed, case index, instance label, scheduler kind)`` and the
+battery runner preserves input order, so a fuzz report is a pure function
+of its configuration for any worker count.  The case seed also keys the
+runtime's *port shuffle* — the other half of the environment's
+nondeterminism.  With a frozen port order every agent's tour is identical
+across runs and whole families of races (two searchers heading for the
+same waiter first) are structurally unreachable no matter the schedule;
+varying it per case puts those interleavings back in scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.elect import ElectAgent
+from ..core.feasibility import elect_prediction
+from ..errors import AdversaryError, ReproError
+from ..fault.campaign import (
+    DETECTED,
+    IMPOSSIBLE,
+    OUTCOMES as CAMPAIGN_OUTCOMES,
+    _classify_completion,
+)
+from ..fault.plan import FaultPlan, random_fault_plans
+from ..fault.watchdog import DEFAULT_BACKOFF, Watchdog
+from ..sim.runtime import Simulation
+from ..sim.scheduler import RecordingScheduler
+from ..trace.sinks import MemorySink
+from .metrics import count_run, count_schedule
+from .specs import InstanceSpec, build_scheduler, scheduler_specs, table1_battery
+
+#: A fault-free case that raised: under a fair schedule with no injected
+#: faults, every exception is a genuine protocol bug.  Extends the
+#: campaign's vocabulary, and fails the sweep just like silence does.
+FAILED = "schedule-failure"
+
+OUTCOMES: Tuple[str, ...] = CAMPAIGN_OUTCOMES + (FAILED,)
+
+
+def schedule_signature(choices: Sequence[int]) -> str:
+    """Content hash of an interleaving (dedup / coverage key)."""
+    digest = hashlib.sha256()
+    for choice in choices:
+        digest.update(choice.to_bytes(4, "big", signed=False))
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Sweep-wide policy: seeds, fault cadence, supervised-run limits."""
+
+    seed: int = 0
+    #: Every ``fault_every``-th case carries a random :class:`FaultPlan`
+    #: (0 disables fault pairing: pure schedule exploration).
+    fault_every: int = 0
+    #: Test-only agent kwargs (e.g. ``(("matching", "toctou"),)``) — how
+    #: the acceptance test injects a deliberately broken protocol variant.
+    agent_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Watchdog policy for faulted cases (fault-free cases run bare: any
+    #: stall there is a bug, not something to recover from).
+    timeout: int = 400
+    max_restarts: int = 2
+    backoff: Tuple[int, ...] = DEFAULT_BACKOFF
+    #: Hard step budget per run (``None``: the runtime's size-derived cap).
+    max_steps: Optional[int] = None
+
+    def watchdog(self, case_seed: int) -> Watchdog:
+        return Watchdog(
+            timeout=self.timeout,
+            max_restarts=self.max_restarts,
+            backoff=self.backoff,
+            seed=case_seed,
+        )
+
+
+@dataclass
+class FuzzRow:
+    """One classified fuzz case."""
+
+    index: int
+    spec: InstanceSpec
+    scheduler: Dict[str, Any]
+    plan: Optional[FaultPlan]
+    case_seed: int
+    predicted: bool
+    outcome: str
+    detail: str = ""
+    steps: int = 0
+    schedule_len: int = 0
+    signature: str = ""
+    #: Set by ``run_fuzz`` after signature dedup.
+    distinct: bool = False
+    #: Retained only for failing rows (minimizer input).
+    choices: Optional[Tuple[int, ...]] = None
+    runnable_sizes: Optional[Tuple[int, ...]] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome in (FAILED, IMPOSSIBLE)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "index": self.index,
+            "instance": self.spec.label,
+            "scheduler": dict(self.scheduler),
+            "plan": self.plan.describe() if self.plan is not None else None,
+            "case_seed": self.case_seed,
+            "predicted": self.predicted,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "steps": self.steps,
+            "schedule_len": self.schedule_len,
+            "signature": self.signature,
+            "distinct": self.distinct,
+        }
+        if self.choices is not None:
+            out["choices"] = list(self.choices)
+        return out
+
+
+@dataclass
+class FuzzReport:
+    """All rows of one fuzz sweep plus the coverage counters."""
+
+    rows: List[FuzzRow]
+    seed: int
+    #: The sweep's agent kwargs — recorded so ``minimize`` can rebuild the
+    #: exact failing configuration from the JSON report alone.
+    agent_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {name: 0 for name in OUTCOMES}
+        for row in self.rows:
+            out[row.outcome] = out.get(row.outcome, 0) + 1
+        return out
+
+    @property
+    def failures(self) -> List[FuzzRow]:
+        return [r for r in self.rows if r.failed]
+
+    @property
+    def distinct_schedules(self) -> int:
+        return sum(1 for r in self.rows if r.distinct)
+
+    @property
+    def duplicate_schedules(self) -> int:
+        return len(self.rows) - self.distinct_schedules
+
+    @property
+    def ok(self) -> bool:
+        """The sweep's verdict: no silent wrong answer, no schedule bug."""
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "agent_kwargs": dict(self.agent_kwargs),
+            "cases": len(self.rows),
+            "counts": self.counts,
+            "distinct_schedules": self.distinct_schedules,
+            "duplicate_schedules": self.duplicate_schedules,
+            "ok": self.ok,
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"interleaving fuzz: {len(self.rows)} cases, seed={self.seed}"
+        ]
+        counts = self.counts
+        for name in OUTCOMES:
+            lines.append(f"  {name:>22}: {counts.get(name, 0)}")
+        lines.append(
+            f"  distinct interleavings: {self.distinct_schedules}  "
+            f"(dedup hits: {self.duplicate_schedules})"
+        )
+        for row in self.failures:
+            lines.append(
+                f"  FAILURE #{row.index} {row.spec.label} / "
+                f"{row.scheduler.get('kind')}: {row.detail}"
+            )
+        lines.append("verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _case_seed(seed: int, index: int, label: str, kind: str) -> int:
+    """Stable per-case seed (no ``hash()``: must survive process hopping)."""
+    return zlib.crc32(f"{seed}:{index}:{label}:{kind}".encode("utf-8"))
+
+
+def failure_signature(exc: BaseException) -> str:
+    """The identity of a loud failure: exception type plus message."""
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _evaluate_case(
+    task: Tuple[int, InstanceSpec, Dict[str, Any], Optional[FaultPlan], FuzzConfig]
+) -> FuzzRow:
+    """Run and classify one case.  Module-level: pickled to pool workers."""
+    index, spec, sched_spec, plan, cfg = task
+    case_seed = _case_seed(
+        cfg.seed, index, spec.label, str(sched_spec.get("kind"))
+    )
+    network, placement = spec.build()
+    predicted = elect_prediction(network, placement).succeeds
+
+    colors = placement.fresh_colors()
+    agent_kwargs = dict(cfg.agent_kwargs)
+    agents = [
+        ElectAgent(
+            color, rng=random.Random(f"{case_seed}:{i}"), **agent_kwargs
+        )
+        for i, color in enumerate(colors)
+    ]
+    recorder = RecordingScheduler(build_scheduler(sched_spec))
+    sink = MemorySink()
+    sim = Simulation(
+        network,
+        list(zip(agents, placement.homes)),
+        scheduler=recorder,
+        trace=sink,
+        fault=plan,
+        watchdog=cfg.watchdog(case_seed) if plan is not None else None,
+        max_steps=cfg.max_steps,
+        port_shuffle_seed=case_seed,
+    )
+
+    row = FuzzRow(
+        index=index,
+        spec=spec,
+        scheduler=dict(sched_spec),
+        plan=plan,
+        case_seed=case_seed,
+        predicted=predicted,
+        outcome=DETECTED,
+    )
+    try:
+        result = sim.run()
+    except ReproError as exc:
+        if plan is not None:
+            # Campaign semantics: under injected faults a loud failure is a
+            # detection (classified stall, budget livelock, tripped check).
+            row.outcome, row.detail = DETECTED, failure_signature(exc)
+        else:
+            row.outcome, row.detail = FAILED, failure_signature(exc)
+    else:
+        row.outcome, row.detail = _classify_completion(sim, result, predicted)
+        row.steps = result.steps
+    row.schedule_len = len(recorder.choices)
+    row.signature = schedule_signature(recorder.choices)
+    if row.failed:
+        row.choices = tuple(recorder.choices)
+        row.runnable_sizes = tuple(recorder.runnable_sizes)
+    return row
+
+
+def build_cases(
+    instances: Sequence[InstanceSpec],
+    runs: int,
+    config: FuzzConfig,
+) -> List[Tuple[int, InstanceSpec, Dict[str, Any], Optional[FaultPlan], FuzzConfig]]:
+    """The deterministic case grid: instances × scheduler specs (± plans)."""
+    if not instances:
+        raise AdversaryError("fuzz sweep needs at least one instance")
+    if runs < 1:
+        raise AdversaryError("fuzz sweep needs runs >= 1")
+    specs = scheduler_specs(-(-runs // len(instances)), seed=config.seed)
+    shapes = {inst.label: inst.build() for inst in instances}
+    tasks = []
+    for i in range(runs):
+        inst = instances[i % len(instances)]
+        sched = specs[i // len(instances)]
+        plan: Optional[FaultPlan] = None
+        if config.fault_every and (i + 1) % config.fault_every == 0:
+            network, placement = shapes[inst.label]
+            plan = random_fault_plans(
+                1,
+                num_agents=placement.num_agents,
+                num_nodes=network.num_nodes,
+                seed=_case_seed(
+                    config.seed, i, inst.label, str(sched.get("kind"))
+                ),
+            )[0]
+        tasks.append((i, inst, sched, plan, config))
+    return tasks
+
+
+def run_fuzz(
+    instances: Optional[Sequence[InstanceSpec]] = None,
+    runs: int = 200,
+    config: Optional[FuzzConfig] = None,
+    workers: Optional[int] = 1,
+    quick: bool = False,
+) -> FuzzReport:
+    """Sweep the interleaving grid; return the classified report.
+
+    Deterministic in ``(instances, runs, config)`` — worker count only
+    changes wall-clock time (the battery runner preserves input order and
+    every seed derives per case).
+    """
+    cfg = config or FuzzConfig()
+    if instances is None:
+        instances = table1_battery(quick=quick)
+    tasks = build_cases(instances, runs, cfg)
+
+    from ..perf.parallel import ParallelBatteryRunner
+
+    runner = ParallelBatteryRunner(workers=workers)
+    rows = list(runner.map(_evaluate_case, tasks))
+    seen: set = set()
+    for row in rows:
+        row.distinct = row.signature not in seen
+        seen.add(row.signature)
+        count_schedule(row.distinct)
+        count_run(row.outcome)
+    return FuzzReport(rows=rows, seed=cfg.seed, agent_kwargs=cfg.agent_kwargs)

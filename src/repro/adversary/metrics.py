@@ -1,0 +1,80 @@
+"""Adversary-layer metrics: an always-enabled ``"adversary"`` collector.
+
+Mirrors :mod:`repro.fault.metrics`: the coverage counters of the
+interleaving fuzzer and the ddmin minimizer live in a dedicated
+always-enabled :class:`~repro.obs.registry.MetricsRegistry` registered as
+the ``"adversary"`` collector, so they appear in
+:func:`repro.obs.collect_snapshot` without the default registry being
+switched on, and tests can assert on exploration coverage regardless of
+global metrics state.
+
+Metrics
+-------
+* ``fuzz_runs_total{outcome=…}`` — fuzz cases per outcome classification
+  (``elected-correctly`` … ``silent-wrong-answer`` / ``schedule-failure``);
+* ``fuzz_schedules_total{novelty=…}`` — explored interleavings, split into
+  ``distinct`` (first time this schedule signature was seen) and
+  ``duplicate`` (signature dedup hit: deterministic schedulers and
+  converging random ones revisit interleavings);
+* ``minimizer_probes_total{result=…}`` — ddmin probe runs, split into
+  ``reproduced`` (the candidate subset still triggers the recorded
+  failure) and ``vanished`` (it does not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..obs.registry import MetricsRegistry, register_collector
+
+_metrics = MetricsRegistry(enabled=True)
+register_collector("adversary", _metrics)
+
+_runs = _metrics.counter(
+    "fuzz_runs_total", help="fuzz cases, by outcome classification"
+)
+_schedules = _metrics.counter(
+    "fuzz_schedules_total",
+    help="explored interleavings, by signature novelty",
+)
+_probes = _metrics.counter(
+    "minimizer_probes_total",
+    help="ddmin probe runs, by whether the failure reproduced",
+)
+
+
+def count_run(outcome: str) -> None:
+    """Record one classified fuzz case."""
+    _runs.inc(outcome=outcome)
+
+
+def count_schedule(distinct: bool) -> None:
+    """Record one explored interleaving (novel signature or a dedup hit)."""
+    _schedules.inc(novelty="distinct" if distinct else "duplicate")
+
+
+def count_probe(reproduced: bool) -> None:
+    """Record one minimizer probe run."""
+    _probes.inc(result="reproduced" if reproduced else "vanished")
+
+
+def _series(name: str, label: str) -> Dict[str, int]:
+    data = _metrics.snapshot()["metrics"].get(name, {})
+    out: Dict[str, int] = {}
+    for series in data.get("series", []):
+        out[series["labels"].get(label, "?")] = int(series["value"])
+    return out
+
+
+def fuzz_stats() -> Dict[str, Dict[str, int]]:
+    """Snapshot of the adversary counters since the last reset."""
+    return {
+        "runs": _series("fuzz_runs_total", "outcome"),
+        "schedules": _series("fuzz_schedules_total", "novelty"),
+        "probes": _series("minimizer_probes_total", "result"),
+    }
+
+
+def reset() -> None:
+    """Zero the adversary counters (explicit, like ``perf.cache.reset``)."""
+    _metrics.reset()

@@ -1,0 +1,358 @@
+"""ddmin over adversarial schedules: shrink a failing run to its essence.
+
+A failing fuzz case arrives as a complete recorded schedule — often
+thousands of choices, almost all of them irrelevant.  Naive subsequence
+shrinking cannot work here: deleting steps desynchronizes every later
+recorded choice from the execution, and the number of steps a protocol
+needs before a race can even fire is schedule-invariant.  Instead the
+minimizer works over *pinned decisions*: the recorded schedule becomes a
+``step -> agent`` constraint map, a :class:`PatchedScheduler` plays pinned
+steps verbatim and fills every other step from a deterministic fallback
+scheduler, and Zeller-style ddmin deletes constraints — not steps — while
+the failure keeps reproducing.  The surviving pins are exactly the
+scheduling decisions the bug needs, and their count is the reproducer's
+length.
+
+Verification closes the loop: the minimized run's *effective* schedule
+(recorded while probing) is re-executed through a strict
+:class:`~repro.trace.replay.ReplayScheduler` (with the runnable-size
+self-check) and must raise the same failure with a byte-identical trace
+event stream.  The result ships as a :class:`~repro.adversary.artifact.Reproducer`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.elect import ElectAgent
+from ..core.feasibility import elect_prediction
+from ..errors import AdversaryError, ReproError
+from ..fault.campaign import IMPOSSIBLE, _classify_completion
+from ..fault.plan import FaultPlan
+from ..sim.runtime import Simulation
+from ..sim.scheduler import RecordingScheduler, Scheduler
+from ..trace.replay import ReplayScheduler
+from ..trace.sinks import MemorySink
+from .artifact import Reproducer
+from .fuzz import FAILED, FuzzConfig, FuzzRow, failure_signature
+from .metrics import count_probe
+from .specs import InstanceSpec, build_scheduler
+
+#: Default fallback for unpinned steps: deterministic and maximally bursty,
+#: i.e. as far as possible from the fine-grained interleavings that race
+#: bugs need — so the fallback itself almost never re-triggers the failure
+#: and the surviving pins are genuinely load-bearing.
+DEFAULT_FALLBACK: Dict[str, Any] = {"kind": "greedy"}
+
+
+class PatchedScheduler(Scheduler):
+    """Play a sparse set of pinned decisions over a fallback scheduler.
+
+    ``decisions`` maps a step index to the agent that must run there; any
+    step without a pin (or whose pinned agent is not currently runnable)
+    falls through to ``fallback``.  With a deterministic fallback the whole
+    schedule is a pure function of the pin set, which is what makes ddmin
+    probes and the final replay verification meaningful.
+    """
+
+    def __init__(self, decisions: Mapping[int, int], fallback: Scheduler):
+        self.decisions = dict(decisions)
+        self.fallback = fallback
+
+    def reset(self) -> None:
+        self.fallback.reset()
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        want = self.decisions.get(step)
+        if want is not None and want in runnable:
+            return want
+        return self.fallback.choose(runnable, step)
+
+    def __repr__(self) -> str:
+        return (
+            f"PatchedScheduler({len(self.decisions)} pins, "
+            f"fallback={self.fallback!r})"
+        )
+
+
+@dataclass
+class ProbeResult:
+    """One probe run: did it fail, and exactly how."""
+
+    signature: Optional[str]
+    choices: Tuple[int, ...]
+    runnable_sizes: Tuple[int, ...]
+    events: Tuple[Any, ...]
+
+
+@dataclass
+class MinimizationResult:
+    """What ddmin produced for one failing row."""
+
+    reproducer: Reproducer
+    original_len: int
+    minimized_len: int
+    probes: int
+    verified: bool
+
+    @property
+    def reduction(self) -> float:
+        """Minimized length as a fraction of the original schedule."""
+        if self.original_len == 0:
+            return 0.0
+        return self.minimized_len / self.original_len
+
+
+def row_failure_signature(row: FuzzRow) -> str:
+    """The failure identity a minimization must preserve."""
+    if row.outcome == FAILED:
+        return row.detail
+    if row.outcome == IMPOSSIBLE:
+        return f"{IMPOSSIBLE}: {row.detail}"
+    raise AdversaryError(
+        f"row #{row.index} ({row.outcome!r}) is not a failure; only "
+        f"{FAILED!r} and {IMPOSSIBLE!r} rows can be minimized"
+    )
+
+
+def _execute(
+    instance: InstanceSpec,
+    case_seed: int,
+    agent_kwargs: Mapping[str, Any],
+    scheduler: Scheduler,
+    plan: Optional[FaultPlan],
+    config: FuzzConfig,
+) -> ProbeResult:
+    """One deterministic supervised run under ``scheduler``."""
+    network, placement = instance.build()
+    predicted = elect_prediction(network, placement).succeeds
+    colors = placement.fresh_colors()
+    agents = [
+        ElectAgent(
+            color, rng=random.Random(f"{case_seed}:{i}"), **dict(agent_kwargs)
+        )
+        for i, color in enumerate(colors)
+    ]
+    recorder = RecordingScheduler(scheduler)
+    sink = MemorySink()
+    sim = Simulation(
+        network,
+        list(zip(agents, placement.homes)),
+        scheduler=recorder,
+        trace=sink,
+        fault=plan,
+        watchdog=config.watchdog(case_seed) if plan is not None else None,
+        max_steps=config.max_steps,
+        port_shuffle_seed=case_seed,
+    )
+    signature: Optional[str] = None
+    try:
+        result = sim.run()
+    except ReproError as exc:
+        signature = failure_signature(exc)
+    else:
+        outcome, detail = _classify_completion(sim, result, predicted)
+        if outcome == IMPOSSIBLE:
+            signature = f"{IMPOSSIBLE}: {detail}"
+    return ProbeResult(
+        signature=signature,
+        choices=tuple(recorder.choices),
+        runnable_sizes=tuple(recorder.runnable_sizes),
+        events=tuple(sink.events),
+    )
+
+
+def _split(seq: List[int], n: int) -> List[List[int]]:
+    """Partition ``seq`` into ``n`` contiguous, non-empty chunks."""
+    size, rem = divmod(len(seq), n)
+    chunks, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        if end > start:
+            chunks.append(seq[start:end])
+        start = end
+    return chunks
+
+
+def minimize_row(
+    row: FuzzRow,
+    config: Optional[FuzzConfig] = None,
+    fallback: Optional[Mapping[str, Any]] = None,
+    budget: int = 2000,
+) -> MinimizationResult:
+    """Shrink one failing fuzz row into a verified reproducer.
+
+    ``config`` must be the :class:`FuzzConfig` the sweep ran with (it
+    carries the agent kwargs and supervised-run limits the failure depends
+    on).  ``budget`` caps the number of probe executions; on exhaustion the
+    smallest constraint set found so far is kept.
+    """
+    if row.choices is None:
+        raise AdversaryError(
+            f"row #{row.index} carries no recorded schedule; only failing "
+            f"rows retain their choices"
+        )
+    cfg = config or FuzzConfig()
+    fallback_spec = dict(fallback or DEFAULT_FALLBACK)
+    target = row_failure_signature(row)
+    schedule = row.choices
+    probes = 0
+    memo: Dict[Tuple[int, ...], bool] = {}
+
+    def reproduces(positions: Sequence[int], plan: Optional[FaultPlan]) -> bool:
+        nonlocal probes
+        key = tuple(positions)
+        if plan is row.plan and key in memo:
+            return memo[key]
+        if probes >= budget:
+            return False
+        probes += 1
+        result = _execute(
+            row.spec,
+            row.case_seed,
+            dict(cfg.agent_kwargs),
+            PatchedScheduler(
+                {i: schedule[i] for i in positions},
+                build_scheduler(fallback_spec),
+            ),
+            plan,
+            cfg,
+        )
+        hit = result.signature == target
+        count_probe(hit)
+        if plan is row.plan:
+            memo[key] = hit
+        return hit
+
+    positions = list(range(len(schedule)))
+    if not reproduces(positions, row.plan):
+        raise AdversaryError(
+            f"row #{row.index}: the fully-pinned schedule does not "
+            f"reproduce {target!r} under fallback {fallback_spec!r}; "
+            f"pick a different fallback"
+        )
+
+    # Zeller ddmin over the pinned positions.
+    n = 2
+    while len(positions) >= 2 and probes < budget:
+        chunks = _split(positions, n)
+        reduced = False
+        for chunk in chunks:
+            if reproduces(chunk, row.plan):
+                positions, n, reduced = chunk, 2, True
+                break
+        if not reduced:
+            for i in range(len(chunks)):
+                complement = [
+                    p for j, c in enumerate(chunks) if j != i for p in c
+                ]
+                if reproduces(complement, row.plan):
+                    positions = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if n >= len(positions):
+                break
+            n = min(len(positions), 2 * n)
+    # Try dropping positions one by one (1-minimality on small remainders).
+    if len(positions) <= 16:
+        for p in list(positions):
+            candidate = [q for q in positions if q != p]
+            if candidate and reproduces(candidate, row.plan):
+                positions = candidate
+
+    # Shrink the fault plan the same way: drop specs that are not needed.
+    plan = row.plan
+    if plan is not None and len(plan.faults) > 1:
+        for spec in list(plan.faults):
+            if len(plan.faults) == 1:
+                break
+            candidate = FaultPlan(
+                tuple(s for s in plan.faults if s is not spec),
+                name=plan.name,
+            )
+            if reproduces(positions, candidate):
+                plan = candidate
+    if plan is not None and len(plan.faults) == 1 and reproduces(positions, None):
+        plan = None
+
+    reproducer = Reproducer(
+        instance=row.spec,
+        case_seed=row.case_seed,
+        decisions=tuple((i, schedule[i]) for i in sorted(positions)),
+        fallback=tuple(sorted(fallback_spec.items())),
+        failure=target,
+        agent_kwargs=tuple(sorted(dict(cfg.agent_kwargs).items())),
+        plan=plan,
+        original_len=len(schedule),
+        max_steps=cfg.max_steps,
+    )
+    verified = verify_reproducer(reproducer, config=cfg)
+    return MinimizationResult(
+        reproducer=reproducer,
+        original_len=len(schedule),
+        minimized_len=len(positions),
+        probes=probes,
+        verified=verified,
+    )
+
+
+def replay_reproducer(
+    rep: Reproducer, config: Optional[FuzzConfig] = None
+) -> ProbeResult:
+    """Re-execute a reproducer artifact; returns the probe result.
+
+    The caller checks ``result.signature == rep.failure`` (the CLI's
+    ``repro`` command exits non-zero when it does not).
+    """
+    cfg = config or FuzzConfig(
+        agent_kwargs=rep.agent_kwargs, max_steps=rep.max_steps
+    )
+    return _execute(
+        rep.instance,
+        rep.case_seed,
+        dict(rep.agent_kwargs),
+        PatchedScheduler(
+            dict(rep.decisions), build_scheduler(dict(rep.fallback))
+        ),
+        rep.plan,
+        cfg,
+    )
+
+
+def verify_reproducer(
+    rep: Reproducer, config: Optional[FuzzConfig] = None
+) -> bool:
+    """Byte-identical verification of a reproducer.
+
+    Runs the patched schedule once to obtain the *effective* full schedule
+    and its trace, then re-executes that schedule through a strict
+    :class:`~repro.trace.replay.ReplayScheduler` (runnable-size self-check
+    armed).  Verified means: same failure signature, and the two trace
+    event streams serialize identically up to the failure point.
+    """
+    cfg = config or FuzzConfig(
+        agent_kwargs=rep.agent_kwargs, max_steps=rep.max_steps
+    )
+    patched = replay_reproducer(rep, config=cfg)
+    if patched.signature != rep.failure:
+        return False
+    replayed = _execute(
+        rep.instance,
+        rep.case_seed,
+        dict(rep.agent_kwargs),
+        ReplayScheduler(patched.choices, runnable_sizes=patched.runnable_sizes),
+        rep.plan,
+        cfg,
+    )
+    if replayed.signature != rep.failure:
+        return False
+    if len(patched.events) != len(replayed.events):
+        return False
+    return all(
+        a.to_dict() == b.to_dict()
+        for a, b in zip(patched.events, replayed.events)
+    )

@@ -1,0 +1,153 @@
+"""Self-describing specs for adversarial runs: instances and schedulers.
+
+Everything the fuzzer sweeps and the minimizer re-executes is described by
+plain, JSON-serializable, picklable data — never by live objects — so a
+failing case can be shipped to a pool worker, written to a reproducer
+artifact, and rebuilt byte-identically in another process or weeks later:
+
+* :class:`InstanceSpec` names an election instance through the trace
+  layer's :data:`~repro.trace.replay.GRAPH_BUILDERS` registry (the same
+  registry that makes recorded traces self-describing);
+* scheduler specs are ``{"kind": …, …}`` dicts resolved by
+  :func:`build_scheduler` against :data:`SCHEDULER_KINDS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.placement import Placement
+from ..errors import AdversaryError
+from ..graphs.network import AnonymousNetwork
+from ..sim.scheduler import (
+    BiasedScheduler,
+    GreedyAgentScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from ..trace.replay import build_network
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """An election instance named through the trace graph registry.
+
+    ``graph``/``graph_args`` address :data:`repro.trace.replay.GRAPH_BUILDERS`
+    exactly like a recorded trace header does, so any instance the fuzzer
+    explores is also an instance a reproducer artifact can rebuild.
+    """
+
+    graph: str
+    graph_args: Tuple[Any, ...]
+    homes: Tuple[int, ...]
+    label: str
+
+    def build(self) -> Tuple[AnonymousNetwork, Placement]:
+        return build_network(self.graph, self.graph_args), Placement.of(
+            list(self.homes)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "graph": self.graph,
+            "graph_args": list(self.graph_args),
+            "homes": list(self.homes),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InstanceSpec":
+        return cls(
+            graph=data["graph"],
+            graph_args=tuple(data["graph_args"]),
+            homes=tuple(data["homes"]),
+            label=data["label"],
+        )
+
+
+def table1_battery(quick: bool = False) -> List[InstanceSpec]:
+    """The Table-1 instance set, in registry-expressible form.
+
+    Covers every regime of the paper's matrix: the impossibility canon
+    (gcd > 1), the electable asymmetric families (paths, grids), Cayley
+    instances (hypercube, torus), the Petersen counterexample, and the
+    ``K_{2,3}`` instance whose AGENT-REDUCE phases actually run multi-round
+    matching (class sizes 2 and 3).
+    """
+    battery = [
+        InstanceSpec("complete", (2,), (0, 1), "K_2"),
+        InstanceSpec("cycle", (4,), (0, 2), "C_4-antipodal"),
+        InstanceSpec("cycle", (4,), (0, 1), "C_4-adjacent"),
+        InstanceSpec("cycle", (6,), (0, 3), "C_6-antipodal"),
+        InstanceSpec("cycle", (6,), (0, 2, 4), "C_6-thirds"),
+        InstanceSpec("hypercube", (3,), (0, 7), "Q_3-antipodal"),
+        InstanceSpec("petersen", (), (0, 1), "Petersen-adjacent"),
+        InstanceSpec("cycle", (5,), (0, 1), "C_5"),
+        InstanceSpec("path", (5,), (0, 2), "P_5"),
+        InstanceSpec("path", (7,), (0, 3, 5), "P_7"),
+        InstanceSpec("grid", (3, 4), (0, 5, 11), "Grid3x4"),
+        InstanceSpec("hypercube", (3,), (0, 3, 5), "Q_3"),
+        InstanceSpec("torus", (3, 3), (0, 4), "T_3x3"),
+        InstanceSpec("complete_bipartite", (2, 3), (0, 1, 2, 3, 4), "K_2,3"),
+    ]
+    if quick:
+        return [battery[0], battery[1], battery[7], battery[8], battery[13]]
+    return battery
+
+
+#: Scheduler kinds a spec dict may name, with their constructors.
+SCHEDULER_KINDS: Dict[str, Any] = {
+    "random": RandomScheduler,
+    "round-robin": RoundRobinScheduler,
+    "greedy": GreedyAgentScheduler,
+    "biased": BiasedScheduler,
+    "pct": PCTScheduler,
+}
+
+
+def build_scheduler(spec: Mapping[str, Any]) -> Scheduler:
+    """Instantiate a scheduler from its ``{"kind": …, …}`` spec."""
+    kind = spec.get("kind")
+    if kind not in SCHEDULER_KINDS:
+        raise AdversaryError(
+            f"unknown scheduler kind {kind!r}; registered: "
+            f"{', '.join(sorted(SCHEDULER_KINDS))}"
+        )
+    kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    try:
+        return SCHEDULER_KINDS[kind](**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise AdversaryError(
+            f"scheduler kind {kind!r} rejected spec {dict(spec)!r}: {exc}"
+        ) from None
+
+
+def scheduler_specs(count: int, seed: int = 0) -> List[Dict[str, Any]]:
+    """A deterministic battery of ``count`` scheduler specs.
+
+    Leads with the two deterministic schedulers (round-robin, greedy) —
+    whose repeated appearances exercise the signature dedup — then cycles
+    PCT (varying depth), uniform random, and biased specs over distinct
+    seeds.
+    """
+    if count < 1:
+        raise AdversaryError("scheduler battery needs count >= 1")
+    specs: List[Dict[str, Any]] = [{"kind": "round-robin"}, {"kind": "greedy"}]
+    i = 0
+    while len(specs) < count:
+        bucket = i % 4
+        if bucket in (0, 2):
+            specs.append(
+                {"kind": "pct", "seed": seed + i, "depth": 2 + (i % 4)}
+            )
+        elif bucket == 1:
+            specs.append({"kind": "random", "seed": seed + i})
+        else:
+            specs.append(
+                {"kind": "biased", "seed": seed + i, "bias": 0.6 + 0.1 * (i % 3)}
+            )
+        i += 1
+    return specs[:count]

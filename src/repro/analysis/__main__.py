@@ -144,6 +144,28 @@ def _experiment_faults(quick: bool) -> None:
     )
 
 
+def _experiment_adversary(quick: bool) -> None:
+    from ..adversary import fuzz_stats, run_fuzz
+
+    report = run_fuzz(
+        runs=60 if quick else 500, workers=_WORKERS, quick=quick
+    )
+    print(report.render())
+    stats = fuzz_stats()
+    print(
+        render_kv(
+            "schedule-space coverage",
+            [
+                ("distinct interleavings", report.distinct_schedules),
+                ("dedup hits", report.duplicate_schedules),
+                ("silent wrong answers", report.counts["silent-wrong-answer"]),
+                ("schedule failures", report.counts["schedule-failure"]),
+                ("runs counted", sum(stats["runs"].values())),
+            ],
+        )
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "table1": _experiment_table1,
     "complexity": _experiment_complexity,
@@ -151,6 +173,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "petersen": _experiment_petersen,
     "trace": _experiment_trace,
     "faults": _experiment_faults,
+    "adversary": _experiment_adversary,
 }
 
 

@@ -118,13 +118,28 @@ class ElectAgent(Agent):
     traversal: ``"dfs"`` (the paper's whiteboard DFS, default) or
     ``"frontier"`` (nearest-frontier exploration — same map, usually fewer
     moves; see ablation A4).
+
+    ``matching`` is **test-only** plumbing for the adversarial fuzzer:
+    ``"atomic"`` (default) uses the paper's one-slot ``TryAcquire`` race
+    for AGENT-REDUCE matching; ``"toctou"`` deliberately replaces it with
+    a non-atomic read-then-write, reintroducing the time-of-check/
+    time-of-use race the atomic acquisition exists to prevent.  Under most
+    schedules the broken variant still works; under fine-grained
+    interleavings two searchers both claim the same waiter and the
+    round's readback fails loudly.  The fuzzer acceptance test proves the
+    interleaving fuzzer finds such a schedule and ddmin shrinks it.
     """
 
-    def __init__(self, *args, map_strategy: str = "dfs", **kwargs):
+    def __init__(
+        self, *args, map_strategy: str = "dfs", matching: str = "atomic", **kwargs
+    ):
         super().__init__(*args, **kwargs)
         if map_strategy not in ("dfs", "frontier"):
             raise ProtocolError(f"unknown map strategy {map_strategy!r}")
+        if matching not in ("atomic", "toctou"):
+            raise ProtocolError(f"unknown matching mode {matching!r}")
         self.map_strategy = map_strategy
+        self.matching = matching
 
     # ------------------------------------------------------------------
     # Top level
@@ -403,7 +418,24 @@ class ElectAgent(Agent):
 
             yield WaitUntil(posted, reason=f"waiting status p{phase} r{rnd}")
             if not matched_holder["done"]:
-                ok = yield TryAcquire(kind=MATCH, payload=(phase, rnd), capacity=1)
+                if self.matching == "atomic":
+                    ok = yield TryAcquire(
+                        kind=MATCH, payload=(phase, rnd), capacity=1
+                    )
+                else:
+                    # Test-only TOCTOU variant: the check and the write are
+                    # separate atomic actions, so another searcher can slip
+                    # a MATCH in between and this round over-matches.
+                    fresh = yield Read()
+                    ok = not _match_present(fresh, phase, rnd)
+                    if ok:
+                        yield Write(
+                            Sign(
+                                kind=MATCH,
+                                color=self.color,
+                                payload=(phase, rnd),
+                            )
+                        )
                 if ok:
                     matched_holder["done"] = True
             return None

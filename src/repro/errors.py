@@ -96,6 +96,18 @@ class ProtocolError(ReproError):
     """Raised when an agent protocol violates its own invariants."""
 
 
+class AdversaryError(ReproError):
+    """Raised for invalid adversarial-testing configurations and artifacts.
+
+    Examples: an unknown scheduler spec handed to the interleaving fuzzer,
+    a reproducer artifact with an unsupported version, or a minimization
+    request whose recorded schedule does not reproduce its failure in the
+    first place.  Like :class:`FaultError`, this is strictly about
+    *misconfiguration* — failures the fuzzer discovers surface as
+    classified report rows, never as this error.
+    """
+
+
 class TraceError(ReproError):
     """Base class for errors raised by the trace subsystem.
 
@@ -112,7 +124,26 @@ class ReplayDivergence(TraceError):
     the :class:`~repro.trace.replay.ReplayScheduler` for a step the
     recording never took — or the recorded agent is not runnable at that
     point — the executions have diverged and this error reports where.
+
+    Structured fields (all optional, ``None`` when inapplicable) let tools
+    inspect the divergence without parsing the message: ``step`` is the
+    0-based replay step at which it was detected, ``expected`` the recorded
+    choice (or runnable-set size, for a size-check divergence), and
+    ``runnable`` the live runnable set at that step.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step: "int | None" = None,
+        expected: "int | None" = None,
+        runnable: "tuple | None" = None,
+    ):
+        super().__init__(message)
+        self.step = step
+        self.expected = expected
+        self.runnable = tuple(runnable) if runnable is not None else None
 
 
 class InvariantViolation(TraceError):

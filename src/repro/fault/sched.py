@@ -15,9 +15,21 @@ action times.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
 
 from ..sim.scheduler import Scheduler, SchedulerDecorator
+
+
+def _merge_spans(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort half-open ``[start, end)`` spans and merge overlaps."""
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
 
 
 class DelayScheduler(SchedulerDecorator):
@@ -26,17 +38,35 @@ class DelayScheduler(SchedulerDecorator):
     ``windows`` is a sequence of objects with ``agent``/``at_step``/
     ``duration`` attributes (:class:`repro.fault.plan.StallWindow`): agent
     ``agent`` is not scheduled for steps in ``[at_step, at_step+duration)``.
+
+    The windows are precompiled into a per-agent map of merged, sorted
+    intervals, so the per-step membership test is one :func:`bisect_right`
+    instead of a scan over every window — campaigns run this on every step
+    of every faulted simulation, and plans can carry thousands of windows.
     """
 
     def __init__(self, inner: Scheduler, windows: Sequence[object]):
         super().__init__(inner)
         self.windows: Tuple[object, ...] = tuple(windows)
+        by_agent: Dict[int, List[Tuple[int, int]]] = {}
+        for w in self.windows:
+            by_agent.setdefault(w.agent, []).append(
+                (w.at_step, w.at_step + w.duration)
+            )
+        self._intervals: Dict[int, List[Tuple[int, int]]] = {
+            agent: _merge_spans(spans) for agent, spans in by_agent.items()
+        }
+        self._starts: Dict[int, List[int]] = {
+            agent: [start for start, _ in spans]
+            for agent, spans in self._intervals.items()
+        }
 
     def _delayed(self, agent: int, step: int) -> bool:
-        return any(
-            w.agent == agent and w.at_step <= step < w.at_step + w.duration
-            for w in self.windows
-        )
+        starts = self._starts.get(agent)
+        if not starts:
+            return False
+        i = bisect_right(starts, step) - 1
+        return i >= 0 and step < self._intervals[agent][i][1]
 
     def choose(self, runnable: Sequence[int], step: int) -> int:
         allowed = [i for i in runnable if not self._delayed(i, step)]

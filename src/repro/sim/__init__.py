@@ -16,6 +16,7 @@ from .runtime import AgentState, Simulation, SimulationResult, run_agents
 from .scheduler import (
     BiasedScheduler,
     GreedyAgentScheduler,
+    PCTScheduler,
     RandomScheduler,
     RecordingScheduler,
     RoundRobinScheduler,
@@ -49,6 +50,7 @@ __all__ = [
     "run_agents",
     "Scheduler",
     "SchedulerDecorator",
+    "PCTScheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
     "GreedyAgentScheduler",

@@ -648,7 +648,8 @@ class Simulation:
                 idx = self.scheduler.choose(runnable, steps)
                 if idx not in runnable:
                     raise SimulationError(
-                        f"scheduler chose non-runnable agent {idx}"
+                        f"step {steps}: scheduler {self.scheduler!r} chose "
+                        f"non-runnable agent {idx} (runnable: {runnable})"
                     )
                 self._step = steps
                 rec = self.records[idx]

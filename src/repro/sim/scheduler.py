@@ -15,8 +15,12 @@ sweeps the schedulers below.
   switching (maximally bursty asynchrony).
 * :class:`BiasedScheduler` — random but heavily favoring low-index agents
   (starvation-adjacent but still fair).
+* :class:`PCTScheduler` — probabilistic concurrency testing (Burckhardt et
+  al.): random distinct agent priorities plus ``depth`` priority-change
+  points, with an explicit fairness bound so PCT schedules stay inside the
+  paper's fair-adversary model.
 * :class:`RecordingScheduler` — wraps another scheduler and records its
-  choice sequence for deterministic replay
+  choice sequence (and runnable-set sizes) for deterministic replay
   (:class:`repro.trace.replay.ReplayScheduler`).
 """
 
@@ -24,7 +28,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class Scheduler(ABC):
@@ -104,22 +108,41 @@ class GreedyAgentScheduler(Scheduler):
 
     Exercises maximal burstiness: one agent can complete an entire traversal
     while all others are frozen — a legal asynchronous execution.
+    ``max_burst`` caps how long one agent may monopolize the schedule while
+    others stay runnable, making the scheduler fair even against an agent
+    that never blocks (protocol agents block constantly, so the cap is
+    effectively invisible on real runs).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_burst: int = 1024) -> None:
+        if max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+        self.max_burst = max_burst
         self._current: Optional[int] = None
+        self._burst = 0
 
     def reset(self) -> None:
         self._current = None
+        self._burst = 0
 
     def choose(self, runnable: Sequence[int], step: int) -> int:
-        if self._current in runnable:
+        if self._current in runnable and (
+            self._burst < self.max_burst or len(runnable) == 1
+        ):
+            self._burst += 1
             return self._current
-        self._current = min(runnable)
+        if self._current in runnable:
+            # Burst exhausted: rotate to the next runnable agent.
+            ordered = sorted(runnable)
+            pos = ordered.index(self._current)
+            self._current = ordered[(pos + 1) % len(ordered)]
+        else:
+            self._current = min(runnable)
+        self._burst = 1
         return self._current
 
     def __repr__(self) -> str:
-        return "GreedyAgentScheduler()"
+        return f"GreedyAgentScheduler(max_burst={self.max_burst})"
 
 
 class BiasedScheduler(Scheduler):
@@ -151,6 +174,101 @@ class BiasedScheduler(Scheduler):
         return f"BiasedScheduler(seed={self.seed}, bias={self.bias})"
 
 
+class PCTScheduler(Scheduler):
+    """Probabilistic concurrency testing with a fairness bound.
+
+    Classic PCT (Burckhardt, Kothari, Musuvathi, Nagarakatte, ASPLOS'10):
+    every agent draws a random distinct priority; at ``depth - 1`` random
+    *priority-change points* the currently top-priority runnable agent is
+    demoted below everyone; otherwise the highest-priority runnable agent
+    always runs.  For a bug of depth ``d`` the schedule hits it with
+    probability ``>= 1/(n * k^(d-1))`` — far better than uniform random for
+    ordering bugs — while producing exactly the bursty, priority-inverted
+    interleavings a uniform scheduler almost never emits.
+
+    Plain PCT is *unfair*: a low-priority agent that never gets demoted-past
+    can starve forever, which would step outside the paper's fair-adversary
+    model and manufacture livelocks the protocol is not required to survive.
+    ``fairness_bound`` restores fairness: an agent passed over while
+    runnable for ``fairness_bound`` consecutive steps is force-scheduled
+    (longest-starved first, lowest index on ties), so every always-runnable
+    agent runs within ``fairness_bound + n`` steps.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        depth: int = 3,
+        expected_length: int = 4096,
+        fairness_bound: int = 512,
+    ):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if expected_length < 1:
+            raise ValueError("expected_length must be >= 1")
+        if fairness_bound < 1:
+            raise ValueError("fairness_bound must be >= 1")
+        self.seed = seed
+        self.depth = depth
+        self.expected_length = expected_length
+        self.fairness_bound = fairness_bound
+        self.reset()
+
+    def reset(self) -> None:
+        # String seeding hashes via sha512 — stable across processes
+        # (tuple seeding would go through PYTHONHASHSEED-dependent hash()).
+        self._rng = random.Random(f"pct:{self.seed}:{self.depth}")
+        self._priorities: Dict[int, float] = {}
+        self._floor = 0.0
+        self._change_points = sorted(
+            self._rng.randrange(1, self.expected_length)
+            for _ in range(self.depth - 1)
+        )
+        self._next_change = 0
+        self._passed_over: Dict[int, int] = {}
+
+    def _priority(self, agent: int) -> float:
+        if agent not in self._priorities:
+            # Lazy assignment: agents are discovered as they become
+            # runnable; initial priorities live in (0, 1), demotions below.
+            self._priorities[agent] = self._rng.random()
+        return self._priorities[agent]
+
+    def _demote(self, agent: int) -> None:
+        self._floor -= 1.0
+        self._priorities[agent] = self._floor
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        by_priority = max(runnable, key=lambda i: (self._priority(i), -i))
+        while (
+            self._next_change < len(self._change_points)
+            and step >= self._change_points[self._next_change]
+        ):
+            self._next_change += 1
+            self._demote(by_priority)
+            by_priority = max(runnable, key=lambda i: (self._priority(i), -i))
+        starved = [
+            i
+            for i in runnable
+            if self._passed_over.get(i, 0) >= self.fairness_bound
+        ]
+        if starved:
+            choice = max(starved, key=lambda i: (self._passed_over[i], -i))
+        else:
+            choice = by_priority
+        for i in runnable:
+            self._passed_over[i] = (
+                0 if i == choice else self._passed_over.get(i, 0) + 1
+            )
+        return choice
+
+    def __repr__(self) -> str:
+        return (
+            f"PCTScheduler(seed={self.seed}, depth={self.depth}, "
+            f"fairness_bound={self.fairness_bound})"
+        )
+
+
 class RecordingScheduler(SchedulerDecorator):
     """Wrap any scheduler and record its choice sequence.
 
@@ -159,19 +277,27 @@ class RecordingScheduler(SchedulerDecorator):
     instance reproduces the run exactly.  This is the lightweight
     alternative to full event tracing when only the interleaving matters
     (e.g. shrinking an adversarial schedule that triggered a failure).
+
+    ``runnable_sizes`` records ``len(runnable)`` per step alongside the
+    choices: replays can then self-check divergence cheaply — a replayed
+    step whose runnable set has a different size has already departed from
+    the recording even if the recorded agent happens to be runnable.
     """
 
     def __init__(self, inner: Scheduler):
         super().__init__(inner)
         self.choices: List[int] = []
+        self.runnable_sizes: List[int] = []
 
     def reset(self) -> None:
         super().reset()
         self.choices = []
+        self.runnable_sizes = []
 
     def choose(self, runnable: Sequence[int], step: int) -> int:
         idx = self.inner.choose(runnable, step)
         self.choices.append(idx)
+        self.runnable_sizes.append(len(runnable))
         return idx
 
 
@@ -183,4 +309,5 @@ def default_scheduler_suite(seed: int = 0) -> List[Scheduler]:
         RoundRobinScheduler(),
         GreedyAgentScheduler(),
         BiasedScheduler(seed=seed),
+        PCTScheduler(seed=seed),
     ]

@@ -88,10 +88,34 @@ class ReplayScheduler(Scheduler):
     schedule is exhausted.  Any mismatch means the executions diverged and
     raises :class:`~repro.errors.ReplayDivergence` at the offending step —
     by construction replay failures are loud, never silently different.
+    The error carries structured ``step`` / ``expected`` / ``runnable``
+    fields so tools (the adversary minimizer, test harnesses) can inspect
+    the divergence point without parsing the message.
+
+    ``runnable_sizes`` (as recorded by
+    :class:`~repro.sim.scheduler.RecordingScheduler`) enables a cheap
+    self-check: a step whose live runnable set has a different size than
+    the recording has already diverged even if the recorded agent happens
+    to still be runnable.
     """
 
-    def __init__(self, schedule: Sequence[int]):
+    def __init__(
+        self,
+        schedule: Sequence[int],
+        runnable_sizes: Optional[Sequence[int]] = None,
+    ):
         self.schedule: Tuple[int, ...] = tuple(schedule)
+        self.runnable_sizes: Optional[Tuple[int, ...]] = (
+            tuple(runnable_sizes) if runnable_sizes is not None else None
+        )
+        if (
+            self.runnable_sizes is not None
+            and len(self.runnable_sizes) != len(self.schedule)
+        ):
+            raise TraceError(
+                f"runnable_sizes has {len(self.runnable_sizes)} entries for "
+                f"a {len(self.schedule)}-step schedule"
+            )
         self._next = 0
 
     @classmethod
@@ -102,6 +126,14 @@ class ReplayScheduler(Scheduler):
     def from_trace(cls, path: str) -> "ReplayScheduler":
         _, events = load_trace(path)
         return cls(schedule_of(events))
+
+    @classmethod
+    def from_recording(
+        cls, recorder: "object"
+    ) -> "ReplayScheduler":
+        """Build from a :class:`~repro.sim.scheduler.RecordingScheduler`
+        (choices plus the runnable-size self-check)."""
+        return cls(recorder.choices, runnable_sizes=recorder.runnable_sizes)
 
     def reset(self) -> None:
         self._next = 0
@@ -115,14 +147,32 @@ class ReplayScheduler(Scheduler):
             raise ReplayDivergence(
                 f"replay ran past the recorded schedule "
                 f"({len(self.schedule)} steps): the instance differs from "
-                f"the recorded one"
+                f"the recorded one",
+                step=self._next,
+                runnable=sorted(runnable),
             )
         idx = self.schedule[self._next]
         if idx not in runnable:
             raise ReplayDivergence(
                 f"step {self._next}: recorded agent {idx} is not runnable "
                 f"(runnable: {sorted(runnable)}); the instance differs from "
-                f"the recorded one"
+                f"the recorded one",
+                step=self._next,
+                expected=idx,
+                runnable=sorted(runnable),
+            )
+        if (
+            self.runnable_sizes is not None
+            and len(runnable) != self.runnable_sizes[self._next]
+        ):
+            raise ReplayDivergence(
+                f"step {self._next}: runnable set has {len(runnable)} "
+                f"agents, the recording had "
+                f"{self.runnable_sizes[self._next]}; the executions have "
+                f"diverged",
+                step=self._next,
+                expected=self.runnable_sizes[self._next],
+                runnable=sorted(runnable),
             )
         self._next += 1
         return idx

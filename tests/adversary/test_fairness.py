@@ -1,0 +1,83 @@
+"""Fairness property: no suite scheduler starves an always-runnable agent.
+
+The paper's adversary is *fair* — every agent that can act eventually
+does.  The property below is the strongest schedule-level form of that
+guarantee that holds for the whole battery: against a constant,
+always-runnable agent set, every scheduler in
+:func:`~repro.sim.scheduler.default_scheduler_suite` (plus extra
+:class:`~repro.sim.PCTScheduler` configurations) schedules each agent at
+least once in every window of ``W`` consecutive steps, for a ``W`` that
+covers the worst deterministic bound in the suite:
+
+* ``RoundRobinScheduler``: gap <= n;
+* ``GreedyAgentScheduler``: gap <= n * max_burst (burst rotation);
+* ``PCTScheduler``: gap <= fairness_bound + n (forced scheduling);
+* random/biased schedulers: a miss over W uniform-ish draws has
+  probability ``<= (1 - 1/n)^W`` — astronomically small for the windows
+  used here, so a failure still means a real bug, not flake.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PCTScheduler
+from repro.sim.scheduler import GreedyAgentScheduler, default_scheduler_suite
+
+
+def max_observed_gap(scheduler, n_agents, steps):
+    """Largest wait between consecutive runs of any agent (incl. edges)."""
+    runnable = list(range(n_agents))
+    last_seen = {i: -1 for i in range(n_agents)}
+    worst = 0
+    for step in range(steps):
+        choice = scheduler.choose(runnable, step)
+        assert choice in runnable
+        worst = max(worst, step - last_seen[choice])
+        last_seen[choice] = step
+    for i in range(n_agents):
+        worst = max(worst, steps - last_seen[i])
+    return worst
+
+
+def battery(seed):
+    return default_scheduler_suite(seed=seed) + [
+        PCTScheduler(seed=seed, depth=5, fairness_bound=64),
+        PCTScheduler(seed=seed + 1, depth=1, fairness_bound=256),
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_agents=st.integers(min_value=2, max_value=4),
+    index=st.integers(min_value=0, max_value=7),
+)
+def test_every_suite_scheduler_is_fair_within_a_bounded_window(
+    seed, n_agents, index
+):
+    schedulers = battery(seed)
+    scheduler = schedulers[index % len(schedulers)]
+    burst = max(
+        [s.max_burst for s in schedulers if isinstance(s, GreedyAgentScheduler)]
+    )
+    window = n_agents * burst + 640
+    gap = max_observed_gap(scheduler, n_agents, steps=2 * window)
+    assert gap <= window, (
+        f"{scheduler!r} starved an agent for {gap} > {window} steps"
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_agents=st.integers(min_value=2, max_value=5),
+    bound=st.integers(min_value=4, max_value=64),
+)
+def test_pct_fairness_bound_is_respected_exactly(seed, n_agents, bound):
+    # The PCT guarantee is deterministic: no gap ever exceeds
+    # fairness_bound + n, whatever the seed and depth.
+    scheduler = PCTScheduler(seed=seed, depth=3, fairness_bound=bound)
+    gap = max_observed_gap(
+        scheduler, n_agents, steps=6 * (bound + n_agents)
+    )
+    assert gap <= bound + n_agents

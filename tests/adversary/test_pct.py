@@ -1,0 +1,113 @@
+"""PCTScheduler: determinism, validity, change points, fairness bound."""
+
+import pytest
+
+from repro import Placement, run_elect
+from repro.graphs import cycle_graph, hypercube_cayley
+from repro.sim import PCTScheduler, RecordingScheduler
+from repro.sim.scheduler import default_scheduler_suite
+
+
+def drive(scheduler, n_agents, steps):
+    """Feed a constant always-runnable set; return the choice sequence."""
+    runnable = list(range(n_agents))
+    return [scheduler.choose(runnable, step) for step in range(steps)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = drive(PCTScheduler(seed=7), 4, 2000)
+        b = drive(PCTScheduler(seed=7), 4, 2000)
+        assert a == b
+
+    def test_reset_restarts_the_schedule(self):
+        sched = PCTScheduler(seed=7)
+        a = drive(sched, 4, 2000)
+        sched.reset()
+        assert drive(sched, 4, 2000) == a
+
+    def test_different_seeds_differ(self):
+        a = drive(PCTScheduler(seed=0), 4, 2000)
+        b = drive(PCTScheduler(seed=1), 4, 2000)
+        assert a != b
+
+    def test_election_under_pct_is_reproducible(self):
+        outcomes, schedules = [], []
+        for _ in range(2):
+            recorder = RecordingScheduler(PCTScheduler(seed=3))
+            net = hypercube_cayley(3).network
+            outcome = run_elect(
+                net, Placement.of([0, 3, 5]), scheduler=recorder, seed=3
+            )
+            outcomes.append(outcome)
+            schedules.append(tuple(recorder.choices))
+        assert schedules[0] == schedules[1]
+        assert outcomes[0].elected and outcomes[1].elected
+        assert (
+            outcomes[0].leader_color.name == outcomes[1].leader_color.name
+        )
+
+
+class TestValidity:
+    def test_choice_always_runnable(self):
+        sched = PCTScheduler(seed=5, depth=4, fairness_bound=16)
+        runnable = [1, 3, 4]
+        for step in range(500):
+            assert sched.choose(runnable, step) in runnable
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PCTScheduler(depth=0)
+        with pytest.raises(ValueError):
+            PCTScheduler(expected_length=0)
+        with pytest.raises(ValueError):
+            PCTScheduler(fairness_bound=0)
+
+    def test_suite_includes_pct(self):
+        kinds = [type(s).__name__ for s in default_scheduler_suite()]
+        assert "PCTScheduler" in kinds
+
+
+class TestPriorities:
+    def test_without_change_points_one_agent_monopolizes(self):
+        # depth=1 means no priority-change points: with everyone always
+        # runnable, the top-priority agent runs until the fairness bound
+        # forces someone else in.
+        sched = PCTScheduler(seed=2, depth=1, fairness_bound=100)
+        choices = drive(sched, 3, 50)
+        assert len(set(choices)) == 1
+
+    def test_change_points_demote_the_leader(self):
+        # With expected_length=10 all depth-1 change points land in the
+        # first ten steps, so the running agent must change early.
+        sched = PCTScheduler(
+            seed=2, depth=3, expected_length=10, fairness_bound=10_000
+        )
+        choices = drive(sched, 3, 12)
+        assert len(set(choices)) >= 2
+
+    def test_fairness_bound_breaks_starvation(self):
+        bound = 20
+        sched = PCTScheduler(seed=9, depth=1, fairness_bound=bound)
+        n = 4
+        choices = drive(sched, n, 10 * (bound + n))
+        last_seen = {i: -1 for i in range(n)}
+        max_gap = {i: 0 for i in range(n)}
+        for step, choice in enumerate(choices):
+            gap = step - last_seen[choice]
+            max_gap[choice] = max(max_gap[choice], gap)
+            last_seen[choice] = step
+        for i in range(n):
+            # Every agent ran, and never waited longer than bound + n.
+            assert last_seen[i] >= 0
+            assert len(choices) - last_seen[i] <= bound + n
+            assert max_gap[i] <= bound + n
+
+    def test_elects_on_small_cycle(self):
+        outcome = run_elect(
+            cycle_graph(5),
+            Placement.of([0, 2]),
+            scheduler=PCTScheduler(seed=1, fairness_bound=64),
+            seed=1,
+        )
+        assert outcome.elected

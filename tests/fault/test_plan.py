@@ -157,3 +157,89 @@ class TestFaultyWhiteboard:
         board.append(self.sign(payload=(1,)))
         board.append(self.sign(payload=(2,)))
         assert board.audit() == []
+
+
+class TestDelaySchedulerIntervals:
+    """The precompiled interval map: correctness against a naive scan."""
+
+    def naive_delayed(self, windows, agent, step):
+        return any(
+            w.agent == agent and w.at_step <= step < w.at_step + w.duration
+            for w in windows
+        )
+
+    def make_windows(self, count, seed=0):
+        rng = random.Random(seed)
+        return [
+            StallWindow(
+                agent=rng.randrange(4),
+                at_step=rng.randrange(5000),
+                duration=rng.randrange(1, 40),
+            )
+            for _ in range(count)
+        ]
+
+    def test_matches_naive_scan_on_random_windows(self):
+        from repro.sim.scheduler import RoundRobinScheduler
+
+        windows = self.make_windows(300, seed=7)
+        sched = DelayScheduler(RoundRobinScheduler(), windows)
+        rng = random.Random(1)
+        for _ in range(2000):
+            agent, step = rng.randrange(5), rng.randrange(6000)
+            assert sched._delayed(agent, step) == self.naive_delayed(
+                windows, agent, step
+            )
+
+    def test_overlapping_windows_merge(self):
+        from repro.sim.scheduler import RoundRobinScheduler
+
+        windows = [
+            StallWindow(agent=0, at_step=10, duration=10),
+            StallWindow(agent=0, at_step=15, duration=10),
+            StallWindow(agent=0, at_step=40, duration=5),
+        ]
+        sched = DelayScheduler(RoundRobinScheduler(), windows)
+        assert sched._intervals[0] == [(10, 25), (40, 45)]
+        assert sched._delayed(0, 24) and not sched._delayed(0, 25)
+        assert not sched._delayed(0, 39) and sched._delayed(0, 44)
+
+    def test_all_agents_suppressed_still_schedules(self):
+        from repro.sim.scheduler import RoundRobinScheduler
+
+        windows = [
+            StallWindow(agent=i, at_step=0, duration=100) for i in range(3)
+        ]
+        sched = DelayScheduler(RoundRobinScheduler(), windows)
+        # Fairness: with every runnable agent stalled, the window yields.
+        assert sched.choose([0, 1, 2], 50) in (0, 1, 2)
+
+    def test_interval_lookup_beats_naive_scan(self):
+        # The reason the intervals exist: campaigns consult the delay
+        # predicate on every step, and plans can carry thousands of
+        # windows.  A bisect over merged intervals must beat the naive
+        # every-window scan by a wide margin; 3x is a deliberately loose
+        # floor for CI noise.
+        import timeit
+
+        from repro.sim.scheduler import RoundRobinScheduler
+
+        windows = self.make_windows(2000, seed=3)
+        sched = DelayScheduler(RoundRobinScheduler(), windows)
+        queries = [
+            (random.Random(9).randrange(4), step) for step in range(400)
+        ]
+
+        def fast():
+            for agent, step in queries:
+                sched._delayed(agent, step)
+
+        def naive():
+            for agent, step in queries:
+                self.naive_delayed(windows, agent, step)
+
+        fast_t = min(timeit.repeat(fast, number=3, repeat=3))
+        naive_t = min(timeit.repeat(naive, number=3, repeat=3))
+        assert naive_t / fast_t >= 3.0, (
+            f"interval lookup only {naive_t / fast_t:.1f}x faster"
+        )

@@ -175,3 +175,106 @@ class TestFileReplay:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(TraceError, match="unknown protocol"):
             record_run("cycle", [5], [0, 1], protocol="best-effort")
+
+
+class TestStructuredDivergence:
+    def record(self, seed=0):
+        sink = MemorySink()
+        recorder = RecordingScheduler(RandomScheduler(seed=seed))
+        run_elect(
+            cycle_graph(5),
+            Placement.of([0, 1]),
+            scheduler=recorder,
+            seed=seed,
+            trace=sink,
+        )
+        return recorder, sink
+
+    def test_wrong_instance_reports_the_divergence_point(self):
+        recorder, _ = self.record()
+        with pytest.raises(ReplayDivergence) as info:
+            run_elect(
+                cycle_graph(7),
+                Placement.of([0, 1]),
+                scheduler=ReplayScheduler(recorder.choices),
+                seed=0,
+            )
+        exc = info.value
+        assert isinstance(exc.step, int) and exc.step >= 0
+        assert isinstance(exc.runnable, tuple)
+
+    def test_exhausted_schedule_reports_step_and_runnable(self):
+        recorder, _ = self.record()
+        truncated = ReplayScheduler(recorder.choices[:10])
+        with pytest.raises(ReplayDivergence) as info:
+            run_elect(
+                cycle_graph(5),
+                Placement.of([0, 1]),
+                scheduler=truncated,
+                seed=0,
+            )
+        exc = info.value
+        assert exc.step == 10
+        assert exc.expected is None
+        assert exc.runnable is not None
+
+    def test_recorded_agent_not_runnable_reports_expected(self):
+        recorder, _ = self.record()
+        # Corrupt the schedule: point an early step at a non-existent agent.
+        bad = list(recorder.choices)
+        bad[3] = 9
+        with pytest.raises(ReplayDivergence) as info:
+            run_elect(
+                cycle_graph(5),
+                Placement.of([0, 1]),
+                scheduler=ReplayScheduler(bad),
+                seed=0,
+            )
+        exc = info.value
+        assert exc.step == 3
+        assert exc.expected == 9
+        assert 9 not in exc.runnable
+
+
+class TestRunnableSizes:
+    def test_recorder_tracks_sizes_per_step(self):
+        sink = MemorySink()
+        recorder = RecordingScheduler(RandomScheduler(seed=4))
+        run_elect(
+            cycle_graph(5), Placement.of([0, 2]), scheduler=recorder, seed=4
+        )
+        assert len(recorder.runnable_sizes) == len(recorder.choices)
+        assert all(1 <= s <= 2 for s in recorder.runnable_sizes)
+
+    def test_replay_with_recorded_sizes_succeeds(self):
+        recorder = RecordingScheduler(RandomScheduler(seed=4))
+        outcome = run_elect(
+            cycle_graph(5), Placement.of([0, 2]), scheduler=recorder, seed=4
+        )
+        replayer = ReplayScheduler.from_recording(recorder)
+        outcome2 = run_elect(
+            cycle_graph(5), Placement.of([0, 2]), scheduler=replayer, seed=4
+        )
+        assert outcome.steps == outcome2.steps
+
+    def test_size_mismatch_is_a_divergence(self):
+        recorder = RecordingScheduler(RandomScheduler(seed=4))
+        run_elect(
+            cycle_graph(5), Placement.of([0, 2]), scheduler=recorder, seed=4
+        )
+        sizes = list(recorder.runnable_sizes)
+        sizes[5] += 1
+        with pytest.raises(ReplayDivergence) as info:
+            run_elect(
+                cycle_graph(5),
+                Placement.of([0, 2]),
+                scheduler=ReplayScheduler(
+                    recorder.choices, runnable_sizes=sizes
+                ),
+                seed=4,
+            )
+        assert info.value.step == 5
+
+    def test_length_mismatch_rejected_at_construction(self):
+        with pytest.raises(TraceError, match="entries"):
+            ReplayScheduler([0, 1, 0], runnable_sizes=[2, 2])
