@@ -10,8 +10,10 @@ from .complexity import (
     ratio_table,
 )
 from .instances import (
+    BATTERIES,
     Instance,
     asymmetric_instances,
+    battery_by_name,
     cayley_effectualness_instances,
     impossibility_instances,
     instances_for,
@@ -29,7 +31,9 @@ from .matrix import (
 from .report import render_kv, render_table
 
 __all__ = [
+    "BATTERIES",
     "Instance",
+    "battery_by_name",
     "instances_for",
     "small_cayley_graphs",
     "cayley_effectualness_instances",

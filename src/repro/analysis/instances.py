@@ -197,3 +197,30 @@ def quantitative_battery(seed: int = 0) -> List[Instance]:
         Instance(petersen_graph(), Placement.of([0, 1]), "Petersen-adjacent"),
     ]
     return out
+
+
+#: Named battery registry: every sweep the CLI layers (``repro.analysis``,
+#: ``repro.serve warm``) can address by name.  Each value is a zero-config
+#: callable returning a deterministic instance list.
+BATTERIES: dict = {
+    "impossibility": impossibility_instances,
+    "asymmetric": asymmetric_instances,
+    "petersen-duel": petersen_duel_instances,
+    "quantitative": quantitative_battery,
+    "cayley-effectualness": cayley_effectualness_instances,
+}
+
+
+def battery_by_name(name: str) -> List[Instance]:
+    """Instances of the named battery (see :data:`BATTERIES`).
+
+    Raises ``KeyError``-free :class:`ValueError` with the known names, so
+    CLI callers can surface it verbatim.
+    """
+    try:
+        builder = BATTERIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown battery {name!r}; one of {', '.join(sorted(BATTERIES))}"
+        )
+    return builder()

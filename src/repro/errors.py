@@ -179,3 +179,14 @@ class ReproductionError(ReproError):
     quantitative election failing on a feasible instance, or the Petersen
     duel not electing.  The message names the offending instance.
     """
+
+
+class ServeError(ReproError):
+    """Raised by the election service layer (:mod:`repro.serve`).
+
+    Covers malformed query payloads (unknown op, bad network spec,
+    out-of-range homes), persistent-store corruption or schema-version
+    mismatches, and client-side protocol failures.  HTTP handlers catch it
+    and translate to a 4xx/5xx JSON error body; everything else escaping a
+    handler is a 500.
+    """

@@ -24,13 +24,23 @@ are isomorphic the computed *class order* is identical for all agents.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import GraphError
 from ..perf import cache as _cache
 
+if False:  # pragma: no cover - typing only
+    from .network import AnonymousNetwork
+
 CanonicalKey = Tuple[int, Tuple[int, ...], bytes]
+
+#: Version tag mixed into :func:`canonical_hash`.  Bump whenever the
+#: canonical encoding changes shape: persisted stores keyed by the hash
+#: (``repro.serve.store``) must never serve values computed under a
+#: different encoding.
+CANONICAL_HASH_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -249,3 +259,72 @@ def digraphs_isomorphic(a: Digraph, b: Digraph) -> bool:
     if a.num_nodes != b.num_nodes:
         return False
     return canonical_key(a) == canonical_key(b)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed network hashing (the persistent-cache key)
+# ----------------------------------------------------------------------
+
+
+def underlying_digraph(network: "AnonymousNetwork", node_colors: Optional[Sequence[Hashable]] = None) -> Digraph:
+    """The node-colored underlying graph of a network, as a :class:`Digraph`.
+
+    Every undirected edge becomes a 2-cycle of arcs; port labels are
+    dropped.  This is exactly the object Definition 2.1 quantifies over:
+    equivalence classes, surroundings, free-automorphism certificates and
+    the Theorem 4.1 regular-subgroup criterion are all functions of it, so
+    its isomorphism class determines every feasibility-layer answer.
+
+    Simple networks only (as everywhere in the canonical machinery).
+    """
+    if not network.is_simple:
+        raise GraphError("underlying_digraph requires a simple network")
+    colors: Sequence[Hashable]
+    if node_colors is None:
+        colors = tuple([0] * network.num_nodes)
+    else:
+        if len(node_colors) != network.num_nodes:
+            raise GraphError(
+                f"node coloring has {len(node_colors)} entries for "
+                f"{network.num_nodes} nodes"
+            )
+        colors = tuple(node_colors)
+    arcs: List[Tuple[int, int]] = []
+    for (u, _, v, _) in network.edges():
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return Digraph.build(network.num_nodes, arcs, colors)
+
+
+def canonical_form_bytes(
+    network: "AnonymousNetwork", node_colors: Optional[Sequence[Hashable]] = None
+) -> bytes:
+    """Deterministic byte serialization of the canonical form.
+
+    The layout is ``version | n | canonical colors row | canonical
+    adjacency bits``, each length-prefixed, so distinct canonical forms
+    never serialize to the same bytes.
+    """
+    n, colors_row, bits = canonical_key(underlying_digraph(network, node_colors))
+    head = f"repro-canonical-v{CANONICAL_HASH_VERSION}|{n}|".encode("ascii")
+    palette = ",".join(map(str, colors_row)).encode("ascii")
+    return head + str(len(palette)).encode("ascii") + b"|" + palette + b"|" + bits
+
+
+def canonical_hash(
+    network: "AnonymousNetwork", node_colors: Optional[Sequence[Hashable]] = None
+) -> str:
+    """SHA-256 content address of the colored underlying graph.
+
+    Two networks share a hash iff their node-colored underlying graphs are
+    isomorphic — the hash is invariant under node relabeling
+    (``with_nodes_permuted``, with the coloring permuted alongside) and
+    under arbitrary port relabelings (``with_ports_relabeled``), and stable
+    across processes and machines (no ``PYTHONHASHSEED`` dependence).
+
+    This is the cache key of :mod:`repro.serve.store`: every query the
+    service answers is a pure function of exactly this isomorphism class
+    (pass the placement's bicoloring as ``node_colors``), so persisted
+    answers can be shared between all isomorphic copies of an instance.
+    """
+    return hashlib.sha256(canonical_form_bytes(network, node_colors)).hexdigest()

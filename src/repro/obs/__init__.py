@@ -21,11 +21,14 @@ Metrics ship **disabled**: enable them with :func:`enable`, the
 registry to :class:`repro.sim.runtime.Simulation` as ``metrics=``.
 
 Subsystems with always-on counters register themselves as *collectors*
-(merged into :func:`collect_snapshot`): ``"perf"`` (memo-cache hit/miss)
-and ``"fault"`` (:mod:`repro.fault.metrics` — fired injections by kind and
-campaign outcome classifications).  A metrics-armed supervised run also
-exposes ``watchdog_stalls_total`` / ``watchdog_restarts_total`` in its own
-registry.
+(merged into :func:`collect_snapshot`): ``"perf"`` (memo-cache hit/miss),
+``"fault"`` (:mod:`repro.fault.metrics` — fired injections by kind and
+campaign outcome classifications) and ``"serve"``
+(:mod:`repro.serve.metrics` — request, cache-tier, coalescing and
+back-pressure counters; the election service's ``GET /metrics`` endpoint
+serves the merged exposition of *all* collectors).  A metrics-armed
+supervised run also exposes ``watchdog_stalls_total`` /
+``watchdog_restarts_total`` in its own registry.
 """
 
 from .budget import ACCESSES, DEFAULT_CONSTANT, MOVES, BudgetTracker

@@ -76,6 +76,14 @@ register_collector("perf.cache", _metrics)
 
 _lock = threading.RLock()
 _disabled_depth = 0
+#: Bumped by every full :func:`invalidate`.  Computations snapshot it
+#: before running and skip insertion when it moved: a ``memo_value``
+#: compute that was in flight while everything was invalidated must not
+#: resurrect its (now stale) entry into the live table.  Network-keyed
+#: entries get this for free — ``clear()`` detaches their per-network
+#: dict, so the late insert lands in an orphan — but ``_value_store`` is
+#: one module-level dict, cleared in place.
+_generation = 0
 
 
 def cache_enabled() -> bool:
@@ -144,9 +152,10 @@ def memo_value(kind: str, key: Hashable, compute: Callable[[], Any]) -> Any:
             _count(kind, hit=True)
             return _value_store[full_key]
         _count(kind, hit=False)
+        generation = _generation
     value = compute()
     with _lock:
-        if not _disabled_depth:
+        if not _disabled_depth and generation == _generation:
             while len(_value_store) >= _VALUE_STORE_LIMIT:
                 _value_store.pop(next(iter(_value_store)))
             _value_store[full_key] = value
@@ -154,9 +163,17 @@ def memo_value(kind: str, key: Hashable, compute: Callable[[], Any]) -> Any:
 
 
 def invalidate(network: Optional[Any] = None) -> None:
-    """Drop one network's memo, or everything when ``network`` is None."""
+    """Drop one network's memo, or everything when ``network`` is None.
+
+    A full invalidation clears the network-keyed store *and* the
+    non-network-keyed value table (digraph canonical keys), and bumps the
+    generation counter so computations already in flight cannot re-insert
+    stale entries afterwards.
+    """
+    global _generation
     with _lock:
         if network is None:
+            _generation += 1
             _network_store.clear()
             _value_store.clear()
         else:

@@ -22,6 +22,7 @@ batteries are; see ``repro.analysis.matrix``).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -73,24 +74,30 @@ class ParallelBatteryRunner:
         self.executor = executor
         self.chunksize = chunksize
         self._pool: Optional[Any] = None
+        self._pool_lock = threading.Lock()
 
     @property
     def is_serial(self) -> bool:
         return self.workers <= 1
 
     def _ensure_pool(self) -> Any:
-        if self._pool is None:
-            if self.executor == "thread":
-                self._pool = ThreadPoolExecutor(max_workers=self.workers)
-            else:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        # Guarded: the serve layer maps batches from concurrent executor
+        # threads, and two first calls racing here would each spawn (and
+        # one would leak) a pool.
+        with self._pool_lock:
+            if self._pool is None:
+                if self.executor == "thread":
+                    self._pool = ThreadPoolExecutor(max_workers=self.workers)
+                else:
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
 
     def close(self) -> None:
         """Shut the pool down (the runner can be reused; a new pool spawns)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "ParallelBatteryRunner":
         return self

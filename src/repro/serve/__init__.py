@@ -1,0 +1,42 @@
+"""Election-as-a-service: HTTP front end over the feasibility pipeline.
+
+The subsystem turns the repo's pure election machinery into a long-lived
+service with a content-addressed answer cache:
+
+* :mod:`repro.serve.wire` — JSON wire format and the canonical response
+  rendering (byte-identical across every cache tier and the offline CLI);
+* :mod:`repro.serve.store` — persistent SQLite cache keyed by
+  :func:`repro.graphs.canonical.canonical_hash` (survives restarts,
+  version-stamped against canonical-encoding changes);
+* :mod:`repro.serve.service` — :class:`ElectionService`: tiered lookup
+  (memory → sqlite → compute), single-flight dedup, batched dispatch onto
+  :class:`~repro.perf.parallel.ParallelBatteryRunner`;
+* :mod:`repro.serve.http` — :class:`ElectionServer`: stdlib asyncio
+  HTTP/1.1 with request coalescing, bounded queues (429 + Retry-After) and
+  per-request deadlines (504);
+* :mod:`repro.serve.client` — :class:`ServeClient`, a thin stdlib client;
+* :mod:`repro.serve.metrics` — the always-enabled ``"serve"`` collector;
+* ``python -m repro.serve`` — ``serve`` / ``query`` / ``warm``.
+"""
+
+from .client import ServeClient, ServeHTTPError
+from .http import ElectionServer
+from .metrics import metrics_registry
+from .service import ElectionService, compute_payload, query_key
+from .store import CanonicalStore
+from .wire import build_network, canonical_json, network_payload, query_payload
+
+__all__ = [
+    "CanonicalStore",
+    "ElectionServer",
+    "ElectionService",
+    "ServeClient",
+    "ServeHTTPError",
+    "build_network",
+    "canonical_json",
+    "compute_payload",
+    "metrics_registry",
+    "network_payload",
+    "query_key",
+    "query_payload",
+]

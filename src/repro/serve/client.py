@@ -1,0 +1,191 @@
+"""Thin stdlib client for the election service (``http.client`` based).
+
+One :class:`ServeClient` wraps one keep-alive connection (reconnecting
+transparently when the server closes it), so it is cheap to issue many
+queries in a row — but it is **not** thread-safe: concurrent callers each
+create their own client (as the burst tests do).
+
+Non-2xx responses raise :class:`ServeHTTPError` carrying the status and,
+for 429/504, the server's ``Retry-After`` hint.  The raw response body of
+the last successful call is kept in :attr:`ServeClient.last_body` and its
+cache provenance in :attr:`ServeClient.last_source` — the acceptance tests
+byte-compare ``last_body`` across clients and tiers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ServeError
+from ..graphs.network import AnonymousNetwork
+from .wire import canonical_json, query_payload
+
+NetworkLike = Union[AnonymousNetwork, Dict[str, Any]]
+
+
+class ServeHTTPError(ServeError):
+    """A non-2xx response from the election service."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Talk to a running :class:`~repro.serve.http.ElectionServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8421, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self.last_body: bytes = b""
+        self.last_source: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        deadline: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP round-trip; reconnects once on a stale keep-alive."""
+        body = canonical_json(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        if deadline is not None:
+            headers["X-Repro-Deadline"] = str(deadline)
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    data,
+                )
+            except (
+                http.client.RemoteDisconnected,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        status, headers, body = self.request(method, path, payload, deadline)
+        if not 200 <= status < 300:
+            message = body.decode("utf-8", "replace")
+            try:
+                message = json.loads(message).get("error", message)
+            except ValueError:
+                pass
+            retry_after = headers.get("retry-after")
+            raise ServeHTTPError(
+                status,
+                message,
+                float(retry_after) if retry_after else None,
+            )
+        self.last_body = body
+        self.last_source = headers.get("x-repro-source")
+        return json.loads(body.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def feasibility(
+        self,
+        network: NetworkLike,
+        homes: Sequence[int],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self.query("feasibility", network, homes, deadline=deadline)
+
+    def elect(
+        self,
+        network: NetworkLike,
+        homes: Sequence[int],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self.query("elect", network, homes, deadline=deadline)
+
+    def classify(
+        self,
+        network: NetworkLike,
+        homes: Sequence[int],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self.query("classify", network, homes, deadline=deadline)
+
+    def query(
+        self,
+        op: str,
+        network: NetworkLike,
+        homes: Sequence[int],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload = query_payload(op, network, homes)
+        return self._json("POST", f"/v1/{op}", payload, deadline)
+
+    def batch(
+        self,
+        queries: Sequence[Dict[str, Any]],
+        deadline: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """POST /v1/batch; each query is a wire payload (see ``wire.py``)."""
+        data = self._json(
+            "POST", "/v1/batch", {"queries": list(queries)}, deadline
+        )
+        return data["results"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        status, _, body = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeHTTPError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")

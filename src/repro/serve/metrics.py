@@ -1,0 +1,91 @@
+"""The ``"serve"`` metrics collector: request, cache-tier and queue signals.
+
+Like :mod:`repro.perf.cache`, the serve layer owns an **always-enabled**
+:class:`~repro.obs.registry.MetricsRegistry` registered as the ``"serve"``
+collector: hit/miss accounting across the cache tiers is part of the
+service's contract (the restart-persistence acceptance test reads
+``serve_store_hits_total{tier="sqlite"}`` off a live ``/metrics`` scrape),
+not an opt-in diagnostic.
+
+Metric inventory
+----------------
+* ``serve_requests_total{endpoint,status}`` — every HTTP response sent;
+* ``serve_rejected_total{reason}`` — load shedding (``queue-full``) and
+  deadline misses (``deadline``);
+* ``serve_compute_total{op}`` — actual backend computations, i.e. cache
+  misses that ran the feasibility/classification pipeline.  The
+  concurrent-client tests pin this to exactly one per distinct canonical
+  hash;
+* ``serve_coalesced_total{op}`` — queries answered by waiting on another
+  request's in-flight computation (single-flight dedup);
+* ``serve_store_hits_total{tier}`` / ``serve_store_misses_total`` —
+  lookups by cache tier (``memory`` = per-process memo, ``sqlite`` = the
+  persistent store);
+* ``serve_store_puts_total`` / ``serve_store_evictions_total`` —
+  persistent-store writes and LRU evictions;
+* ``serve_verify_total{outcome}`` — cache-consistency verification
+  recomputations (``ok`` / ``mismatch``);
+* ``serve_queue_depth`` — current dispatcher backlog (gauge);
+* ``serve_batch_size`` — sizes of the batches dispatched onto the
+  battery runner (histogram);
+* ``serve_request_seconds{endpoint}`` — request wall time (histogram).
+"""
+
+from __future__ import annotations
+
+from ..obs.registry import MetricsRegistry, register_collector
+
+#: The serve layer's own registry — always enabled, independent of the
+#: global default (mirrors ``repro.perf.cache``).
+_metrics = MetricsRegistry(enabled=True)
+
+REQUESTS = _metrics.counter(
+    "serve_requests_total", help="HTTP responses sent, by endpoint and status"
+)
+REJECTED = _metrics.counter(
+    "serve_rejected_total", help="requests shed (back-pressure) or timed out"
+)
+COMPUTES = _metrics.counter(
+    "serve_compute_total", help="actual backend computations, by op"
+)
+COALESCED = _metrics.counter(
+    "serve_coalesced_total",
+    help="queries coalesced onto another request's in-flight computation",
+)
+STORE_HITS = _metrics.counter(
+    "serve_store_hits_total", help="cache hits, by tier (memory/sqlite)"
+)
+STORE_MISSES = _metrics.counter(
+    "serve_store_misses_total", help="queries that missed every cache tier"
+)
+STORE_PUTS = _metrics.counter(
+    "serve_store_puts_total", help="persistent-store inserts"
+)
+STORE_EVICTIONS = _metrics.counter(
+    "serve_store_evictions_total", help="persistent-store LRU evictions"
+)
+VERIFY = _metrics.counter(
+    "serve_verify_total",
+    help="cache-consistency verification recomputations, by outcome",
+)
+QUEUE_DEPTH = _metrics.gauge(
+    "serve_queue_depth", help="requests waiting in the dispatcher queue"
+)
+BATCH_SIZE = _metrics.histogram(
+    "serve_batch_size", help="batch sizes dispatched onto the battery runner"
+)
+REQUEST_SECONDS = _metrics.histogram(
+    "serve_request_seconds", help="request wall time, by endpoint"
+)
+
+register_collector("serve", _metrics)
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The serve layer's always-enabled registry (the ``"serve"`` collector)."""
+    return _metrics
+
+
+def reset() -> None:
+    """Zero all serve counters (test isolation helper)."""
+    _metrics.reset()

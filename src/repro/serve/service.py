@@ -1,0 +1,376 @@
+"""The election service: tiered canonical-form cache over batched compute.
+
+:class:`ElectionService` answers the three query ops (``feasibility``,
+``elect``, ``classify``) through three tiers, keyed everywhere by
+``(op, canonical_hash(network, bicoloring))``:
+
+1. **memory** — a per-process dict of finished answers;
+2. **sqlite** — the persistent :class:`~repro.serve.store.CanonicalStore`
+   (write-through by default; with ``write_through=False`` entries stay
+   in memory until :meth:`~ElectionService.promote_to_store`);
+3. **compute** — cache misses are deduplicated (single-flight: exactly one
+   backend computation per distinct key, concurrent duplicates wait on the
+   leader) and fanned out as one batch on a
+   :class:`~repro.perf.parallel.ParallelBatteryRunner`.
+
+Because every payload is a pure function of the isomorphism class of the
+bicolored instance (port labels never matter — see
+:func:`repro.graphs.canonical.canonical_hash`), a hash hit may legally be
+served for a different-but-isomorphic network than the one that populated
+it.  Payloads therefore carry only isomorphism-invariant data: verdicts,
+gcds, class *sizes* (in canonical ≺ order), schedule outcomes — never node
+indices.
+
+``verify_every=N`` enables the cache-consistency mode: every Nth
+persistent-store hit is recomputed from scratch and byte-compared against
+the stored answer (``serve_verify_total{outcome=...}``); a mismatch is
+repaired in place and the fresh answer served.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.feasibility import classify, elect_prediction
+from ..core.placement import Placement
+from ..errors import ServeError
+from ..graphs.canonical import canonical_hash
+from ..graphs.network import AnonymousNetwork
+from ..perf.parallel import ParallelBatteryRunner
+from . import metrics as _m
+from .store import CanonicalStore
+from .wire import OPS, build_network, canonical_json, network_payload
+
+#: A parsed query: ``(op, network, placement)``.
+Query = Tuple[str, AnonymousNetwork, Placement]
+
+
+# ----------------------------------------------------------------------
+# Answer payloads — isomorphism-invariant only (shared across iso copies)
+# ----------------------------------------------------------------------
+
+
+def feasibility_payload(
+    network: AnonymousNetwork, placement: Placement
+) -> Dict[str, Any]:
+    """Theorem 3.1's criterion: the gcd over the Definition 2.1 classes."""
+    prediction = elect_prediction(network, placement)
+    structure = prediction.structure
+    return {
+        "op": "feasibility",
+        "gcd": structure.gcd,
+        "elects": prediction.succeeds,
+        "class_sizes": list(structure.sizes),
+        "num_agent_classes": structure.num_agent_classes,
+    }
+
+
+def elect_payload(
+    network: AnonymousNetwork, placement: Placement
+) -> Dict[str, Any]:
+    """Generic ELECT's full schedule outcome (phases, final count)."""
+    prediction = elect_prediction(network, placement)
+    schedule = prediction.schedule
+    return {
+        "op": "elect",
+        "succeeds": schedule.succeeds,
+        "final_count": schedule.final_count,
+        "num_phases": len(schedule.phases),
+        "class_sizes": list(schedule.sizes),
+        "num_agent_classes": schedule.num_agent_classes,
+    }
+
+
+def classify_payload(
+    network: AnonymousNetwork, placement: Placement
+) -> Dict[str, Any]:
+    """Three-valued feasibility with its reason (possible/impossible/unknown)."""
+    result = classify(network, placement)
+    structure = result.elect.structure
+    return {
+        "op": "classify",
+        "verdict": result.verdict.value,
+        "reason": result.reason,
+        "gcd": structure.gcd,
+        "class_sizes": list(structure.sizes),
+        "num_agent_classes": structure.num_agent_classes,
+    }
+
+
+_PAYLOADS = {
+    "feasibility": feasibility_payload,
+    "elect": elect_payload,
+    "classify": classify_payload,
+}
+
+
+def compute_payload(
+    op: str, network: AnonymousNetwork, placement: Placement
+) -> Dict[str, Any]:
+    """Run the backend pipeline for one query (no caching)."""
+    try:
+        fn = _PAYLOADS[op]
+    except KeyError:
+        raise ServeError(f"unknown op {op!r}; one of {', '.join(OPS)}")
+    return fn(network, placement)
+
+
+def compute_item(item: Tuple[str, Dict[str, Any], List[int]]) -> Dict[str, Any]:
+    """Picklable batch worker: ``(op, network_spec, homes) → payload``.
+
+    Module-level over primitive specs so the process-pool executor of
+    :class:`~repro.perf.parallel.ParallelBatteryRunner` can ship it.
+    """
+    op, spec, homes = item
+    return compute_payload(op, build_network(spec), Placement.of(homes))
+
+
+def query_key(op: str, network: AnonymousNetwork, placement: Placement) -> str:
+    """The cache key: canonical hash of the bicolored instance."""
+    return canonical_hash(network, placement.bicoloring(network))
+
+
+class _InFlight:
+    """Single-flight rendezvous: followers wait for the leader's answer."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+
+
+class ElectionService:
+    """Cached, deduplicated, batched election queries.
+
+    Parameters
+    ----------
+    store:
+        Persistent tier; ``None`` runs memory-only (hits/misses still
+        counted, ``tier="sqlite"`` simply never fires).
+    runner:
+        Batch executor for cache misses; default is a serial
+        :class:`ParallelBatteryRunner` (workers=1).
+    verify_every:
+        ``N > 0`` recomputes every Nth persistent-store hit and
+        byte-compares it against the stored answer; ``0`` disables.
+    write_through:
+        When ``False``, computed answers stay in the memory tier until
+        :meth:`promote_to_store` is called explicitly.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CanonicalStore] = None,
+        runner: Optional[ParallelBatteryRunner] = None,
+        verify_every: int = 0,
+        write_through: bool = True,
+    ):
+        if verify_every < 0:
+            raise ServeError(f"verify_every must be >= 0, got {verify_every}")
+        self.store = store
+        self.runner = runner or ParallelBatteryRunner(workers=1)
+        self.verify_every = verify_every
+        self.write_through = write_through
+        self._memory: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self._inflight: Dict[Tuple[str, str], _InFlight] = {}
+        self._mu = threading.Lock()
+        self._store_hits = 0  # drives the every-Nth verification sample
+        self.verify_mismatches = 0
+
+    # ------------------------------------------------------------------
+    # Tiered lookup
+    # ------------------------------------------------------------------
+
+    def _lookup(
+        self, op: str, chash: str, network: AnonymousNetwork, placement: Placement
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """Memory then persistent tier; ``(None, None)`` means compute."""
+        key = (op, chash)
+        value = self._memory.get(key)
+        if value is not None:
+            _m.STORE_HITS.inc(tier="memory")
+            return value, "memory"
+        if self.store is not None:
+            value = self.store.get(op, chash)
+            if value is not None:
+                _m.STORE_HITS.inc(tier="sqlite")
+                value = self._maybe_verify(op, chash, network, placement, value)
+                self._memory[key] = value
+                return value, "sqlite"
+        _m.STORE_MISSES.inc()
+        return None, None
+
+    def _maybe_verify(
+        self,
+        op: str,
+        chash: str,
+        network: AnonymousNetwork,
+        placement: Placement,
+        stored: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Every Nth sqlite hit: recompute, byte-compare, repair mismatches."""
+        with self._mu:
+            self._store_hits += 1
+            due = self.verify_every > 0 and self._store_hits % self.verify_every == 0
+        if not due:
+            return stored
+        fresh = compute_payload(op, network, placement)
+        if canonical_json(fresh) == canonical_json(stored):
+            _m.VERIFY.inc(outcome="ok")
+            return stored
+        _m.VERIFY.inc(outcome="mismatch")
+        self.verify_mismatches += 1
+        assert self.store is not None
+        self.store.put(op, chash, fresh)  # repair in place, serve the truth
+        return fresh
+
+    def _insert(self, op: str, chash: str, value: Dict[str, Any]) -> None:
+        self._memory[(op, chash)] = value
+        if self.store is not None and self.write_through:
+            self.store.put(op, chash, value)
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+
+    def answer(
+        self, op: str, network: AnonymousNetwork, placement: Placement
+    ) -> Dict[str, Any]:
+        """One query through the full tier stack (single-flight protected)."""
+        return self.answer_batch([(op, network, placement)])[0]
+
+    def answer_batch(
+        self,
+        queries: Sequence[Query],
+        sources: Optional[List[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Answer queries in input order; misses run as **one** batch.
+
+        Exactly one backend computation happens per distinct cache key,
+        no matter how many duplicates appear — within this batch or in
+        concurrently running batches (those wait on the leader's result
+        and count as ``serve_coalesced_total``).
+
+        ``sources``, if given, receives one provenance string per query
+        (``memory`` / ``sqlite`` / ``compute`` / ``coalesced``) — the HTTP
+        layer surfaces it as the ``X-Repro-Source`` header, never in the
+        body (bodies stay byte-identical across tiers).
+        """
+        results: List[Optional[Dict[str, Any]]] = [None] * len(queries)
+        src: List[Optional[str]] = [None] * len(queries)
+        # key -> (rendezvous, picklable item, result slots we lead for)
+        leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]] = {}
+        waiting: List[Tuple[int, _InFlight]] = []
+
+        for i, (op, network, placement) in enumerate(queries):
+            if op not in OPS:
+                raise ServeError(f"unknown op {op!r}; one of {', '.join(OPS)}")
+            chash = query_key(op, network, placement)
+            key = (op, chash)
+            value, tier = self._lookup(op, chash, network, placement)
+            if value is not None:
+                results[i], src[i] = value, tier
+                continue
+            with self._mu:
+                if key in leading:
+                    leading[key][2].append(i)  # duplicate within this batch
+                    src[i] = "coalesced"
+                    _m.COALESCED.inc(op=op)
+                    continue
+                theirs = self._inflight.get(key)
+                if theirs is not None:  # another batch is computing it
+                    waiting.append((i, theirs))
+                    src[i] = "coalesced"
+                    _m.COALESCED.inc(op=op)
+                    continue
+                mine = _InFlight()
+                self._inflight[key] = mine
+                item = (op, network_payload(network), list(placement.homes))
+                leading[key] = (mine, item, [i])
+                src[i] = "compute"
+
+        if leading:
+            self._run_leaders(leading, results)
+        for i, entry in waiting:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            results[i] = entry.value
+        assert all(r is not None for r in results)
+        if sources is not None:
+            sources.extend(s or "coalesced" for s in src)
+        return results  # type: ignore[return-value]
+
+    def _run_leaders(
+        self,
+        leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]],
+        results: List[Optional[Dict[str, Any]]],
+    ) -> None:
+        """Dispatch the distinct misses as one batch; publish to followers."""
+        keys = list(leading)
+        items = [leading[k][1] for k in keys]
+        _m.BATCH_SIZE.observe(len(items))
+        try:
+            values = self.runner.map(compute_item, items)
+        except BaseException as exc:
+            with self._mu:
+                for key in keys:
+                    entry = leading[key][0]
+                    entry.error = exc
+                    entry.event.set()
+                    self._inflight.pop(key, None)
+            raise
+        with self._mu:
+            for key, value in zip(keys, values):
+                entry, item, slots = leading[key]
+                _m.COMPUTES.inc(op=key[0])
+                entry.value = value
+                entry.event.set()
+                self._inflight.pop(key, None)
+                for i in slots:
+                    results[i] = value
+        for key, value in zip(keys, values):
+            self._insert(key[0], key[1], value)
+
+    # ------------------------------------------------------------------
+    # Promotion and maintenance
+    # ------------------------------------------------------------------
+
+    def promote_to_store(self) -> int:
+        """Flush memory-tier answers into the persistent store.
+
+        The explicit promotion path for services running with
+        ``write_through=False`` (warm-up runs, read-mostly replicas).
+        Returns the number of entries written.
+        """
+        if self.store is None:
+            raise ServeError("no persistent store configured")
+        promoted = 0
+        for (op, chash), value in list(self._memory.items()):
+            if (op, chash) not in self.store:
+                self.store.put(op, chash, value)
+                promoted += 1
+        return promoted
+
+    def stats(self) -> Dict[str, Any]:
+        """Tier sizes and health facts (for ``/healthz`` and reports)."""
+        return {
+            "memory_entries": len(self._memory),
+            "inflight": len(self._inflight),
+            "verify_mismatches": self.verify_mismatches,
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+    def close(self) -> None:
+        self.runner.close()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "ElectionService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,139 @@
+"""Wire format: JSON query payloads ↔ election instances, canonical bodies.
+
+One module owns the serialization conventions so the server, the client,
+the CLI and the tests render the same bytes:
+
+* **Network specs.**  Either a named builder from the shared registry
+  (``{"graph": "cycle", "graph_args": [6]}`` — the same names
+  ``python -m repro.trace record --graph`` accepts) or an explicit edge
+  list (``{"num_nodes": n, "edges": [[u, pu, v, pv], ...]}``).  Port
+  labels must be JSON scalars; they only matter for validity (locally
+  distinct), never for answers — every served query is a function of the
+  port-free colored underlying graph (see
+  :func:`repro.graphs.canonical.canonical_hash`).
+* **Queries.**  ``{"op": <feasibility|elect|classify>, "network": <spec>,
+  "homes": [..]}``; batches wrap a list of queries.
+* **Canonical JSON.**  :func:`canonical_json` renders with sorted keys
+  and fixed separators.  Responses are byte-identical wherever they are
+  produced — cold compute, memory hit, persistent-store hit, or the
+  offline ``python -m repro.serve query --local`` path — which is what the
+  burst-correctness acceptance test compares.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.placement import Placement
+from ..errors import PlacementError, ReproError, ServeError
+from ..graphs.network import AnonymousNetwork
+
+OPS = ("feasibility", "elect", "classify")
+
+
+def canonical_json(obj: Any) -> bytes:
+    """The one JSON rendering used on every wire (sorted keys, no spaces)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def network_payload(network: AnonymousNetwork) -> Dict[str, Any]:
+    """Serialize a network as an explicit edge-list spec.
+
+    Non-scalar port labels (e.g. :class:`repro.colors.Color` symbols) are
+    sent as their ``str()`` names; this preserves the per-node distinctness
+    the constructor validates, and answers never depend on label identity.
+    """
+    def scalar(p: Any) -> Any:
+        return p if isinstance(p, (int, str)) else str(p)
+
+    return {
+        "num_nodes": network.num_nodes,
+        "edges": [[u, scalar(pu), v, scalar(pv)] for (u, pu, v, pv) in network.edges()],
+    }
+
+
+def build_network(spec: Any) -> AnonymousNetwork:
+    """Materialize a network from a wire spec (named builder or edge list)."""
+    if not isinstance(spec, dict):
+        raise ServeError("network spec must be a JSON object")
+    if "graph" in spec:
+        from ..trace.replay import GRAPH_BUILDERS
+
+        name = spec["graph"]
+        builder = GRAPH_BUILDERS.get(name)
+        if builder is None:
+            raise ServeError(
+                f"unknown graph {name!r}; registered: "
+                f"{', '.join(sorted(GRAPH_BUILDERS))}"
+            )
+        args = spec.get("graph_args", [])
+        if not isinstance(args, list):
+            raise ServeError("graph_args must be a JSON array")
+        try:
+            return builder(*args)
+        except (ReproError, TypeError, ValueError) as exc:
+            raise ServeError(f"graph builder {name!r} rejected {args!r}: {exc}")
+    if "edges" not in spec or "num_nodes" not in spec:
+        raise ServeError(
+            "network spec needs either 'graph' (+ 'graph_args') or "
+            "'num_nodes' + 'edges'"
+        )
+    edges = spec["edges"]
+    if not isinstance(edges, list) or not all(
+        isinstance(e, (list, tuple)) and len(e) == 4 for e in edges
+    ):
+        raise ServeError("edges must be an array of [u, port_u, v, port_v]")
+    try:
+        return AnonymousNetwork(
+            int(spec["num_nodes"]),
+            [(int(u), pu, int(v), pv) for (u, pu, v, pv) in edges],
+            name=spec.get("name"),
+        )
+    except (ReproError, TypeError, ValueError) as exc:
+        raise ServeError(f"invalid network spec: {exc}")
+
+
+def parse_query(payload: Any) -> Tuple[str, AnonymousNetwork, Placement]:
+    """Validate one query payload into ``(op, network, placement)``."""
+    if not isinstance(payload, dict):
+        raise ServeError("query must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ServeError(f"unknown op {op!r}; one of {', '.join(OPS)}")
+    network = build_network(payload.get("network"))
+    homes = payload.get("homes")
+    if (
+        not isinstance(homes, list)
+        or not homes
+        or not all(isinstance(h, int) for h in homes)
+    ):
+        raise ServeError("homes must be a non-empty array of node indices")
+    try:
+        placement = Placement.of(homes)
+        placement.bicoloring(network)  # range-checks the homes
+    except PlacementError as exc:
+        raise ServeError(str(exc))
+    return op, network, placement
+
+
+def parse_batch(payload: Any) -> List[Dict[str, Any]]:
+    """Validate the ``/v1/batch`` envelope into its query list."""
+    if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
+        raise ServeError("batch payload must be {'queries': [...]}")
+    queries = payload["queries"]
+    if not queries:
+        raise ServeError("batch needs at least one query")
+    return queries
+
+
+def query_payload(
+    op: str, network: Any, homes: Sequence[int]
+) -> Dict[str, Any]:
+    """Assemble a query payload from a network (object or spec) and homes."""
+    spec = (
+        network_payload(network)
+        if isinstance(network, AnonymousNetwork)
+        else network
+    )
+    return {"op": op, "network": spec, "homes": list(homes)}

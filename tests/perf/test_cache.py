@@ -101,6 +101,54 @@ def test_invalidate_everything():
     assert memo_value("vk", 1, lambda: "new") == "new"
 
 
+def test_invalidate_clears_the_value_store_table():
+    """``invalidate()`` drops digraph canonical-key entries, not just
+    network-keyed ones (regression guard for the serve-layer contract)."""
+    from repro.graphs.canonical import Digraph, canonical_key
+
+    g = Digraph.build(3, [(0, 1), (1, 2), (2, 0)])
+    canonical_key(g)
+    assert ("canonical_key", g) in cache_module._value_store
+    invalidate()
+    assert len(cache_module._value_store) == 0
+    reset_cache_stats()
+    canonical_key(g)
+    assert cache_stats()["canonical_key"]["misses"] == 1  # recomputed
+
+
+def test_invalidate_during_compute_does_not_resurrect_value():
+    """A full invalidate() racing an in-flight memo_value compute wins.
+
+    Before the generation guard, the late insert landed in the live (but
+    just-cleared) module-level table, resurrecting a stale canonical-key
+    entry that ``invalidate()`` had promised to drop; network-keyed
+    entries never had the bug because ``clear()`` detaches their dict.
+    """
+    def compute():
+        invalidate()  # e.g. another thread invalidates mid-compute
+        return "stale"
+
+    assert memo_value("vk", 1, compute) == "stale"
+    calls = []
+
+    def recompute():
+        calls.append(1)
+        return "fresh"
+
+    assert memo_value("vk", 1, recompute) == "fresh"
+    assert calls, "stale value survived invalidate()"
+
+    # The network-keyed side keeps its (already correct) behavior.
+    net = cycle_graph(4)
+
+    def net_compute():
+        invalidate()
+        return "stale"
+
+    assert memo(net, "k", None, net_compute) == "stale"
+    assert memo(net, "k", None, lambda: "fresh") == "fresh"
+
+
 def test_cache_entries_die_with_their_network():
     net = cycle_graph(4)
     memo(net, "k", None, lambda: "v")

@@ -1,0 +1,72 @@
+"""Shared fixtures for the serve tests: live servers and metric isolation."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import CanonicalStore, ElectionServer, ElectionService
+from repro.serve import metrics as serve_metrics_module
+
+
+@pytest.fixture(autouse=True)
+def serve_metrics():
+    """Each test reads serve counters from zero."""
+    serve_metrics_module.reset()
+    yield serve_metrics_module
+    serve_metrics_module.reset()
+
+
+class RunningServer:
+    """An :class:`ElectionServer` on its own event-loop thread."""
+
+    def __init__(self, service: ElectionService, **kwargs):
+        self.service = service
+        self._kwargs = kwargs
+        self.port = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop_event = None
+        self._thread = None
+
+    def start(self) -> "RunningServer":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to boot"
+        return self
+
+    async def _main(self) -> None:
+        server = ElectionServer(self.service, port=0, **self._kwargs)
+        await server.start()
+        self.port = server.port
+        self._loop = asyncio.get_event_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        await self._stop_event.wait()
+        await server.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def make_server():
+    """Factory: boot a server (fresh in-memory service unless given one)."""
+    running = []
+
+    def factory(service: ElectionService = None, **kwargs) -> RunningServer:
+        if service is None:
+            service = ElectionService(store=CanonicalStore(":memory:"))
+        server = RunningServer(service, **kwargs).start()
+        running.append(server)
+        return server
+
+    yield factory
+    for server in running:
+        server.stop()
+        server.service.close()

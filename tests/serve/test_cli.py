@@ -1,0 +1,105 @@
+"""``python -m repro.serve``: query --local byte-parity, warm, parsing."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.core.placement import Placement
+from repro.graphs.builders import cycle_graph
+from repro.serve import ServeClient
+from repro.serve.__main__ import build_parser, main
+from repro.serve.service import compute_payload
+from repro.serve.wire import canonical_json
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *argv],
+        capture_output=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+def test_local_query_prints_the_canonical_bytes():
+    proc = run_cli(
+        "query",
+        "--local",
+        "--op",
+        "classify",
+        "--graph",
+        "cycle",
+        "--graph-args",
+        "6",
+        "--homes",
+        "0",
+        "3",
+    )
+    assert proc.returncode == 0, proc.stderr
+    expected = canonical_json(
+        compute_payload("classify", cycle_graph(6), Placement.of([0, 3]))
+    )
+    assert proc.stdout == expected + b"\n"
+
+
+def test_local_query_equals_http_response_bytes(make_server):
+    """The acceptance criterion: server responses are byte-identical to
+    the serial CLI path."""
+    server = make_server()
+    with ServeClient(port=server.port) as client:
+        client.classify({"graph": "cycle", "graph_args": [6]}, [0, 3])
+        http_body = client.last_body
+    proc = run_cli(
+        "query", "--local", "--op", "classify",
+        "--graph", "cycle", "--graph-args", "6", "--homes", "0", "3",
+    )
+    assert proc.stdout == http_body + b"\n"
+
+
+def test_warm_populates_a_store(tmp_path):
+    db = str(tmp_path / "warm.db")
+    proc = run_cli(
+        "warm", "--store", db, "--battery", "impossibility",
+        "--ops", "feasibility",
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["promoted"] > 0
+    assert report["store"]["entries"] == report["promoted"]
+    # A second warm run is all cache hits: nothing new to promote.
+    proc = run_cli(
+        "warm", "--store", db, "--battery", "impossibility",
+        "--ops", "feasibility",
+    )
+    report = json.loads(proc.stdout)
+    assert report["promoted"] == 0
+    assert report["store"]["persistent_hits"] > 0
+
+
+def test_unknown_battery_fails_cleanly(tmp_path):
+    proc = run_cli("warm", "--store", str(tmp_path / "x.db"), "--battery", "nope")
+    assert proc.returncode == 1
+    assert b"unknown battery" in proc.stderr
+
+
+def test_parser_covers_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", "0", "--store", "s.db", "--verify-every", "8"]
+    )
+    assert args.command == "serve" and args.verify_every == 8
+    args = parser.parse_args(["query", "--local", "--homes", "0"])
+    assert args.fn is not None
+
+
+def test_main_reports_errors_via_exit_code(tmp_path, capsys):
+    code = main(
+        ["warm", "--store", str(tmp_path / "x.db"), "--battery", "nope"]
+    )
+    assert code == 1
+    assert "unknown battery" in capsys.readouterr().err

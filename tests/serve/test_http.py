@@ -1,0 +1,157 @@
+"""The HTTP layer: endpoints, error mapping, back-pressure, deadlines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.graphs.builders import cycle_graph
+from repro.serve import ServeClient, ServeHTTPError
+from repro.serve import metrics as sm
+from repro.serve.service import compute_payload
+from repro.serve.wire import canonical_json, query_payload
+
+C6 = {"graph": "cycle", "graph_args": [6]}
+
+
+def test_healthz(make_server):
+    server = make_server()
+    with ServeClient(port=server.port) as client:
+        health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["service"]["store"]["entries"] == 0
+
+
+def test_single_query_body_is_the_canonical_local_bytes(make_server):
+    server = make_server()
+    expected = canonical_json(
+        compute_payload("classify", cycle_graph(6), Placement.of([0, 3]))
+    )
+    with ServeClient(port=server.port) as client:
+        client.classify(C6, [0, 3])
+        assert client.last_body == expected
+        assert client.last_source == "compute"
+        client.classify(C6, [0, 3])
+        assert client.last_body == expected
+        assert client.last_source == "memory"
+
+
+def test_batch_preserves_order_and_reports_sources(make_server):
+    server = make_server()
+    queries = [
+        query_payload("feasibility", C6, [0, 3]),
+        query_payload("elect", C6, [0]),
+        query_payload("feasibility", C6, [0, 3]),  # duplicate of [0]
+    ]
+    with ServeClient(port=server.port) as client:
+        results = client.batch(queries)
+        sources = client.last_source.split(",")
+    assert [r["op"] for r in results] == ["feasibility", "elect", "feasibility"]
+    assert canonical_json(results[0]) == canonical_json(results[2])
+    assert sources[0] == "compute" and sources[2] == "coalesced"
+
+
+def test_metrics_exposes_serve_counters(make_server):
+    server = make_server()
+    with ServeClient(port=server.port) as client:
+        client.feasibility(C6, [0, 3])
+        text = client.metrics()
+    assert 'repro_serve_compute_total{op="feasibility"} 1' in text
+    assert "repro_serve_store_misses_total" in text
+    assert "repro_serve_requests_total" in text
+    # The shared exposition carries the other collectors too.
+    assert "repro_cache_" in text
+
+
+@pytest.mark.parametrize(
+    "method,path,body,status",
+    [
+        ("GET", "/nope", None, 404),
+        ("POST", "/v1/vote", {"x": 1}, 404),
+        ("POST", "/healthz", None, 405),
+        ("GET", "/v1/classify", None, 405),
+        ("POST", "/v1/classify", {"op": "elect", "network": C6, "homes": [0]}, 400),
+        ("POST", "/v1/classify", {"network": C6, "homes": []}, 400),
+        ("POST", "/v1/batch", {"queries": []}, 400),
+    ],
+)
+def test_error_mapping(make_server, method, path, body, status):
+    server = make_server()
+    with ServeClient(port=server.port) as client:
+        got, _, payload = client.request(method, path, body)
+    assert got == status
+    assert b"error" in payload
+
+
+def test_malformed_json_is_400(make_server):
+    import http.client
+
+    server = make_server()
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    conn.request(
+        "POST",
+        "/v1/classify",
+        body=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    assert response.status == 400
+    response.read()
+    conn.close()
+
+
+def test_oversized_body_is_rejected(make_server):
+    server = make_server(max_body=64)
+    with ServeClient(port=server.port) as client:
+        with pytest.raises(ServeHTTPError) as err:
+            client.classify(C6, [0, 3])  # payload far exceeds 64 bytes
+    assert err.value.status == 413
+
+
+def test_deadline_miss_is_504_with_retry_after(make_server):
+    # A coalescing window longer than the deadline forces the timeout
+    # deterministically — no slow computation needed.
+    server = make_server(batch_window=0.5)
+    with ServeClient(port=server.port) as client:
+        with pytest.raises(ServeHTTPError) as err:
+            client.classify(C6, [0, 3], deadline=0.05)
+    assert err.value.status == 504
+    assert err.value.retry_after is not None
+    assert sm.REJECTED.value(reason="deadline") == 1
+
+
+def test_over_capacity_burst_sheds_with_429(make_server):
+    server = make_server(queue_limit=2, batch_window=0.4)
+    filler_done = threading.Event()
+
+    def filler():
+        with ServeClient(port=server.port) as client:
+            client.batch(
+                [
+                    query_payload("feasibility", C6, [0, 3]),
+                    query_payload("feasibility", C6, [0, 2]),
+                ]
+            )
+        filler_done.set()
+
+    thread = threading.Thread(target=filler)
+    thread.start()
+    time.sleep(0.1)  # filler's two queries now occupy the whole queue
+    with ServeClient(port=server.port) as client:
+        with pytest.raises(ServeHTTPError) as err:
+            client.classify(C6, [0, 3])
+    thread.join(timeout=10)
+    assert err.value.status == 429
+    assert err.value.retry_after == 1.0
+    assert sm.REJECTED.value(reason="queue-full") == 1
+    assert filler_done.is_set()  # shedding never broke accepted work
+
+
+def test_connection_keep_alive_reuses_the_socket(make_server):
+    server = make_server()
+    with ServeClient(port=server.port) as client:
+        client.feasibility(C6, [0, 3])
+        first_conn = client._conn
+        client.healthz()
+        assert client._conn is first_conn

@@ -1,0 +1,199 @@
+"""ElectionService: cache tiers, batch dedup, promotion, verification."""
+
+import random
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.errors import ServeError
+from repro.graphs.builders import cycle_graph, path_graph, petersen_graph
+from repro.graphs.network import AnonymousNetwork
+from repro.serve import metrics as serve_metrics
+from repro.serve.service import (
+    ElectionService,
+    compute_payload,
+    query_key,
+)
+from repro.serve.store import CanonicalStore
+from repro.serve.wire import canonical_json
+
+
+def classify_q(net, homes):
+    return ("classify", net, Placement.of(homes))
+
+
+def test_tier_progression_compute_then_memory_then_sqlite(tmp_path):
+    path = str(tmp_path / "cache.db")
+    q = classify_q(cycle_graph(6), [0, 3])
+
+    with ElectionService(store=CanonicalStore(path)) as service:
+        sources = []
+        first = service.answer_batch([q], sources)
+        assert sources == ["compute"]
+        sources = []
+        second = service.answer_batch([q], sources)
+        assert sources == ["memory"]
+        body = canonical_json(first[0])
+        assert canonical_json(second[0]) == body
+
+    # A fresh process (new service, same file) hits the persistent tier.
+    with ElectionService(store=CanonicalStore(path)) as service:
+        sources = []
+        third = service.answer_batch([q], sources)
+        assert sources == ["sqlite"]
+        assert canonical_json(third[0]) == body
+        assert serve_metrics.STORE_HITS.value(tier="sqlite") == 1
+
+
+def test_batch_runs_one_compute_per_distinct_key():
+    service = ElectionService()
+    # Two isomorphic presentations of the same instance + one distinct.
+    net = cycle_graph(6)
+    perm = [3, 4, 5, 0, 1, 2]
+    iso = AnonymousNetwork(
+        6, [(perm[u], pu, perm[v], pv) for (u, pu, v, pv) in net.edges()]
+    )
+    queries = [
+        classify_q(net, [0, 3]),
+        classify_q(iso, [perm[0], perm[3]]),  # same canonical hash
+        classify_q(net, [0, 3]),  # literal duplicate
+        classify_q(path_graph(4), [0]),
+    ]
+    sources = []
+    results = service.answer_batch(queries, sources)
+    assert serve_metrics.COMPUTES.total() == 2  # one per distinct hash
+    assert sources.count("compute") == 2 and sources.count("coalesced") == 2
+    assert canonical_json(results[0]) == canonical_json(results[1])
+    assert canonical_json(results[0]) == canonical_json(results[2])
+    service.close()
+
+
+def test_served_answers_match_direct_compute():
+    service = ElectionService()
+    cases = [
+        ("feasibility", cycle_graph(5), [0, 1]),
+        ("elect", petersen_graph(), [0, 1]),
+        ("classify", cycle_graph(4), [0, 2]),
+    ]
+    for op, net, homes in cases:
+        placement = Placement.of(homes)
+        served = service.answer(op, net, placement)
+        direct = compute_payload(op, net, placement)
+        assert canonical_json(served) == canonical_json(direct)
+    service.close()
+
+
+def test_promotion_path_is_explicit_without_write_through(tmp_path):
+    store = CanonicalStore(str(tmp_path / "cache.db"))
+    service = ElectionService(store=store, write_through=False)
+    service.answer(*classify_q(cycle_graph(6), [0, 3]))
+    assert len(store) == 0  # stayed in the memory tier
+    assert service.promote_to_store() == 1
+    assert len(store) == 1
+    assert service.promote_to_store() == 0  # idempotent
+    service.close()
+
+
+def test_promotion_without_store_raises():
+    with ElectionService() as service:
+        service.answer(*classify_q(cycle_graph(4), [0]))
+        with pytest.raises(ServeError):
+            service.promote_to_store()
+
+
+def test_verification_samples_store_hits(tmp_path):
+    path = str(tmp_path / "cache.db")
+    q = classify_q(cycle_graph(6), [0, 3])
+    with ElectionService(store=CanonicalStore(path)) as service:
+        service.answer(*q)
+    with ElectionService(
+        store=CanonicalStore(path), verify_every=1
+    ) as service:
+        service.answer(*q)
+        assert serve_metrics.VERIFY.value(outcome="ok") == 1
+        assert service.verify_mismatches == 0
+
+
+def test_verification_repairs_tampered_entries(tmp_path):
+    path = str(tmp_path / "cache.db")
+    op, net, placement = classify_q(cycle_graph(6), [0, 3])
+    chash = query_key(op, net, placement)
+    with ElectionService(store=CanonicalStore(path)) as service:
+        truth = service.answer(op, net, placement)
+    store = CanonicalStore(path)
+    store.put(op, chash, {**truth, "verdict": "possible"})  # corrupt it
+    with ElectionService(store=store, verify_every=1) as service:
+        healed = service.answer(op, net, placement)
+        assert canonical_json(healed) == canonical_json(truth)
+        assert serve_metrics.VERIFY.value(outcome="mismatch") == 1
+        assert service.verify_mismatches == 1
+        # The store itself was repaired, not just the response.
+        assert canonical_json(service.store.get(op, chash)) == canonical_json(
+            truth
+        )
+
+
+def test_payloads_are_isomorphism_invariant():
+    net = petersen_graph()
+    placement = Placement.of([0, 1])
+    rng = random.Random(11)
+    perm = list(range(net.num_nodes))
+    rng.shuffle(perm)
+    iso = AnonymousNetwork(
+        net.num_nodes,
+        [
+            (perm[u], f"p{pu}", perm[v], f"q{pv}")
+            for (u, pu, v, pv) in net.edges()
+        ],
+    )
+    iso_placement = Placement.of([perm[0], perm[1]])
+    for op in ("feasibility", "elect", "classify"):
+        assert canonical_json(
+            compute_payload(op, net, placement)
+        ) == canonical_json(compute_payload(op, iso, iso_placement))
+        assert query_key(op, net, placement) == query_key(
+            op, iso, iso_placement
+        )
+
+
+def test_payloads_never_leak_node_indices():
+    # Served answers are shared across isomorphic copies, so they may not
+    # name concrete nodes: only sizes, counts and verdicts.
+    for op in ("feasibility", "elect", "classify"):
+        payload = compute_payload(op, petersen_graph(), Placement.of([0, 1]))
+        for key in payload:
+            assert key in {
+                "op",
+                "gcd",
+                "elects",
+                "succeeds",
+                "verdict",
+                "reason",
+                "final_count",
+                "num_phases",
+                "class_sizes",
+                "num_agent_classes",
+            }
+
+
+def test_unknown_op_rejected():
+    with ElectionService() as service:
+        with pytest.raises(ServeError):
+            service.answer("vote", cycle_graph(4), Placement.of([0]))
+
+
+def test_serve_collector_is_registered():
+    from repro.obs.registry import collectors
+
+    assert collectors()["serve"] is serve_metrics.metrics_registry()
+
+
+def test_stats_shape(tmp_path):
+    with ElectionService(
+        store=CanonicalStore(str(tmp_path / "c.db"))
+    ) as service:
+        service.answer(*classify_q(cycle_graph(4), [0]))
+        stats = service.stats()
+        assert stats["memory_entries"] == 1
+        assert stats["inflight"] == 0
+        assert stats["store"]["entries"] == 1

@@ -1,0 +1,93 @@
+"""The persistent SQLite store: round-trips, LRU, versioning, persistence."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import metrics as serve_metrics
+from repro.serve.store import CanonicalStore
+
+
+def test_put_get_round_trip():
+    with CanonicalStore(":memory:") as store:
+        assert store.get("classify", "h1") is None
+        store.put("classify", "h1", {"verdict": "possible", "gcd": 1})
+        assert store.get("classify", "h1") == {"verdict": "possible", "gcd": 1}
+        assert ("classify", "h1") in store
+        assert len(store) == 1
+
+
+def test_ops_are_separate_namespaces():
+    with CanonicalStore(":memory:") as store:
+        store.put("classify", "h", {"a": 1})
+        store.put("elect", "h", {"b": 2})
+        assert store.get("classify", "h") == {"a": 1}
+        assert store.get("elect", "h") == {"b": 2}
+        assert sorted(store.keys()) == [("classify", "h"), ("elect", "h")]
+
+
+def test_persists_across_reopen(tmp_path):
+    path = str(tmp_path / "answers.db")
+    with CanonicalStore(path) as store:
+        store.put("feasibility", "abc", {"gcd": 2})
+    with CanonicalStore(path) as store:
+        assert store.get("feasibility", "abc") == {"gcd": 2}
+        assert store.stats()["persistent_hits"] == 1  # the get above
+
+
+def test_lru_eviction_drops_oldest():
+    with CanonicalStore(":memory:", max_entries=3) as store:
+        for i in range(3):
+            store.put("op", f"h{i}", {"i": i})
+        store.get("op", "h0")  # refresh h0: h1 becomes LRU
+        store.put("op", "h3", {"i": 3})
+        assert len(store) == 3
+        assert store.get("op", "h1") is None
+        assert store.get("op", "h0") is not None
+        assert serve_metrics.STORE_EVICTIONS.total() == 1
+
+
+def test_version_mismatch_is_refused_then_wipeable(tmp_path):
+    path = str(tmp_path / "answers.db")
+    with CanonicalStore(path) as store:
+        store.put("classify", "h", {"v": 1})
+        with store._lock, store._conn:
+            store._conn.execute(
+                "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+            )
+    with pytest.raises(ServeError, match="version mismatch"):
+        CanonicalStore(path)
+    with CanonicalStore(path, wipe_on_mismatch=True) as store:
+        assert len(store) == 0  # derived data dropped, stamps rewritten
+        store.put("classify", "h", {"v": 2})
+    with CanonicalStore(path) as store:  # stamps are fresh again
+        assert store.get("classify", "h") == {"v": 2}
+
+
+def test_corrupt_entry_raises_serve_error():
+    store = CanonicalStore(":memory:")
+    store.put("classify", "h", {"v": 1})
+    with store._lock, store._conn:
+        store._conn.execute("UPDATE entries SET value = 'not json'")
+    with pytest.raises(ServeError, match="corrupt"):
+        store.get("classify", "h")
+
+
+def test_clear_and_delete():
+    with CanonicalStore(":memory:") as store:
+        store.put("a", "h1", {})
+        store.put("b", "h2", {})
+        store.delete("a", "h1")
+        assert ("a", "h1") not in store
+        store.clear()
+        assert len(store) == 0
+
+
+def test_stats_shape():
+    with CanonicalStore(":memory:") as store:
+        store.put("classify", "h1", {})
+        store.put("classify", "h2", {})
+        store.put("elect", "h1", {})
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["by_op"] == {"classify": 2, "elect": 1}
+        assert serve_metrics.STORE_PUTS.total() == 3

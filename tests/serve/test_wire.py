@@ -1,0 +1,101 @@
+"""Wire format: spec round-trips, validation errors, canonical bytes."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.graphs.builders import cycle_graph, petersen_graph
+from repro.graphs.canonical import canonical_hash
+from repro.serve.wire import (
+    OPS,
+    build_network,
+    canonical_json,
+    network_payload,
+    parse_batch,
+    parse_query,
+    query_payload,
+)
+
+
+def test_canonical_json_is_sorted_and_compact():
+    blob = canonical_json({"b": 1, "a": [1, 2], "z": {"y": 0, "x": 1}})
+    assert blob == b'{"a":[1,2],"b":1,"z":{"x":1,"y":0}}'
+
+
+def test_network_payload_round_trips():
+    net = petersen_graph()
+    rebuilt = build_network(network_payload(net))
+    assert rebuilt.num_nodes == net.num_nodes
+    assert canonical_hash(rebuilt) == canonical_hash(net)
+
+
+def test_network_payload_stringifies_symbolic_ports():
+    net = cycle_graph(4)  # integer ports; force a symbolic copy
+    payload = network_payload(net)
+    assert all(isinstance(p, (int, str)) for (_, p, _, q) in payload["edges"])
+    json.dumps(payload)  # JSON-safe by construction
+
+
+def test_named_builder_spec():
+    net = build_network({"graph": "cycle", "graph_args": [6]})
+    assert canonical_hash(net) == canonical_hash(cycle_graph(6))
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "not-a-dict",
+        {},
+        {"graph": "no-such-graph"},
+        {"graph": "cycle", "graph_args": "6"},
+        {"graph": "cycle", "graph_args": [-3]},
+        {"num_nodes": 3},
+        {"num_nodes": 3, "edges": [[0, 1, 2]]},  # arity-3 edge
+        {"num_nodes": 2, "edges": [[0, 0, 5, 0]]},  # endpoint out of range
+    ],
+)
+def test_bad_network_specs_raise(spec):
+    with pytest.raises(ServeError):
+        build_network(spec)
+
+
+def test_parse_query_happy_path():
+    payload = query_payload("classify", cycle_graph(6), [0, 3])
+    op, network, placement = parse_query(payload)
+    assert op == "classify"
+    assert network.num_nodes == 6
+    assert placement.homes == (0, 3)
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda q: q.pop("op"),
+        lambda q: q.update(op="vote"),
+        lambda q: q.update(homes=[]),
+        lambda q: q.update(homes=[0, 0]),
+        lambda q: q.update(homes=[99]),
+        lambda q: q.update(homes="0"),
+        lambda q: q.pop("network"),
+    ],
+)
+def test_bad_queries_raise(mutate):
+    payload = query_payload("elect", cycle_graph(6), [0, 3])
+    mutate(payload)
+    with pytest.raises(ServeError):
+        parse_query(payload)
+
+
+def test_parse_batch_validation():
+    good = {"queries": [query_payload("elect", cycle_graph(4), [0])]}
+    assert len(parse_batch(good)) == 1
+    for bad in ({}, {"queries": []}, {"queries": "x"}, [1]):
+        with pytest.raises(ServeError):
+            parse_batch(bad)
+
+
+def test_query_payload_accepts_raw_specs():
+    payload = query_payload("feasibility", {"graph": "petersen"}, [0, 1])
+    assert payload["network"] == {"graph": "petersen"}
+    assert payload["op"] in OPS
