@@ -78,11 +78,15 @@ def _build_service(args: argparse.Namespace, write_through: bool = True) -> Elec
     runner = ParallelBatteryRunner(
         workers=args.workers, executor=args.executor
     )
+    # Deferred promotion (warm) needs the memory tier complete until
+    # promote_to_store(); LRU eviction would silently drop answers.
+    extra = {} if write_through else {"memory_limit": None}
     return ElectionService(
         store=store,
         runner=runner,
         verify_every=getattr(args, "verify_every", 0),
         write_through=write_through,
+        **extra,
     )
 
 

@@ -51,12 +51,19 @@ _STATUS_TEXT = {
     408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    501: "Not Implemented",
     504: "Gateway Timeout",
 }
 
 _JSON = "application/json"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Header-section bounds: past either, the request is refused with 431
+#: (the per-line StreamReader limit alone does not cap the total).
+_MAX_HEADER_COUNT = 100
+_MAX_HEADER_BYTES = 32 * 1024
 
 
 class _Work:
@@ -193,10 +200,12 @@ class ElectionServer:
                         self.service.answer_batch, queries, sources
                     ),
                 )
-            except Exception as exc:
-                for work in batch:
-                    if not work.future.done():
-                        work.future.set_exception(exc)
+            except Exception:
+                # One bad query (e.g. a corrupt store row) must not fail
+                # the unrelated requests that merely coalesced into this
+                # batch window: retry each request separately so the error
+                # lands only on the request that caused it.
+                await self._answer_each(batch, loop)
                 continue
             offset = 0
             for work in batch:
@@ -206,6 +215,30 @@ class ElectionServer:
                         (values[offset : offset + n], sources[offset : offset + n])
                     )
                 offset += n
+
+    async def _answer_each(
+        self, batch: List[_Work], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """Failure-isolation fallback: answer each request on its own.
+
+        Loses cross-request batching for this round only; the service's
+        cache tiers and single-flight dedup still apply.
+        """
+        for work in batch:
+            sources: List[str] = []
+            try:
+                values = await loop.run_in_executor(
+                    None,
+                    functools.partial(
+                        self.service.answer_batch, work.queries, sources
+                    ),
+                )
+            except Exception as exc:
+                if not work.future.done():
+                    work.future.set_exception(exc)
+            else:
+                if not work.future.done():
+                    work.future.set_result((values, sources))
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -274,13 +307,34 @@ class ElectionServer:
             raise ConnectionError("malformed request line")
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
+        header_count = 0
+        header_bytes = 0
         while True:
             raw = await reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_count += 1
+            header_bytes += len(raw)
+            if (
+                header_count > _MAX_HEADER_COUNT
+                or header_bytes > _MAX_HEADER_BYTES
+            ):
+                raise _Reject(431, "header section too large")
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        if "transfer-encoding" in headers:
+            # Not implemented; treating a chunked body as length 0 would
+            # desync the connection (its bytes would be parsed as the next
+            # pipelined request).
+            raise _Reject(
+                501, "Transfer-Encoding is not supported; send Content-Length"
+            )
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _Reject(400, "malformed Content-Length")
+        if length < 0:
+            raise _Reject(400, "malformed Content-Length")
         if length > self.max_body:
             raise _Reject(413, f"body exceeds {self.max_body} bytes")
         body = await reader.readexactly(length) if length else b""

@@ -4,7 +4,8 @@
 ``elect``, ``classify``) through three tiers, keyed everywhere by
 ``(op, canonical_hash(network, bicoloring))``:
 
-1. **memory** — a per-process dict of finished answers;
+1. **memory** — a per-process LRU dict of finished answers (bounded by
+   ``memory_limit``);
 2. **sqlite** — the persistent :class:`~repro.serve.store.CanonicalStore`
    (write-through by default; with ``write_through=False`` entries stay
    in memory until :meth:`~ElectionService.promote_to_store`);
@@ -30,6 +31,7 @@ repaired in place and the fresh answer served.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.feasibility import classify, elect_prediction
@@ -159,6 +161,13 @@ class ElectionService:
     write_through:
         When ``False``, computed answers stay in the memory tier until
         :meth:`promote_to_store` is called explicitly.
+    memory_limit:
+        LRU capacity of the memory tier (the sqlite tier has its own
+        ``max_entries``); ``None`` disables eviction.  Bounded by default
+        so a long-running server over a large instance space cannot grow
+        RSS without limit.  Pass ``None`` when running with
+        ``write_through=False``: eviction before
+        :meth:`promote_to_store` would silently drop answers.
     """
 
     def __init__(
@@ -167,18 +176,25 @@ class ElectionService:
         runner: Optional[ParallelBatteryRunner] = None,
         verify_every: int = 0,
         write_through: bool = True,
+        memory_limit: Optional[int] = 65536,
     ):
         if verify_every < 0:
             raise ServeError(f"verify_every must be >= 0, got {verify_every}")
+        if memory_limit is not None and memory_limit < 1:
+            raise ServeError(f"memory_limit must be >= 1, got {memory_limit}")
         self.store = store
         self.runner = runner or ParallelBatteryRunner(workers=1)
         self.verify_every = verify_every
         self.write_through = write_through
-        self._memory: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self.memory_limit = memory_limit
+        self._memory: "OrderedDict[Tuple[str, str], Dict[str, Any]]" = (
+            OrderedDict()
+        )
         self._inflight: Dict[Tuple[str, str], _InFlight] = {}
         self._mu = threading.Lock()
         self._store_hits = 0  # drives the every-Nth verification sample
         self.verify_mismatches = 0
+        self.memory_evictions = 0
 
     # ------------------------------------------------------------------
     # Tiered lookup
@@ -189,7 +205,10 @@ class ElectionService:
     ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
         """Memory then persistent tier; ``(None, None)`` means compute."""
         key = (op, chash)
-        value = self._memory.get(key)
+        with self._mu:
+            value = self._memory.get(key)
+            if value is not None:
+                self._memory.move_to_end(key)  # refresh LRU recency
         if value is not None:
             _m.STORE_HITS.inc(tier="memory")
             return value, "memory"
@@ -198,7 +217,7 @@ class ElectionService:
             if value is not None:
                 _m.STORE_HITS.inc(tier="sqlite")
                 value = self._maybe_verify(op, chash, network, placement, value)
-                self._memory[key] = value
+                self._remember(key, value)
                 return value, "sqlite"
         _m.STORE_MISSES.inc()
         return None, None
@@ -227,8 +246,18 @@ class ElectionService:
         self.store.put(op, chash, fresh)  # repair in place, serve the truth
         return fresh
 
+    def _remember(self, key: Tuple[str, str], value: Dict[str, Any]) -> None:
+        """Insert into the bounded memory tier, evicting LRU past capacity."""
+        with self._mu:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            if self.memory_limit is not None:
+                while len(self._memory) > self.memory_limit:
+                    self._memory.popitem(last=False)
+                    self.memory_evictions += 1
+
     def _insert(self, op: str, chash: str, value: Dict[str, Any]) -> None:
-        self._memory[(op, chash)] = value
+        self._remember((op, chash), value)
         if self.store is not None and self.write_through:
             self.store.put(op, chash, value)
 
@@ -265,35 +294,47 @@ class ElectionService:
         leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]] = {}
         waiting: List[Tuple[int, _InFlight]] = []
 
-        for i, (op, network, placement) in enumerate(queries):
-            if op not in OPS:
-                raise ServeError(f"unknown op {op!r}; one of {', '.join(OPS)}")
-            chash = query_key(op, network, placement)
-            key = (op, chash)
-            value, tier = self._lookup(op, chash, network, placement)
-            if value is not None:
-                results[i], src[i] = value, tier
-                continue
-            with self._mu:
-                if key in leading:
-                    leading[key][2].append(i)  # duplicate within this batch
-                    src[i] = "coalesced"
-                    _m.COALESCED.inc(op=op)
+        try:
+            for i, (op, network, placement) in enumerate(queries):
+                if op not in OPS:
+                    raise ServeError(
+                        f"unknown op {op!r}; one of {', '.join(OPS)}"
+                    )
+                chash = query_key(op, network, placement)
+                key = (op, chash)
+                value, tier = self._lookup(op, chash, network, placement)
+                if value is not None:
+                    results[i], src[i] = value, tier
                     continue
-                theirs = self._inflight.get(key)
-                if theirs is not None:  # another batch is computing it
-                    waiting.append((i, theirs))
-                    src[i] = "coalesced"
-                    _m.COALESCED.inc(op=op)
-                    continue
-                mine = _InFlight()
-                self._inflight[key] = mine
-                item = (op, network_payload(network), list(placement.homes))
-                leading[key] = (mine, item, [i])
-                src[i] = "compute"
+                with self._mu:
+                    if key in leading:
+                        leading[key][2].append(i)  # duplicate in this batch
+                        src[i] = "coalesced"
+                        _m.COALESCED.inc(op=op)
+                        continue
+                    theirs = self._inflight.get(key)
+                    if theirs is not None:  # another batch is computing it
+                        waiting.append((i, theirs))
+                        src[i] = "coalesced"
+                        _m.COALESCED.inc(op=op)
+                        continue
+                    mine = _InFlight()
+                    self._inflight[key] = mine
+                    item = (op, network_payload(network), list(placement.homes))
+                    leading[key] = (mine, item, [i])
+                    src[i] = "compute"
 
-        if leading:
-            self._run_leaders(leading, results)
+            if leading:
+                self._run_leaders(leading, results)
+        except BaseException as exc:
+            # A failure anywhere above — a later query raising in
+            # query_key/_lookup (non-simple network, corrupt store row) or
+            # the runner dying — must not strand the single-flight entries
+            # this call already registered: followers of an unresolved
+            # entry would block forever in ``event.wait()``.  Resolve them
+            # with the error and deregister before propagating.
+            self._abort_leaders(leading, exc)
+            raise
         for i, entry in waiting:
             entry.event.wait()
             if entry.error is not None:
@@ -309,20 +350,15 @@ class ElectionService:
         leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]],
         results: List[Optional[Dict[str, Any]]],
     ) -> None:
-        """Dispatch the distinct misses as one batch; publish to followers."""
+        """Dispatch the distinct misses as one batch; publish to followers.
+
+        Runner failures propagate; the caller's :meth:`_abort_leaders`
+        handler resolves and deregisters every registered entry.
+        """
         keys = list(leading)
         items = [leading[k][1] for k in keys]
         _m.BATCH_SIZE.observe(len(items))
-        try:
-            values = self.runner.map(compute_item, items)
-        except BaseException as exc:
-            with self._mu:
-                for key in keys:
-                    entry = leading[key][0]
-                    entry.error = exc
-                    entry.event.set()
-                    self._inflight.pop(key, None)
-            raise
+        values = self.runner.map(compute_item, items)
         with self._mu:
             for key, value in zip(keys, values):
                 entry, item, slots = leading[key]
@@ -334,6 +370,25 @@ class ElectionService:
                     results[i] = value
         for key, value in zip(keys, values):
             self._insert(key[0], key[1], value)
+
+    def _abort_leaders(
+        self,
+        leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]],
+        exc: BaseException,
+    ) -> None:
+        """Resolve this call's unresolved in-flight entries with ``exc``.
+
+        Idempotent: entries :meth:`_run_leaders` already published are
+        left untouched, and the ``is entry`` guard never deregisters a
+        fresh entry a concurrent batch registered for the same key.
+        """
+        with self._mu:
+            for key, (entry, _item, _slots) in leading.items():
+                if not entry.event.is_set():
+                    entry.error = exc
+                    entry.event.set()
+                if self._inflight.get(key) is entry:
+                    del self._inflight[key]
 
     # ------------------------------------------------------------------
     # Promotion and maintenance
@@ -349,7 +404,9 @@ class ElectionService:
         if self.store is None:
             raise ServeError("no persistent store configured")
         promoted = 0
-        for (op, chash), value in list(self._memory.items()):
+        with self._mu:
+            snapshot = list(self._memory.items())
+        for (op, chash), value in snapshot:
             if (op, chash) not in self.store:
                 self.store.put(op, chash, value)
                 promoted += 1
@@ -359,6 +416,8 @@ class ElectionService:
         """Tier sizes and health facts (for ``/healthz`` and reports)."""
         return {
             "memory_entries": len(self._memory),
+            "memory_limit": self.memory_limit,
+            "memory_evictions": self.memory_evictions,
             "inflight": len(self._inflight),
             "verify_mismatches": self.verify_mismatches,
             "store": self.store.stats() if self.store is not None else None,

@@ -54,7 +54,15 @@ def network_payload(network: AnonymousNetwork) -> Dict[str, Any]:
 
 
 def build_network(spec: Any) -> AnonymousNetwork:
-    """Materialize a network from a wire spec (named builder or edge list)."""
+    """Materialize a network from a wire spec (named builder or edge list).
+
+    Only **simple** networks are accepted: the canonical machinery the
+    cache is keyed by (:func:`repro.graphs.canonical.canonical_hash`) is
+    defined on simple underlying graphs, so self-loops and parallel edges
+    — which :class:`AnonymousNetwork` itself tolerates — must be rejected
+    here, at the wire boundary, as a 400 rather than deep in the compute
+    path.
+    """
     if not isinstance(spec, dict):
         raise ServeError("network spec must be a JSON object")
     if "graph" in spec:
@@ -71,27 +79,34 @@ def build_network(spec: Any) -> AnonymousNetwork:
         if not isinstance(args, list):
             raise ServeError("graph_args must be a JSON array")
         try:
-            return builder(*args)
+            network = builder(*args)
         except (ReproError, TypeError, ValueError) as exc:
             raise ServeError(f"graph builder {name!r} rejected {args!r}: {exc}")
-    if "edges" not in spec or "num_nodes" not in spec:
+    else:
+        if "edges" not in spec or "num_nodes" not in spec:
+            raise ServeError(
+                "network spec needs either 'graph' (+ 'graph_args') or "
+                "'num_nodes' + 'edges'"
+            )
+        edges = spec["edges"]
+        if not isinstance(edges, list) or not all(
+            isinstance(e, (list, tuple)) and len(e) == 4 for e in edges
+        ):
+            raise ServeError("edges must be an array of [u, port_u, v, port_v]")
+        try:
+            network = AnonymousNetwork(
+                int(spec["num_nodes"]),
+                [(int(u), pu, int(v), pv) for (u, pu, v, pv) in edges],
+                name=spec.get("name"),
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            raise ServeError(f"invalid network spec: {exc}")
+    if not network.is_simple:
         raise ServeError(
-            "network spec needs either 'graph' (+ 'graph_args') or "
-            "'num_nodes' + 'edges'"
+            "network must be simple (no self-loops or parallel edges): "
+            "canonical hashing is defined on simple graphs only"
         )
-    edges = spec["edges"]
-    if not isinstance(edges, list) or not all(
-        isinstance(e, (list, tuple)) and len(e) == 4 for e in edges
-    ):
-        raise ServeError("edges must be an array of [u, port_u, v, port_v]")
-    try:
-        return AnonymousNetwork(
-            int(spec["num_nodes"]),
-            [(int(u), pu, int(v), pv) for (u, pu, v, pv) in edges],
-            name=spec.get("name"),
-        )
-    except (ReproError, TypeError, ValueError) as exc:
-        raise ServeError(f"invalid network spec: {exc}")
+    return network
 
 
 def parse_query(payload: Any) -> Tuple[str, AnonymousNetwork, Placement]:

@@ -1,5 +1,6 @@
 """The HTTP layer: endpoints, error mapping, back-pressure, deadlines."""
 
+import socket
 import threading
 import time
 
@@ -7,9 +8,9 @@ import pytest
 
 from repro.core.placement import Placement
 from repro.graphs.builders import cycle_graph
-from repro.serve import ServeClient, ServeHTTPError
+from repro.serve import CanonicalStore, ElectionService, ServeClient, ServeHTTPError
 from repro.serve import metrics as sm
-from repro.serve.service import compute_payload
+from repro.serve.service import compute_payload, query_key
 from repro.serve.wire import canonical_json, query_payload
 
 C6 = {"graph": "cycle", "graph_args": [6]}
@@ -146,6 +147,89 @@ def test_over_capacity_burst_sheds_with_429(make_server):
     assert err.value.retry_after == 1.0
     assert sm.REJECTED.value(reason="queue-full") == 1
     assert filler_done.is_set()  # shedding never broke accepted work
+
+
+def test_bad_query_in_coalesced_batch_fails_only_itself(make_server, tmp_path):
+    # A corrupt store row makes one query raise inside answer_batch; the
+    # unrelated request that coalesced into the same batch window must
+    # still get its 200 (previously the whole batch shared the 500/400).
+    store = CanonicalStore(str(tmp_path / "cache.db"))
+    poisoned = query_key("feasibility", cycle_graph(6), Placement.of([0, 2]))
+    with store._lock, store._conn:
+        store._conn.execute(
+            "INSERT INTO entries (op, chash, value, created, last_used, hits)"
+            " VALUES ('feasibility', ?, '{not json', 0, 0, 0)",
+            (poisoned,),
+        )
+    server = make_server(ElectionService(store=store), batch_window=0.3)
+    status = {}
+
+    def hit(name, homes):
+        with ServeClient(port=server.port) as client:
+            try:
+                client.feasibility(C6, homes)
+                status[name] = 200
+            except ServeHTTPError as err:
+                status[name] = err.status
+
+    threads = [
+        threading.Thread(target=hit, args=("good", [0, 3])),
+        threading.Thread(target=hit, args=("poisoned", [0, 2])),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert status["good"] == 200  # unharmed by its batch-mate
+    assert status["poisoned"] == 400  # the corrupt row's ServeError
+
+
+def _raw_exchange(port: int, request: bytes) -> bytes:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(request)
+        response = b""
+        while b"\r\n\r\n" not in response:
+            data = sock.recv(65536)
+            if not data:
+                break
+            response += data
+    return response
+
+
+def test_header_flood_is_rejected_431(make_server):
+    server = make_server()
+    flood = (
+        b"GET /healthz HTTP/1.1\r\n"
+        + b"".join(b"X-Flood-%d: x\r\n" % i for i in range(200))
+        + b"\r\n"
+    )
+    response = _raw_exchange(server.port, flood)
+    assert response.startswith(b"HTTP/1.1 431")
+
+
+def test_transfer_encoding_is_rejected_501(make_server):
+    # Treating a chunked body as length 0 would desync the connection, so
+    # the server refuses what it does not implement.
+    server = make_server()
+    request = (
+        b"POST /v1/classify HTTP/1.1\r\n"
+        b"Transfer-Encoding: chunked\r\n"
+        b"\r\n"
+        b"5\r\nhello\r\n0\r\n\r\n"
+    )
+    response = _raw_exchange(server.port, request)
+    assert response.startswith(b"HTTP/1.1 501")
+
+
+def test_bad_content_length_is_400(make_server):
+    server = make_server()
+    request = (
+        b"POST /v1/classify HTTP/1.1\r\n"
+        b"Content-Length: banana\r\n"
+        b"\r\n"
+    )
+    response = _raw_exchange(server.port, request)
+    assert response.startswith(b"HTTP/1.1 400")
 
 
 def test_connection_keep_alive_reuses_the_socket(make_server):

@@ -1,11 +1,12 @@
 """ElectionService: cache tiers, batch dedup, promotion, verification."""
 
 import random
+import threading
 
 import pytest
 
 from repro.core.placement import Placement
-from repro.errors import ServeError
+from repro.errors import GraphError, ServeError
 from repro.graphs.builders import cycle_graph, path_graph, petersen_graph
 from repro.graphs.network import AnonymousNetwork
 from repro.serve import metrics as serve_metrics
@@ -180,6 +181,81 @@ def test_unknown_op_rejected():
     with ElectionService() as service:
         with pytest.raises(ServeError):
             service.answer("vote", cycle_graph(4), Placement.of([0]))
+
+
+def _poison_store_entry(store, op, chash):
+    """Plant a row whose value is not JSON (store.put can't write one)."""
+    with store._lock, store._conn:
+        store._conn.execute(
+            "INSERT INTO entries (op, chash, value, created, last_used, hits)"
+            " VALUES (?, ?, '{not json', 0, 0, 0)",
+            (op, chash),
+        )
+
+
+def _assert_answers_promptly(service, query):
+    # A stranded in-flight entry would block this forever; run it on a
+    # daemon thread so a regression fails the assertion instead of
+    # hanging the suite.
+    done = []
+    thread = threading.Thread(
+        target=lambda: done.append(service.answer(*query)), daemon=True
+    )
+    thread.start()
+    thread.join(timeout=30)
+    assert done, "follow-up query wedged on a stranded in-flight entry"
+
+
+def test_failed_batch_does_not_strand_inflight_entries():
+    # Regression: a query raising mid-claim (here: a non-simple network
+    # reaching the service layer directly) used to leave the entries the
+    # batch had already registered unresolved — every later duplicate
+    # then blocked forever on the never-set event.
+    good = classify_q(cycle_graph(6), [0, 3])
+    non_simple = AnonymousNetwork(2, [(0, 0, 1, 0), (0, 1, 1, 1)])
+    with ElectionService() as service:
+        with pytest.raises(GraphError):
+            service.answer_batch(
+                [good, ("classify", non_simple, Placement.of([0]))]
+            )
+        assert service.stats()["inflight"] == 0
+        _assert_answers_promptly(service, good)
+
+
+def test_corrupt_store_entry_fails_cleanly(tmp_path):
+    # Same leak through the other trigger: a corrupt persistent-store row
+    # raising ServeError out of _lookup after earlier keys registered.
+    op, net, placement = classify_q(cycle_graph(6), [0, 3])
+    store = CanonicalStore(str(tmp_path / "cache.db"))
+    _poison_store_entry(store, op, query_key(op, net, placement))
+    other = classify_q(path_graph(4), [0])
+    with ElectionService(store=store) as service:
+        with pytest.raises(ServeError, match="corrupt"):
+            service.answer_batch([other, (op, net, placement)])
+        assert service.stats()["inflight"] == 0
+        _assert_answers_promptly(service, other)
+
+
+def test_memory_tier_is_lru_bounded():
+    with ElectionService(memory_limit=2) as service:
+        queries = [classify_q(cycle_graph(n), [0]) for n in (4, 5, 6)]
+        for q in queries:
+            service.answer(*q)
+        stats = service.stats()
+        assert stats["memory_entries"] == 2
+        assert stats["memory_evictions"] == 1
+        # The evicted (oldest) entry recomputes with the same bytes.
+        sources = []
+        again = service.answer_batch([queries[0]], sources)
+        assert sources == ["compute"]
+        assert canonical_json(again[0]) == canonical_json(
+            compute_payload(*queries[0])
+        )
+
+
+def test_bad_memory_limit_rejected():
+    with pytest.raises(ServeError):
+        ElectionService(memory_limit=0)
 
 
 def test_serve_collector_is_registered():

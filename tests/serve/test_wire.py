@@ -60,6 +60,26 @@ def test_bad_network_specs_raise(spec):
         build_network(spec)
 
 
+@pytest.mark.parametrize(
+    "spec",
+    [
+        # self-loop at node 1 (two distinct ports, so the constructor
+        # itself accepts it)
+        {"num_nodes": 2, "edges": [[0, 0, 1, 0], [1, 1, 1, 2]]},
+        # parallel edges between 0 and 1
+        {"num_nodes": 2, "edges": [[0, 0, 1, 0], [0, 1, 1, 1]]},
+    ],
+)
+def test_non_simple_networks_rejected_at_the_wire(spec):
+    # Canonical hashing is defined on simple graphs only; loops and
+    # parallel edges must bounce as a 400 at parse time, not explode as a
+    # 500 deep inside the cache/compute path.
+    with pytest.raises(ServeError, match="simple"):
+        build_network(spec)
+    with pytest.raises(ServeError, match="simple"):
+        parse_query({"op": "feasibility", "network": spec, "homes": [0]})
+
+
 def test_parse_query_happy_path():
     payload = query_payload("classify", cycle_graph(6), [0, 3])
     op, network, placement = parse_query(payload)
