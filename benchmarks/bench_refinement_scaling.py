@@ -1,20 +1,28 @@
-"""Perf — worklist vs round-based view refinement at scale.
+"""Perf — refinement backend sweep: numpy kernel vs worklist vs seed baseline.
 
-Sweeps cycles, hypercubes and tori up to n ≈ 2000 nodes and measures the
-production worklist refinement (:func:`_refine_worklist`, with the hoisted
-per-network adjacency tables it ships with) against the seed all-nodes-
-every-round implementation (:func:`view_refinement_baseline`).
+Sweeps cycles, hypercubes and tori through the **public** entry
+``view_refinement(network, colors, kernel=...)`` for every backend the
+selector knows (``numpy`` / ``worklist`` / ``baseline``), up to n ≈ 2000
+for the three-way comparison and up to n ≈ 50 000 for the flat-array
+kernel alone (the Python backends would take minutes there).
 
 Every instance uses a *pointed* coloring (one distinguished node): the
 uniform coloring of a vertex-transitive graph is a refinement fixpoint
-after a single round for both implementations, so the pointed case is the
-one that exercises the splitter machinery — it drives the baseline to its
-Norris-bound worst case (Θ(diameter) full rounds) while the worklist only
-re-signs nodes adjacent to classes that actually split.
+after a single round for every backend, so the pointed case is the one
+that exercises the splitter/accelerator machinery — it drives the seed
+baseline to its Norris-bound worst case (Θ(diameter) full rounds).  Each
+timing rep points a *different* node — the families are vertex-transitive,
+so the instances are isomorphic (identical cost) but distinct memo keys,
+which keeps the per-``(backend, coloring)`` cache from short-circuiting
+repeated reps while the per-network flat buffers stay warm (their build is
+amortized across every query on the network, so it is warmed up front
+exactly like the worklist's adjacency tables).
 
-Asserts the two implementations induce the same partition, and that the
-worklist wins by ≥ 3× on every family at n ≥ 500.  The measured speedups
-land in the benchmark JSON (``extra_info``) for the regression comparator.
+Asserts all timed backends induce the same partition, that the worklist
+beats the seed baseline by ≥ 3× wherever the baseline is timed, and that
+the numpy kernel beats the worklist by ≥ 10× on every family at n ≥ 2000.
+The measured times and speedups land in the benchmark JSON
+(``extra_info``) for the regression comparator.
 """
 
 import time
@@ -23,26 +31,38 @@ import pytest
 
 from repro.graphs.builders import cycle_graph
 from repro.graphs.cayley import hypercube_cayley, torus_cayley
-from repro.graphs.views import (
-    _normalize_colors,
-    _refine_worklist,
-    refinement_adjacency,
-    view_refinement_baseline,
-)
-from repro.perf import invalidate, uncached
+from repro.graphs.views import refinement_adjacency, view_refinement
+from repro.perf import KERNELS, flat_network, invalidate
 
-#: (family, display size, constructor).  n >= 500 everywhere, up to ~2000.
+#: (family, display size, constructor, backends to time).  The three-way
+#: rows stop at n ≈ 2000; the large rows are numpy-only.
+FULL = tuple(KERNELS)  # ("numpy", "worklist", "baseline")
 SWEEP = [
-    ("cycle", 500, lambda: cycle_graph(500)),
-    ("cycle", 2000, lambda: cycle_graph(2000)),
-    ("hypercube", 512, lambda: hypercube_cayley(9).network),
-    ("hypercube", 1024, lambda: hypercube_cayley(10).network),
-    ("hypercube", 2048, lambda: hypercube_cayley(11).network),
-    ("torus", 506, lambda: torus_cayley([22, 23]).network),
-    ("torus", 2025, lambda: torus_cayley([45, 45]).network),
+    ("cycle", 500, lambda: cycle_graph(500), FULL),
+    ("cycle", 2000, lambda: cycle_graph(2000), FULL),
+    ("hypercube", 512, lambda: hypercube_cayley(9).network, FULL),
+    ("hypercube", 1024, lambda: hypercube_cayley(10).network, FULL),
+    ("hypercube", 2048, lambda: hypercube_cayley(11).network, FULL),
+    ("torus", 506, lambda: torus_cayley([22, 23]).network, FULL),
+    ("torus", 2025, lambda: torus_cayley([45, 45]).network, FULL),
+    ("cycle", 50000, lambda: cycle_graph(50000), ("numpy",)),
+    ("hypercube", 32768, lambda: hypercube_cayley(15).network, ("numpy",)),
+    ("torus", 50176, lambda: torus_cayley([224, 224]).network, ("numpy",)),
 ]
 
-MIN_SPEEDUP = 3.0
+MIN_NUMPY_SPEEDUP = 10.0  # numpy vs worklist, n >= 2000
+MIN_WORKLIST_SPEEDUP = 3.0  # worklist vs seed baseline, wherever timed
+_NUMPY_ASSERT_NODES = 2000
+
+#: Timing reps per backend, by (backend, small instance?).
+_REPS = {
+    ("numpy", True): 5,
+    ("numpy", False): 3,
+    ("worklist", True): 5,
+    ("worklist", False): 3,
+    ("baseline", True): 2,
+    ("baseline", False): 1,
+}
 
 
 def partition_of(ids):
@@ -52,50 +72,90 @@ def partition_of(ids):
     return sorted(tuple(members) for members in buckets.values())
 
 
+def _pointed(n, node):
+    colors = [0] * n
+    colors[node] = 1
+    return colors
+
+
+def _time_backend(net, backend, reps):
+    """Best-of-``reps`` seconds; returns (ids of the node-0 instance, best).
+
+    Rep ``k`` points node ``k`` — an isomorphic instance on these
+    vertex-transitive families, but a fresh memo key, so every rep is a
+    real refinement run.
+    """
+    n = net.num_nodes
+    best = float("inf")
+    ids0 = None
+    for k in range(reps):
+        colors = _pointed(n, k)
+        start = time.perf_counter()
+        ids = view_refinement(net, colors, kernel=backend)
+        best = min(best, time.perf_counter() - start)
+        if k == 0:
+            ids0 = ids
+    return ids0, best
+
+
 @pytest.mark.parametrize(
-    "family,size,build", SWEEP, ids=[f"{f}-{n}" for f, n, _ in SWEEP]
+    "family,size,build,backends",
+    SWEEP,
+    ids=[f"{f}-{n}" for f, n, _, _ in SWEEP],
 )
-def test_bench_refinement_scaling(benchmark, family, size, build):
+def test_bench_refinement_scaling(benchmark, family, size, build, backends):
     net = build()
-    colors = [1] + [0] * (net.num_nodes - 1)  # pointed: the hard case
-    refinement_adjacency(net)  # the hoisted tables the production path uses
-    ncols = _normalize_colors(net, colors)
+    small = size < 1500
+    # Warm the per-network tables each backend amortizes across queries.
+    flat_network(net)
+    if "worklist" in backends or "baseline" in backends:
+        refinement_adjacency(net)
 
-    worklist_rounds = 5 if size < 1500 else 3
-    worklist_best = min(
-        _timed(_refine_worklist, net, ncols)[1] for _ in range(worklist_rounds)
+    seconds = {}
+    partitions = {}
+    for backend in backends:
+        ids, best = _time_backend(net, backend, _REPS[(backend, small)])
+        seconds[backend] = best
+        partitions[backend] = partition_of(ids)
+    reference = partitions["numpy"]
+    for backend in backends:
+        assert partitions[backend] == reference, (
+            f"{family} n={size}: {backend} disagrees with numpy partition"
+        )
+
+    numpy_ids = benchmark.pedantic(
+        view_refinement,
+        args=(net, _pointed(size, size - 1)),
+        kwargs={"kernel": "numpy"},
+        rounds=1,
+        iterations=1,
     )
-    baseline_rounds = 2 if size < 1500 else 1
-    with uncached():
-        baseline_results = [
-            _timed(view_refinement_baseline, net, colors)
-            for _ in range(baseline_rounds)
-        ]
-    baseline_best = min(seconds for (_, seconds) in baseline_results)
+    assert partition_of(numpy_ids) == reference
 
-    worklist_ids = benchmark.pedantic(
-        _refine_worklist, args=(net, ncols), rounds=1, iterations=1
-    )
-    assert partition_of(worklist_ids) == partition_of(baseline_results[0][0])
-
-    speedup = baseline_best / worklist_best
     benchmark.extra_info["family"] = family
     benchmark.extra_info["nodes"] = size
-    benchmark.extra_info["baseline_seconds"] = baseline_best
-    benchmark.extra_info["worklist_seconds"] = worklist_best
-    benchmark.extra_info["speedup"] = round(speedup, 2)
-    print(
-        f"\n{family} n={size}: worklist {worklist_best:.4f}s, "
-        f"seed {baseline_best:.4f}s, speedup {speedup:.1f}x"
+    for backend in backends:
+        benchmark.extra_info[f"{backend}_seconds"] = seconds[backend]
+    line = f"\n{family} n={size}: " + ", ".join(
+        f"{b} {seconds[b]:.4f}s" for b in backends
     )
-    assert speedup >= MIN_SPEEDUP, (
-        f"{family} n={size}: worklist only {speedup:.2f}x faster than the "
-        f"seed refinement (need >= {MIN_SPEEDUP}x)"
-    )
+
+    if "worklist" in seconds:
+        numpy_speedup = seconds["worklist"] / seconds["numpy"]
+        benchmark.extra_info["numpy_speedup"] = round(numpy_speedup, 2)
+        line += f", numpy {numpy_speedup:.1f}x vs worklist"
+        if size >= _NUMPY_ASSERT_NODES:
+            assert numpy_speedup >= MIN_NUMPY_SPEEDUP, (
+                f"{family} n={size}: numpy kernel only {numpy_speedup:.2f}x "
+                f"faster than the worklist (need >= {MIN_NUMPY_SPEEDUP}x)"
+            )
+    if "baseline" in seconds and "worklist" in seconds:
+        worklist_speedup = seconds["baseline"] / seconds["worklist"]
+        benchmark.extra_info["worklist_speedup"] = round(worklist_speedup, 2)
+        line += f", worklist {worklist_speedup:.1f}x vs seed"
+        assert worklist_speedup >= MIN_WORKLIST_SPEEDUP, (
+            f"{family} n={size}: worklist only {worklist_speedup:.2f}x faster "
+            f"than the seed refinement (need >= {MIN_WORKLIST_SPEEDUP}x)"
+        )
+    print(line)
     invalidate(net)
-
-
-def _timed(fn, *args):
-    start = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - start

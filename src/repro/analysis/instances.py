@@ -67,10 +67,72 @@ def evaluate_battery(
     can reduce them exactly as a serial loop would (the Table 1 cells are
     byte-identical for any worker count).  ``evaluate`` must be a picklable
     module-level callable when ``workers > 1`` with the process executor.
+
+    Batteries are runs of consecutive instances over the same network (see
+    :func:`instances_for`); each run's network crosses into process workers
+    once as shared-memory flat buffers via
+    :meth:`~repro.perf.parallel.ParallelBatteryRunner.map_on_network`,
+    and workers rebuild the ``Instance`` around the attached network — the
+    per-task payload shrinks to ``(placement, family)`` plus any extra
+    tuple elements.  Items may be bare instances or tuples whose first
+    element is the instance (the ``(instance, seed)`` shape of the Table 1
+    batteries); anything else falls back to the plain pickled map.
     """
     if runner is None:
         runner = ParallelBatteryRunner(workers=workers)
-    return runner.map(evaluate, list(instances))
+    instances = list(instances)
+    if runner.is_serial or len(instances) <= 1:
+        return runner.map(evaluate, instances)
+    anchors = [_instance_of(item) for item in instances]
+    if any(anchor is None for anchor in anchors):
+        return runner.map(evaluate, instances)
+    results: List[object] = []
+    adapter = _EvaluateOnNetwork(evaluate)
+    start = 0
+    while start < len(instances):
+        network = anchors[start].network
+        stop = start
+        while stop < len(instances) and anchors[stop].network is network:
+            stop += 1
+        payloads = [
+            _strip_network(instances[k], anchors[k]) for k in range(start, stop)
+        ]
+        results.extend(runner.map_on_network(adapter, network, payloads))
+        start = stop
+    return results
+
+
+def _instance_of(item: object) -> Optional[Instance]:
+    """The instance anchoring an item (bare, or first element of a tuple)."""
+    if isinstance(item, Instance):
+        return item
+    if isinstance(item, tuple) and item and isinstance(item[0], Instance):
+        return item[0]
+    return None
+
+
+def _strip_network(item: object, anchor: Instance) -> Tuple:
+    """The network-free payload shipped per task: (placement, family, rest).
+
+    ``rest`` is ``None`` for a bare instance and the trailing tuple elements
+    otherwise, so the worker can rebuild the exact original item shape.
+    """
+    rest = None if isinstance(item, Instance) else tuple(item[1:])
+    return (anchor.placement, anchor.family, rest)
+
+
+class _EvaluateOnNetwork:
+    """Picklable adapter rebuilding the original item worker-side."""
+
+    def __init__(self, evaluate: Callable[[Instance], object]):
+        self.evaluate = evaluate
+
+    def __call__(self, network: AnonymousNetwork, item: Tuple) -> object:
+        placement, family, rest = item
+        instance = Instance(network, placement, family)
+        if rest is None:
+            return self.evaluate(instance)
+        return self.evaluate((instance, *rest))
 
 
 def instances_for(

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tup
 
 from ..errors import GraphError
 from ..perf import cache as _cache
+from ..perf.kernel import DigraphKernel, resolve_kernel
 
 if False:  # pragma: no cover - typing only
     from .network import AnonymousNetwork
@@ -111,18 +112,42 @@ def _normalize_palette(colors: Sequence[Hashable]) -> List[int]:
     """
     if all(isinstance(c, int) for c in colors):
         return [int(c) for c in colors]
-    ranked = {c: i for i, c in enumerate(sorted(set(colors), key=repr))}
+    palette = set(colors)
+    by_repr: Dict[str, Hashable] = {}
+    for c in palette:
+        other = by_repr.setdefault(repr(c), c)
+        if other is not c:
+            raise GraphError(
+                f"ambiguous digraph color palette: distinct colors {other!r} "
+                f"and {c!r} share a repr; pre-normalize the palette to ints"
+            )
+    ranked = {c: i for i, c in enumerate(sorted(palette, key=repr))}
     return [ranked[c] for c in colors]
 
 
-def digraph_refinement(g: Digraph, initial: Sequence[int]) -> List[int]:
+def digraph_refinement(
+    g: Digraph, initial: Sequence[int], kernel: Optional[str] = None
+) -> List[int]:
     """Coarsest equitable partition of a digraph refining ``initial``.
 
     Node signature = (class, sorted out-neighbor classes, sorted in-neighbor
     classes).  New class ids are assigned by sorted signature so the result
     is isomorphism-invariant: isomorphic digraphs (with matching initial
     colorings) receive identical class-id structures.
+
+    ``kernel`` selects the backend (:data:`repro.perf.kernel.KERNELS`):
+    the numpy kernel reproduces this function's numbering bit-for-bit, so
+    canonical encodings — and the pinned ``canonical_hash`` goldens — are
+    identical under every backend.  ``"worklist"`` and ``"baseline"`` both
+    mean this Python reference (there is no splitter-queue variant here).
     """
+    if resolve_kernel(kernel) == "numpy":
+        return DigraphKernel(g).refine(initial)
+    return _digraph_refinement_python(g, initial)
+
+
+def _digraph_refinement_python(g: Digraph, initial: Sequence[int]) -> List[int]:
+    """The per-node tuple/sort reference implementation (parity oracle)."""
     classes = list(initial)
     preds = g.in_edges()
     while True:
@@ -163,17 +188,31 @@ def _encode_ordering(g: Digraph, order: Sequence[int]) -> Tuple[Tuple[int, ...],
     return colors_row, bytes(bits)
 
 
-def canonical_encoding(g: Digraph) -> Tuple[Tuple[int, ...], bytes]:
+def _make_refiner(g: Digraph, kernel: Optional[str]):
+    """One refinement callable for a whole individualization–refinement
+    search: the numpy backend prebuilds the flat digraph buffers once and
+    reuses them across the hundreds of re-refinements the recursion makes.
+    """
+    if resolve_kernel(kernel) == "numpy":
+        return DigraphKernel(g).refine
+    return lambda classes: _digraph_refinement_python(g, classes)
+
+
+def canonical_encoding(
+    g: Digraph, kernel: Optional[str] = None
+) -> Tuple[Tuple[int, ...], bytes]:
     """Minimum encoding over all refinement-consistent orderings.
 
     Implements individualization–refinement; leaves are discrete partitions,
-    each giving a candidate encoding, and the minimum is canonical.
+    each giving a candidate encoding, and the minimum is canonical.  The
+    result is backend-independent (the kernels agree bit-for-bit).
     """
     base_colors = _normalize_palette(g.colors)
+    refine = _make_refiner(g, kernel)
     best: List[Optional[Tuple[Tuple[int, ...], bytes]]] = [None]
 
     def recurse(classes: List[int]) -> None:
-        classes = digraph_refinement(g, classes)
+        classes = refine(classes)
         cells: Dict[int, List[int]] = {}
         for node, cid in enumerate(classes):
             cells.setdefault(cid, []).append(node)
@@ -217,7 +256,7 @@ def canonical_key(g: Digraph) -> CanonicalKey:
     )
 
 
-def canonical_node_order(g: Digraph) -> List[int]:
+def canonical_node_order(g: Digraph, kernel: Optional[str] = None) -> List[int]:
     """A canonical ordering of the nodes (the argmin ordering).
 
     Ties across automorphic nodes are broken arbitrarily but consistently:
@@ -225,10 +264,11 @@ def canonical_node_order(g: Digraph) -> List[int]:
     isomorphism.  Used to pick canonical representatives deterministically.
     """
     base_colors = _normalize_palette(g.colors)
+    refine = _make_refiner(g, kernel)
     best: List[Optional[Tuple[Tuple[Tuple[int, ...], bytes], Tuple[int, ...]]]] = [None]
 
     def recurse(classes: List[int]) -> None:
-        classes = digraph_refinement(g, classes)
+        classes = refine(classes)
         cells: Dict[int, List[int]] = {}
         for node, cid in enumerate(classes):
             cells.setdefault(cid, []).append(node)

@@ -59,6 +59,13 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import GraphError
 from ..perf import cache as _cache
+from ..perf.kernel import (  # noqa: F401  (re-exported selector surface)
+    KERNELS,
+    default_kernel,
+    refine_numpy,
+    resolve_kernel,
+    set_default_kernel,
+)
 from .network import AnonymousNetwork, PortLabel
 
 NodeColoring = Sequence[Hashable]
@@ -119,8 +126,19 @@ def _normalize_colors(
         )
     if all(isinstance(c, int) for c in node_colors):
         return [int(c) for c in node_colors]
+    palette = set(node_colors)
+    by_repr: Dict[str, Hashable] = {}
+    for c in palette:
+        other = by_repr.setdefault(repr(c), c)
+        if other is not c:
+            # Two distinct colors with one repr would silently merge under
+            # the repr ranking — reject instead of corrupting the partition.
+            raise GraphError(
+                f"ambiguous node-color palette: distinct colors {other!r} and "
+                f"{c!r} share a repr; pre-normalize the palette to ints"
+            )
     ranked: Dict[Hashable, int] = {
-        c: i for i, c in enumerate(sorted(set(node_colors), key=repr))
+        c: i for i, c in enumerate(sorted(palette, key=repr))
     }
     return [ranked[c] for c in node_colors]
 
@@ -310,25 +328,42 @@ def view_refinement(
     network: AnonymousNetwork,
     node_colors: Optional[NodeColoring] = None,
     max_rounds: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> List[int]:
     """The view-equivalence partition, as a class id per node.
 
-    The fixpoint partition is computed by worklist refinement (see the
-    module notes) and memoized per ``(network, coloring)``; the cache-miss
-    count in ``repro.perf.cache_stats()["view_refinement"]`` is the number
-    of actual refinement runs.  ``max_rounds`` requests the depth-limited
-    classes instead, which only the round-based reference implementation
-    defines — those calls bypass the cache.
+    The fixpoint partition is computed by the selected backend and memoized
+    per ``(network, kernel, coloring)``; the cache-miss count in
+    ``repro.perf.cache_stats()["view_refinement"]`` is the number of actual
+    refinement runs.  ``kernel`` selects the backend: ``"numpy"`` (the
+    flat-array vectorized kernel, the default), ``"worklist"`` (the
+    Paige–Tarjan splitter queue) or ``"baseline"`` (the seed
+    all-nodes-every-round loop); ``None`` resolves to the process default
+    (``repro.perf.kernel.set_default_kernel`` /
+    ``REPRO_REFINEMENT_KERNEL``).  All backends induce the same partition
+    with equivariant ids; the *numbering* is per-backend (each is
+    canonical on its own, which is all the id-based orders need).
+    ``max_rounds`` requests the depth-limited classes instead, which only
+    the round-based reference implementation defines — those calls bypass
+    the cache and the selector.
     """
     if max_rounds is not None:
         return view_refinement_baseline(network, node_colors, max_rounds)
+    backend = resolve_kernel(kernel)
+
+    def compute() -> Tuple[int, ...]:
+        if backend == "baseline":
+            return tuple(view_refinement_baseline(network, node_colors))
+        colors = _normalize_colors(network, node_colors)
+        if backend == "worklist":
+            return tuple(_refine_worklist(network, colors))
+        return tuple(refine_numpy(network, colors))
+
     ids = _cache.memo(
         network,
         "view_refinement",
-        _colors_key(node_colors),
-        lambda: tuple(
-            _refine_worklist(network, _normalize_colors(network, node_colors))
-        ),
+        (backend, _colors_key(node_colors)),
+        compute,
     )
     return list(ids)
 

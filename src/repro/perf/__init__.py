@@ -10,10 +10,19 @@ funnels through the view-refinement and canonical-form machinery in
   ``views_equal``, ``symmetricity_of_labeling``, ``view_quotient``,
   ``surrounding_key`` and ``canonical_key``, with hit/miss counters, an
   explicit ``invalidate`` and an ``uncached()`` escape hatch;
+* :mod:`repro.perf.kernel` — the flat-array refinement kernel: CSR-style
+  numpy buffers per network (:func:`flat_network`), the vectorized
+  refinement passes behind the ``kernel="numpy" | "worklist" | "baseline"``
+  selector (:func:`default_kernel` / :func:`set_default_kernel` /
+  ``REPRO_REFINEMENT_KERNEL``), and the exact-parity digraph kernel the
+  canonical machinery uses;
 * :mod:`repro.perf.parallel` — :class:`ParallelBatteryRunner`, a
   ``concurrent.futures`` fan-out over independent election instances with
   deterministic result ordering (used by ``reproduce_table1`` and the
-  instance batteries);
+  instance batteries), including the shared-memory ``map_on_network`` path;
+* :mod:`repro.perf.shm` — one-shot shared-memory export of a network's
+  flat buffers for process workers (:func:`~repro.perf.shm.export_network`
+  / :func:`~repro.perf.shm.attach_network`);
 * :mod:`repro.perf.bench_compare` — the benchmark-regression comparator
   (``python -m repro.perf.bench_compare baseline.json current.json``).
 
@@ -34,11 +43,29 @@ from .cache import (
     stats_rows,
     uncached,
 )
+from .kernel import (
+    KERNELS,
+    default_kernel,
+    flat_network,
+    refine_numpy,
+    resolve_kernel,
+    set_default_kernel,
+)
 from .parallel import ParallelBatteryRunner, parallel_map
+from .shm import SharedNetworkHandle, attach_network, export_network
 
 __all__ = [
+    "KERNELS",
     "ParallelBatteryRunner",
+    "SharedNetworkHandle",
+    "attach_network",
+    "default_kernel",
+    "export_network",
+    "flat_network",
     "parallel_map",
+    "refine_numpy",
+    "resolve_kernel",
+    "set_default_kernel",
     "cache_enabled",
     "cache_stats",
     "invalidate",

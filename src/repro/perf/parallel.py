@@ -17,6 +17,13 @@ for existing callers until they opt in.
 The evaluation function and items must be picklable for the process
 executor (module-level functions over :class:`~repro.analysis.instances`
 batteries are; see ``repro.analysis.matrix``).
+
+Big-network batteries should use :meth:`ParallelBatteryRunner.map_on_network`:
+the network crosses into the workers **once** as shared-memory flat buffers
+(see :mod:`repro.perf.shm`) instead of being re-pickled with every task
+chunk, and each per-item payload shrinks to the item plus a handle of a few
+dozen bytes.  Results remain byte-identical to the serial loop for any
+worker count.
 """
 
 from __future__ import annotations
@@ -25,9 +32,11 @@ import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs.registry import get_registry
+from . import shm as _shm
+from .kernel import default_kernel, set_default_kernel
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -75,6 +84,9 @@ class ParallelBatteryRunner:
         self.chunksize = chunksize
         self._pool: Optional[Any] = None
         self._pool_lock = threading.Lock()
+        #: Shared-memory exports made by :meth:`map_on_network`, keyed by
+        #: network identity (the network is pinned so ids cannot recycle).
+        self._exports: Dict[int, Tuple[Any, _shm.NetworkExport]] = {}
 
     @property
     def is_serial(self) -> bool:
@@ -89,15 +101,23 @@ class ParallelBatteryRunner:
                 if self.executor == "thread":
                     self._pool = ThreadPoolExecutor(max_workers=self.workers)
                 else:
-                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_worker_init,
+                        initargs=(default_kernel(),),
+                    )
             return self._pool
 
     def close(self) -> None:
-        """Shut the pool down (the runner can be reused; a new pool spawns)."""
+        """Shut the pool down and release shared-memory exports (the runner
+        can be reused; a new pool spawns and networks re-export lazily)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            exports, self._exports = self._exports, {}
         if pool is not None:
             pool.shutdown()
+        for _, export in exports.values():
+            export.release()
 
     def __enter__(self) -> "ParallelBatteryRunner":
         return self
@@ -155,6 +175,33 @@ class ParallelBatteryRunner:
         """Like :meth:`map` but unpacks each item as ``fn(*item)``."""
         return self.map(_Star(fn), list(map(tuple, items)))
 
+    def map_on_network(
+        self, fn: Callable[[Any, T], R], network: Any, items: Sequence[T]
+    ) -> List[R]:
+        """Apply ``fn(network, item)`` to every item; results in input order.
+
+        On the process executor the network is exported once into shared
+        memory (per runner, per network — reused across calls) and workers
+        rebuild it once per process from the flat buffers, so the per-task
+        pickle payload is the item plus a handle instead of the network
+        object graph.  Serial and thread executions call ``fn`` directly on
+        the original network.  Every path evaluates the same pure function
+        on an identical network, so results are byte-identical to serial
+        for any worker count.
+        """
+        items = list(items)
+        if self.is_serial or len(items) <= 1 or self.executor == "thread":
+            return self.map(_Bound(fn, network), items)
+        return self.map(_Attached(fn, self._export(network).handle), items)
+
+    def _export(self, network: Any) -> _shm.NetworkExport:
+        with self._pool_lock:
+            entry = self._exports.get(id(network))
+            if entry is None or entry[0] is not network:
+                entry = (network, _shm.export_network(network))
+                self._exports[id(network)] = entry
+            return entry[1]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "serial" if self.is_serial else self.executor
         return f"ParallelBatteryRunner(workers={self.workers}, {mode})"
@@ -168,6 +215,36 @@ class _Star:
 
     def __call__(self, args: Sequence[Any]) -> Any:
         return self.fn(*args)
+
+
+class _Bound:
+    """``fn(network, item)`` with the network bound in-process (serial and
+    thread paths of :meth:`ParallelBatteryRunner.map_on_network`)."""
+
+    def __init__(self, fn: Callable[[Any, Any], Any], network: Any):
+        self.fn = fn
+        self.network = network
+
+    def __call__(self, item: Any) -> Any:
+        return self.fn(self.network, item)
+
+
+class _Attached:
+    """``fn(network, item)`` with the network re-attached from shared memory
+    in the worker (cached per process, so the rebuild happens once)."""
+
+    def __init__(self, fn: Callable[[Any, Any], Any], handle: _shm.SharedNetworkHandle):
+        self.fn = fn
+        self.handle = handle
+
+    def __call__(self, item: Any) -> Any:
+        return self.fn(_shm.attach_network(self.handle), item)
+
+
+def _worker_init(kernel: str) -> None:
+    """Process-pool initializer: mirror the parent's refinement backend so a
+    parallel battery computes with exactly the kernels serial would use."""
+    set_default_kernel(kernel)
 
 
 def parallel_map(

@@ -1,0 +1,226 @@
+"""Shared-memory export of networks for parallel battery workers.
+
+``ParallelBatteryRunner`` used to ship every task chunk as a pickled
+``(Instance, …)`` tuple, re-serializing the same ``AnonymousNetwork``
+object graph once per chunk — the dominant IPC cost for big-network
+batteries.  This module exports a network **once** into a
+``multiprocessing.shared_memory`` segment as flat integer buffers:
+
+* the edge table as four ``int64`` rows ``(u, port-index@u, v,
+  port-index@v)`` — node indices and *indices into a symbol table*, so the
+  arbitrary hashable port labels survive the trip;
+* one small pickled blob holding ``(symbol table, name, num_nodes)``.
+
+Workers receive a :class:`SharedNetworkHandle` (a few dozen bytes), map
+the segment read-only, and rebuild the network exactly once per process
+(an attach-side cache keyed by segment name makes every later task on the
+same network free).  The rebuilt network is **equal in content** to the
+original — same node indexing, same edge records in the same order, same
+port labels — so results are byte-identical to the serial path.
+
+When ``multiprocessing.shared_memory`` is unavailable (or segment creation
+fails, e.g. ``/dev/shm`` is full), the handle degrades to carrying the
+pickled network inline: same API, the old per-task cost, no new failure
+mode.
+
+Lifetime: the **creator** owns the segment.  :class:`NetworkExport` keeps
+it alive for as long as tasks may reference it and unlinks it on
+``release()`` (``ParallelBatteryRunner.close`` releases every export it
+made).  Attaching registers the segment with a ``resource_tracker`` a
+second time on CPython ≤ 3.12 (bpo-39959); whether that needs undoing
+depends on *which* tracker fielded it.  A worker with its **own** tracker
+(spawn start method) must unregister, or its tracker unlinks the segment
+when the worker exits, destroying it for everyone.  A worker that
+**shares** the creator's tracker (fork start method inherits it) must NOT
+unregister — the tracker's cache is a set, so the attach-side register was
+a no-op and an unregister would erase the creator's sole entry, making the
+creator's later ``unlink()`` race the tracker.  The handle carries the
+creator's tracker pid so :func:`attach_network` can tell the two apart.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - all supported CPythons have it
+    _resource_tracker = None
+    _shm = None
+    HAVE_SHARED_MEMORY = False
+
+#: Rows of the flat edge table: u, port-index@u, v, port-index@v.
+_EDGE_ROWS = 4
+
+#: Attached networks kept alive per worker process (segment name -> network).
+_ATTACH_CACHE_LIMIT = 4
+_attach_cache: Dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class SharedNetworkHandle:
+    """Picklable address of an exported network.
+
+    ``segment`` is the shared-memory name, or ``None`` when the export fell
+    back to carrying the pickled network ``payload`` inline.
+    """
+
+    segment: Optional[str]
+    num_edges: int
+    blob_len: int
+    #: Pid of the creator's resource-tracker process (0 if undetermined).
+    tracker_pid: int = 0
+    payload: Optional[bytes] = field(default=None, repr=False)
+
+
+def _tracker_pid() -> int:
+    """Pid of this process's resource-tracker process (0 if undetermined).
+
+    Forked children inherit the parent's tracker, spawned children get
+    their own — comparing pids is what distinguishes the two cases in
+    :func:`attach_network`.
+    """
+    if _resource_tracker is None:  # pragma: no cover
+        return 0
+    try:
+        return int(_resource_tracker._resource_tracker._pid or 0)
+    except Exception:  # pragma: no cover - tracker API drift
+        return 0
+
+
+class NetworkExport:
+    """Creator-side ownership of one exported network.
+
+    Holds the segment open until :meth:`release`; the cheap ``handle`` is
+    what crosses the process boundary.
+    """
+
+    def __init__(self, network: Any):
+        self._segment: Optional[Any] = None
+        edges = network.edges()
+        m = len(edges)
+        symbols: List[Any] = []
+        index: Dict[Any, int] = {}
+
+        def sym(label: Any) -> int:
+            pos = index.get(label)
+            if pos is None:
+                pos = index[label] = len(symbols)
+                symbols.append(label)
+            return pos
+
+        table = np.empty((_EDGE_ROWS, m), dtype=np.int64)
+        for k, (u, pu, v, pv) in enumerate(edges):
+            table[0, k] = u
+            table[1, k] = sym(pu)
+            table[2, k] = v
+            table[3, k] = sym(pv)
+        blob = pickle.dumps(
+            (tuple(symbols), network.name, network.num_nodes),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        if HAVE_SHARED_MEMORY:
+            try:
+                segment = _shm.SharedMemory(
+                    create=True, size=max(1, table.nbytes + len(blob))
+                )
+            except OSError:  # pragma: no cover - /dev/shm exhaustion
+                segment = None
+            if segment is not None:
+                view = np.ndarray(table.shape, dtype=np.int64, buffer=segment.buf)
+                view[:] = table
+                segment.buf[table.nbytes : table.nbytes + len(blob)] = blob
+                self._segment = segment
+                self.handle = SharedNetworkHandle(
+                    segment.name, m, len(blob), _tracker_pid()
+                )
+                return
+        self.handle = SharedNetworkHandle(
+            None, m, 0, payload=pickle.dumps(network, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - backstop
+        self.release()
+
+
+def export_network(network: Any) -> NetworkExport:
+    """Export a network's flat buffers into shared memory."""
+    return NetworkExport(network)
+
+
+def attach_network(handle: SharedNetworkHandle) -> Any:
+    """Rebuild the network a handle points at (worker side, cached).
+
+    The first attach per (process, segment) copies the buffers out, rebuilds
+    the :class:`~repro.graphs.network.AnonymousNetwork` and caches it; later
+    attaches are dictionary hits.  The segment itself is closed again before
+    returning — nothing in the rebuilt network aliases shared memory.
+    """
+    from ..graphs.network import AnonymousNetwork
+
+    if handle.segment is None:
+        return pickle.loads(handle.payload)
+    cached = _attach_cache.get(handle.segment)
+    if cached is not None:
+        return cached
+    segment = _shm.SharedMemory(name=handle.segment)
+    try:
+        table = np.array(
+            np.ndarray(
+                (_EDGE_ROWS, handle.num_edges), dtype=np.int64, buffer=segment.buf
+            )
+        )
+        start = table.nbytes
+        symbols, name, num_nodes = pickle.loads(
+            bytes(segment.buf[start : start + handle.blob_len])
+        )
+    finally:
+        if _tracker_pid() != handle.tracker_pid:
+            # Our own tracker registered the attach (spawn / unrelated
+            # process): unregister, or it unlinks the segment at exit.
+            # With the creator's tracker (same process, or fork-inherited)
+            # the register was a set no-op and the entry is the creator's —
+            # unregistering would orphan the creator's unlink().
+            _untrack(segment)
+        segment.close()
+    records = [
+        (int(table[0, k]), symbols[table[1, k]], int(table[2, k]), symbols[table[3, k]])
+        for k in range(handle.num_edges)
+    ]
+    network = AnonymousNetwork(num_nodes, records, name=name)
+    if len(_attach_cache) >= _ATTACH_CACHE_LIMIT:
+        _attach_cache.pop(next(iter(_attach_cache)))
+    _attach_cache[handle.segment] = network
+    return network
+
+
+def _untrack(segment: Any) -> None:
+    """Stop this process's resource tracker from unlinking on exit.
+
+    Attaching registers the segment with the tracker on CPython ≤ 3.12
+    (bpo-39959), so a worker exiting would silently destroy the creator's
+    segment.  Only the creator may unlink.
+    """
+    if _resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        _resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift
+        pass

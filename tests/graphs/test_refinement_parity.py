@@ -1,32 +1,37 @@
-"""Parity properties for the worklist view refinement.
+"""Parity properties for the view-refinement backends.
 
-Three independent computations of view equivalence must induce the *same
+Four independent computations of view equivalence must induce the *same
 partition* on every network (simple, multi-edge, or looped):
 
-* the production worklist refinement (``view_refinement``),
+* the flat-array numpy kernel (``view_refinement`` with ``kernel="numpy"``,
+  the production default),
+* the Paige–Tarjan worklist refinement (``kernel="worklist"``),
 * the round-based reference implementation (``view_refinement_baseline``,
   the Norris bound made executable), and
 * grouping nodes by their depth-``(n-1)`` :func:`view_tree` encodings
   (Norris's theorem: depth ``n-1`` suffices to decide view equivalence).
 
 Also pinned here: cached and uncached calls agree, ``max_rounds`` routes to
-the round-based semantics, and the worklist's canonical class ids are
-equivariant under node renumbering (the property ``view_order_leader``'s
-correctness rests on).
+the round-based semantics, and every backend's canonical class ids are
+equivariant under node renumbering and under globally-consistent port
+relabelings (the properties ``view_order_leader``'s correctness rests on).
 """
 
 import random
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.graphs.builders import cycle_graph, petersen_graph
+from repro.graphs.cayley import hypercube_cayley, torus_cayley
 from repro.graphs.network import AnonymousNetwork
 from repro.graphs.views import (
     view_refinement,
     view_refinement_baseline,
     view_tree,
 )
-from repro.perf import uncached
+from repro.perf import KERNELS, uncached
 
 SETTINGS = settings(
     max_examples=60,
@@ -151,3 +156,93 @@ def test_class_ids_equivariant_under_renumbering(net, perm_seed):
     assert all(
         permuted_ids[perm[v]] == ids[v] for v in net.nodes()
     )
+
+
+# ----------------------------------------------------------------------
+# Three-backend parity (numpy / worklist / baseline)
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(colored_networks())
+def test_all_backends_same_partition(case):
+    """The cross-backend contract: one partition, whatever computes it."""
+    net, colors = case
+    with uncached():
+        parts = {
+            k: partition_of(view_refinement(net, colors, kernel=k))
+            for k in KERNELS
+        }
+    assert parts["numpy"] == parts["worklist"] == parts["baseline"]
+
+
+@SETTINGS
+@given(port_networks(), st.integers(0, 2**30), st.sampled_from(KERNELS))
+def test_backend_ids_equivariant_under_renumbering(net, perm_seed, kernel):
+    """Each backend's ids are canonical, not just the default's."""
+    perm = list(range(net.num_nodes))
+    random.Random(perm_seed).shuffle(perm)
+    with uncached():
+        ids = view_refinement(net, kernel=kernel)
+        permuted_ids = view_refinement(
+            net.with_nodes_permuted(perm), kernel=kernel
+        )
+    assert all(permuted_ids[perm[v]] == ids[v] for v in net.nodes())
+
+
+@SETTINGS
+@given(port_networks(allow_nonsimple=False), st.integers(0, 2**30))
+def test_backends_agree_on_relabeled_port_shifted_copies(net, perm_seed):
+    """A renumbered, port-shifted copy keeps the partition, per backend.
+
+    Shifting every integer port by a constant is a label isomorphism of the
+    whole network (exact-label view isomorphisms compose with it), so the
+    view partition of the copy must match the original's under every
+    backend — and the backends must agree with each other on the copy.
+    """
+    perm = list(range(net.num_nodes))
+    random.Random(perm_seed).shuffle(perm)
+    copy = net.with_nodes_permuted(perm).with_ports_relabeled(
+        {
+            perm[v]: {p: p + 10 for p in net.ports(v)}
+            for v in net.nodes()
+        }
+    )
+    with uncached():
+        base = {
+            k: partition_of(view_refinement(net, kernel=k)) for k in KERNELS
+        }
+        shifted = {
+            k: partition_of(view_refinement(copy, kernel=k)) for k in KERNELS
+        }
+    assert base["numpy"] == base["worklist"] == base["baseline"]
+    assert shifted["numpy"] == shifted["worklist"] == shifted["baseline"]
+    relabeled = sorted(
+        tuple(sorted(perm[v] for v in members)) for members in base["numpy"]
+    )
+    assert shifted["numpy"] == relabeled
+
+
+STRUCTURED_FAMILIES = [
+    ("cycle-12", lambda: cycle_graph(12)),
+    ("hypercube-16", lambda: hypercube_cayley(4).network),
+    ("torus-4x5", lambda: torus_cayley([4, 5]).network),
+    ("petersen", petersen_graph),
+]
+
+
+@pytest.mark.parametrize(
+    "name,build", STRUCTURED_FAMILIES, ids=[n for n, _ in STRUCTURED_FAMILIES]
+)
+def test_backends_agree_on_structured_families(name, build):
+    """The benchmark families, uniform and pointed (the accelerated regime)."""
+    net = build()
+    n = net.num_nodes
+    colorings = [None, [1] + [0] * (n - 1), [0] * (n // 2) + [1] * (n - n // 2)]
+    for colors in colorings:
+        with uncached():
+            parts = [
+                partition_of(view_refinement(net, colors, kernel=k))
+                for k in KERNELS
+            ]
+        assert parts[0] == parts[1] == parts[2], (name, colors)

@@ -159,3 +159,53 @@ class TestSymmetricity:
         assert election_feasible_by_views(net) in (True, False)
         colors = [1, 0, 0, 0]
         assert election_feasible_by_views(net, colors)
+
+
+class TestPaletteReprCollisions:
+    """Distinct colors sharing a repr must be rejected, not silently merged.
+
+    The non-integer palettes are ranked by ``repr``; two distinct colors
+    with one repr would land in the same rank and corrupt the partition.
+    Both normalizers (node colorings in the views layer, digraph palettes
+    in the canonical layer) raise :class:`GraphError` instead.
+    """
+
+    class Sneaky:
+        def __init__(self, tag):
+            self.tag = tag
+
+        def __repr__(self):
+            return "sneaky"
+
+        def __eq__(self, other):
+            return isinstance(other, TestPaletteReprCollisions.Sneaky) and (
+                self.tag == other.tag
+            )
+
+        def __hash__(self):
+            return hash(("sneaky", self.tag))
+
+    def test_view_refinement_rejects_colliding_node_colors(self):
+        net = cycle_graph(4)
+        a, b = self.Sneaky(1), self.Sneaky(2)
+        with pytest.raises(GraphError, match="ambiguous node-color palette"):
+            view_refinement(net, [a, b, a, b])
+
+    def test_distinct_objects_equal_value_are_fine(self):
+        net = cycle_graph(4)
+        a1, a2 = self.Sneaky(1), self.Sneaky(1)  # equal, same repr: one color
+        ids = view_refinement(net, [a1, a2, a1, a2])
+        assert ids == view_refinement(net, [0, 0, 0, 0])
+
+    def test_canonical_key_rejects_colliding_digraph_palette(self):
+        from repro.graphs.canonical import Digraph, canonical_key
+
+        a, b = self.Sneaky(1), self.Sneaky(2)
+        g = Digraph.build(2, [(0, 1)], [a, b])
+        with pytest.raises(GraphError, match="ambiguous digraph color palette"):
+            canonical_key(g)
+
+    def test_non_colliding_string_palette_still_accepted(self):
+        net = cycle_graph(4)
+        ids = view_refinement(net, ["blue", "red", "blue", "red"])
+        assert ids == view_refinement(net, [0, 1, 0, 1])

@@ -81,6 +81,65 @@ def test_explicit_chunksize_respected():
 
 
 # ----------------------------------------------------------------------
+# map_on_network: shared-memory fan-out is byte-identical to serial
+# ----------------------------------------------------------------------
+
+
+def classes_from(network, node):
+    """A network-dependent pure function (module-level: picklable)."""
+    from repro.graphs.views import view_refinement
+
+    ids = view_refinement(network, [1 if v == node else 0 for v in network.nodes()])
+    return (node, len(set(ids)), network.name, network.num_nodes)
+
+
+def test_map_on_network_serial_and_thread_bind_in_process():
+    from repro.graphs.builders import petersen_graph
+
+    net = petersen_graph()
+    items = list(net.nodes())
+    expected = [classes_from(net, v) for v in items]
+    assert ParallelBatteryRunner(workers=1).map_on_network(
+        classes_from, net, items
+    ) == expected
+    with ParallelBatteryRunner(workers=2, executor="thread") as runner:
+        assert runner.map_on_network(classes_from, net, items) == expected
+
+
+def test_map_on_network_process_pool_matches_serial():
+    from repro.graphs.builders import petersen_graph
+
+    net = petersen_graph()
+    items = list(net.nodes())
+    expected = [classes_from(net, v) for v in items]
+    with ParallelBatteryRunner(workers=2) as runner:
+        assert runner.map_on_network(classes_from, net, items) == expected
+        # The export is reused across calls on the same network...
+        export = runner._exports[id(net)][1]
+        assert runner.map_on_network(classes_from, net, items) == expected
+        assert runner._exports[id(net)][1] is export
+    # ...and released by close().
+    assert runner._exports == {}
+    assert export._segment is None
+
+
+def test_evaluate_battery_worker_count_invariant():
+    import pickle
+
+    from repro.analysis.instances import evaluate_battery, quantitative_battery
+    from repro.analysis.matrix import _eval_quantitative
+
+    items = [(inst, 11) for inst in quantitative_battery()]
+    blobs = []
+    for workers in (1, 2):
+        with ParallelBatteryRunner(workers=workers) as runner:
+            blobs.append(
+                pickle.dumps(evaluate_battery(items, _eval_quantitative, runner=runner))
+            )
+    assert blobs[0] == blobs[1]
+
+
+# ----------------------------------------------------------------------
 # End-to-end determinism: Table 1 is worker-count invariant
 # ----------------------------------------------------------------------
 

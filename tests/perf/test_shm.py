@@ -1,0 +1,112 @@
+"""Shared-memory network export/attach: fidelity, fallback, lifetime.
+
+The contract :mod:`repro.perf.shm` owes the parallel layer: an attached
+network is equal in content to the exported one (same node indexing, same
+edge records in the same order, same port labels, same name), the inline
+pickle fallback is indistinguishable API-wise, and creator-side release is
+idempotent.  The cross-process path is exercised end-to-end by
+``tests/perf/test_parallel.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.graphs.builders import cycle_graph, petersen_graph
+from repro.perf import shm
+from repro.perf.shm import SharedNetworkHandle, attach_network, export_network
+
+
+def records_of(net):
+    return (net.num_nodes, net.name, list(net.edges()))
+
+
+def test_roundtrip_preserves_network_content():
+    net = petersen_graph()
+    export = export_network(net)
+    try:
+        assert export.handle.segment is not None
+        rebuilt = attach_network(export.handle)
+        assert records_of(rebuilt) == records_of(net)
+    finally:
+        export.release()
+
+
+def test_attach_is_cached_per_process():
+    net = cycle_graph(8)
+    export = export_network(net)
+    try:
+        first = attach_network(export.handle)
+        assert attach_network(export.handle) is first
+    finally:
+        export.release()
+
+
+def test_string_port_labels_survive():
+    records = [(0, "a", 1, "b"), (1, "c", 2, "d"), (2, "e", 0, "f")]
+    from repro.graphs.network import AnonymousNetwork
+
+    net = AnonymousNetwork(3, records, name="tri")
+    export = export_network(net)
+    try:
+        rebuilt = attach_network(export.handle)
+        assert list(rebuilt.edges()) == records
+        assert rebuilt.name == "tri"
+    finally:
+        export.release()
+
+
+def test_release_is_idempotent():
+    export = export_network(cycle_graph(5))
+    export.release()
+    export.release()  # second release must be a no-op
+    assert export._segment is None
+
+
+def test_inline_payload_fallback():
+    net = cycle_graph(7)
+    handle = SharedNetworkHandle(
+        None, 0, 0, payload=pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    rebuilt = attach_network(handle)
+    assert records_of(rebuilt) == records_of(net)
+
+
+def test_export_degrades_without_shared_memory(monkeypatch):
+    monkeypatch.setattr(shm, "HAVE_SHARED_MEMORY", False)
+    net = petersen_graph()
+    export = export_network(net)
+    try:
+        assert export.handle.segment is None
+        assert export.handle.payload is not None
+        rebuilt = attach_network(export.handle)
+        assert records_of(rebuilt) == records_of(net)
+    finally:
+        export.release()
+
+
+def test_handle_is_small_and_picklable():
+    net = cycle_graph(100)
+    export = export_network(net)
+    try:
+        blob = pickle.dumps(export.handle)
+        # The point of the exercise: the per-task payload is a few dozen
+        # bytes, not the network object graph.
+        assert len(blob) < len(pickle.dumps(net)) / 10
+        clone = pickle.loads(blob)
+        assert records_of(attach_network(clone)) == records_of(net)
+    finally:
+        export.release()
+
+
+def test_attach_cache_is_bounded():
+    exports = [export_network(cycle_graph(4 + k)) for k in range(shm._ATTACH_CACHE_LIMIT + 2)]
+    try:
+        for export in exports:
+            attach_network(export.handle)
+        assert len(shm._attach_cache) <= shm._ATTACH_CACHE_LIMIT
+        # The most recent attach is still cached.
+        assert exports[-1].handle.segment in shm._attach_cache
+    finally:
+        for export in exports:
+            export.release()
