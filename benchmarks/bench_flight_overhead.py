@@ -1,0 +1,92 @@
+"""E14 — flight-recorder overhead: the disabled path stays under 5%.
+
+Every flight hook is guarded by a context-variable read (``active()``
+returns ``None`` unless a recorder is installed *and* a trace context is
+current), so a run with no recorder must cost the same as the pre-flight
+runtime within noise.  Methodology mirrors E12 (bench_obs_overhead):
+interleave the two legs, compare best-of-N minima, re-measure before
+declaring a regression.
+
+The enabled-recorder ratio is recorded as extra info with a loose bound:
+minting contexts and appending spans has a real cost, but it must stay
+the same order of magnitude as the bare run.  Both ratios feed the
+``python -m repro.obs regress`` CI gate via the committed
+``BENCH_flight.json`` baseline (the disabled ratio also has an absolute
+``--limit disabled_overhead_ratio=1.05`` ceiling, independent of any
+baseline).
+"""
+
+import time
+
+from repro.core import Placement, run_elect
+from repro.graphs import hypercube_cayley
+from repro.obs import flight
+from repro.sim import RandomScheduler
+
+HOMES = [0, 3, 5]
+REPEATS = 12
+
+
+def run_plain(seed=9):
+    net = hypercube_cayley(3).network
+    return run_elect(
+        net,
+        Placement.of(HOMES),
+        scheduler=RandomScheduler(seed=seed),
+        seed=seed,
+    )
+
+
+def run_recorded(seed=9):
+    flight.enable_flight()
+    try:
+        return run_plain(seed)
+    finally:
+        flight.disable_flight()
+
+
+def measure_overhead(measured_leg, repeats=REPEATS):
+    """Interleaved best-of-N ratio of ``measured_leg`` over the plain run."""
+    base = float("inf")
+    measured = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_plain()
+        base = min(base, time.perf_counter() - start)
+        start = time.perf_counter()
+        measured_leg()
+        measured = min(measured, time.perf_counter() - start)
+    return measured / base
+
+
+def test_bench_unrecorded_run(benchmark):
+    outcome = benchmark(run_plain)
+    assert outcome.elected
+
+
+def test_bench_disabled_flight_overhead_under_five_percent(benchmark):
+    # The disabled path is one ContextVar read per hook.  Timing ratios
+    # wobble under CI load, so allow a few re-measurements before
+    # treating the overhead as real.
+    ratio = None
+    for _ in range(3):
+        ratio = measure_overhead(run_plain)
+        if ratio < 1.05:
+            break
+    benchmark.extra_info["disabled_overhead_ratio"] = ratio
+    benchmark.pedantic(run_plain, rounds=3, iterations=1)
+    assert ratio < 1.05, f"disabled flight overhead {ratio:.3f}x exceeds 5%"
+
+
+def test_bench_enabled_flight_recording(benchmark):
+    # A live recorder mints contexts and appends spans; more expensive
+    # than the bare run but the same order of magnitude.
+    ratio = None
+    for _ in range(3):
+        ratio = measure_overhead(run_recorded)
+        if ratio < 2.0:
+            break
+    benchmark.extra_info["enabled_overhead_ratio"] = ratio
+    outcome = benchmark.pedantic(run_recorded, rounds=3, iterations=1)
+    assert outcome.elected
+    assert ratio < 2.0, f"enabled flight overhead {ratio:.3f}x"

@@ -59,6 +59,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         config=config,
         workers=args.workers,
         quick=args.quick,
+        ledger=args.ledger,
     )
     print(report.render())
     if args.out:
@@ -161,6 +162,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="minimize failures and save reproducers into this directory",
     )
     fuzz.add_argument("--budget", type=int, default=2000)
+    fuzz.add_argument(
+        "--ledger",
+        type=str,
+        default=None,
+        help="append one run-ledger row per case to this SQLite database "
+        "(see python -m repro.obs ledger)",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
 
     minimize = sub.add_parser(

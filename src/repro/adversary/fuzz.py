@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -43,6 +44,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.elect import ElectAgent
 from ..core.feasibility import elect_prediction
 from ..errors import AdversaryError, ReproError
+from ..obs import flight
+from ..obs.ledger import LedgerRow, RunLedger, open_ledger
 from ..fault.campaign import (
     DETECTED,
     IMPOSSIBLE,
@@ -114,6 +117,10 @@ class FuzzRow:
     outcome: str
     detail: str = ""
     steps: int = 0
+    #: Total agent moves (deterministic per case; feeds the run ledger's
+    #: moves-vs-budget column, deliberately absent from :meth:`to_dict`
+    #: so existing report JSON stays byte-stable).
+    moves: int = 0
     schedule_len: int = 0
     signature: str = ""
     #: Set by ``run_fuzz`` after signature dedup.
@@ -220,6 +227,78 @@ def _case_seed(seed: int, index: int, label: str, kind: str) -> int:
     return zlib.crc32(f"{seed}:{index}:{label}:{kind}".encode("utf-8"))
 
 
+def _case_context(
+    seed: int, index: int, label: str, kind: str
+) -> "flight.TraceContext":
+    """The case's flight trace context — deterministic like the case seed,
+    so ledger trace ids survive worker-count changes."""
+    return flight.TraceContext.mint("fuzz-case", f"{seed}:{index}:{label}:{kind}")
+
+
+def write_fuzz_ledger(
+    ledger: Any,
+    report: "FuzzReport",
+    tasks: Sequence[
+        Tuple[int, InstanceSpec, Dict[str, Any], Optional[FaultPlan], FuzzConfig]
+    ],
+    elapsed: float = 0.0,
+) -> int:
+    """Append one ``kind="fuzz"`` ledger row per fuzz case.
+
+    Mirrors :func:`repro.fault.campaign.write_campaign_ledger`: every
+    column but ``wall_ms`` is deterministic in the sweep config, so
+    ledger digests are worker-count independent.  Returns the number of
+    rows written.
+    """
+    from ..graphs.canonical import canonical_hash
+    from ..trace.invariants import THEOREM31_CONSTANT
+
+    led = open_ledger(ledger)
+    campaign = f"fuzz:seed={report.seed}:runs={len(tasks)}"
+    wall_each = (elapsed / len(tasks) * 1000.0) if tasks else 0.0
+    cache: Dict[str, Tuple[str, float]] = {}  # label -> (chash, budget)
+    rows: List[LedgerRow] = []
+    for row, (index, spec, sched_spec, _plan, cfg) in zip(report.rows, tasks):
+        cached = cache.get(spec.label)
+        if cached is None:
+            network, placement = spec.build()
+            chash = canonical_hash(network, placement.bicoloring(network))
+            budget = (
+                THEOREM31_CONSTANT
+                * placement.num_agents
+                * max(1, network.num_edges)
+            )
+            cached = (chash, budget)
+            cache[spec.label] = cached
+        chash, budget = cached
+        kind = str(sched_spec.get("kind"))
+        ctx = _case_context(cfg.seed, index, spec.label, kind)
+        rows.append(
+            LedgerRow(
+                kind="fuzz",
+                campaign=campaign,
+                case_index=row.index,
+                instance=spec.label,
+                family=kind,
+                chash=chash,
+                seed=row.case_seed,
+                predicted="electable" if row.predicted else "impossible",
+                outcome=row.outcome,
+                detail=row.detail,
+                moves=row.moves,
+                budget=budget,
+                steps=row.steps,
+                wall_ms=round(wall_each, 3),
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+            )
+        )
+    written = led.append(rows)
+    if not isinstance(ledger, RunLedger):
+        led.close()
+    return written
+
+
 def failure_signature(exc: BaseException) -> str:
     """The identity of a loud failure: exception type plus message."""
     return f"{type(exc).__name__}: {exc}"
@@ -278,6 +357,7 @@ def _evaluate_case(
     else:
         row.outcome, row.detail = _classify_completion(sim, result, predicted)
         row.steps = result.steps
+        row.moves = result.total_moves
     row.schedule_len = len(recorder.choices)
     row.signature = schedule_signature(recorder.choices)
     if row.failed:
@@ -323,12 +403,18 @@ def run_fuzz(
     config: Optional[FuzzConfig] = None,
     workers: Optional[int] = 1,
     quick: bool = False,
+    ledger: Optional[Any] = None,
 ) -> FuzzReport:
     """Sweep the interleaving grid; return the classified report.
 
     Deterministic in ``(instances, runs, config)`` — worker count only
     changes wall-clock time (the battery runner preserves input order and
     every seed derives per case).
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path) appends
+    one row per case via :func:`write_fuzz_ledger`; with the flight
+    recorder on, each case also runs under its own deterministic trace
+    context and ships its spans back to the sweep's recorder.
     """
     cfg = config or FuzzConfig()
     if instances is None:
@@ -338,11 +424,27 @@ def run_fuzz(
     from ..perf.parallel import ParallelBatteryRunner
 
     runner = ParallelBatteryRunner(workers=workers)
-    rows = list(runner.map(_evaluate_case, tasks))
+    started = time.perf_counter()
+    if flight.recording():
+        contexts = [
+            _case_context(cfg.seed, i, spec.label, str(sched.get("kind")))
+            for i, spec, sched, _plan, _cfg in tasks
+        ]
+        rows = list(
+            flight.map_with_flight(
+                runner, _evaluate_case, tasks, "fuzz.case", contexts
+            )
+        )
+    else:
+        rows = list(runner.map(_evaluate_case, tasks))
+    elapsed = time.perf_counter() - started
     seen: set = set()
     for row in rows:
         row.distinct = row.signature not in seen
         seen.add(row.signature)
         count_schedule(row.distinct)
         count_run(row.outcome)
-    return FuzzReport(rows=rows, seed=cfg.seed, agent_kwargs=cfg.agent_kwargs)
+    report = FuzzReport(rows=rows, seed=cfg.seed, agent_kwargs=cfg.agent_kwargs)
+    if ledger is not None:
+        write_fuzz_ledger(ledger, report, tasks, elapsed)
+    return report

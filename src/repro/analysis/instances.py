@@ -39,6 +39,7 @@ from ..graphs.cayley import (
     torus_cayley,
 )
 from ..graphs.network import AnonymousNetwork
+from ..obs import flight
 from ..perf import ParallelBatteryRunner
 
 
@@ -81,25 +82,29 @@ def evaluate_battery(
     if runner is None:
         runner = ParallelBatteryRunner(workers=workers)
     instances = list(instances)
-    if runner.is_serial or len(instances) <= 1:
-        return runner.map(evaluate, instances)
-    anchors = [_instance_of(item) for item in instances]
-    if any(anchor is None for anchor in anchors):
-        return runner.map(evaluate, instances)
-    results: List[object] = []
-    adapter = _EvaluateOnNetwork(evaluate)
-    start = 0
-    while start < len(instances):
-        network = anchors[start].network
-        stop = start
-        while stop < len(instances) and anchors[stop].network is network:
-            stop += 1
-        payloads = [
-            _strip_network(instances[k], anchors[k]) for k in range(start, stop)
-        ]
-        results.extend(runner.map_on_network(adapter, network, payloads))
-        start = stop
-    return results
+    with flight.entrypoint_span(
+        "evaluate_battery", len(instances), items=len(instances)
+    ):
+        if runner.is_serial or len(instances) <= 1:
+            return runner.map(evaluate, instances)
+        anchors = [_instance_of(item) for item in instances]
+        if any(anchor is None for anchor in anchors):
+            return runner.map(evaluate, instances)
+        results: List[object] = []
+        adapter = _EvaluateOnNetwork(evaluate)
+        start = 0
+        while start < len(instances):
+            network = anchors[start].network
+            stop = start
+            while stop < len(instances) and anchors[stop].network is network:
+                stop += 1
+            payloads = [
+                _strip_network(instances[k], anchors[k])
+                for k in range(start, stop)
+            ]
+            results.extend(runner.map_on_network(adapter, network, payloads))
+            start = stop
+        return results
 
 
 def _instance_of(item: object) -> Optional[Instance]:

@@ -13,6 +13,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from ..colors import Color, ColorSpace
 from ..errors import PlacementError
 from ..graphs.network import AnonymousNetwork
+from ..obs import flight
 from ..sim.agent import Agent
 from ..sim.runtime import Simulation
 from ..sim.scheduler import RandomScheduler, Scheduler
@@ -74,35 +75,42 @@ def run_election(
             f"(placement homes {placement.homes}): colors must be "
             f"one-per-agent, in home order"
         )
-    agents = [
-        agent_factory(color, random.Random(f"{seed}:{i}"))
-        for i, color in enumerate(colors)
-    ]
-    if trace is not None:
-        trace.annotate(
-            {"protocol_agent": type(agents[0]).__name__, "seed": seed}
+    with flight.entrypoint_span(
+        "run_election", seed, seed=seed, agents=placement.num_agents
+    ) as fctx:
+        agents = [
+            agent_factory(color, random.Random(f"{seed}:{i}"))
+            for i, color in enumerate(colors)
+        ]
+        if trace is not None:
+            annotations = {
+                "protocol_agent": type(agents[0]).__name__, "seed": seed
+            }
+            if fctx is not None:
+                annotations["flight_trace_id"] = fctx.trace_id
+                annotations["flight_span_id"] = fctx.span_id
+            trace.annotate(annotations)
+        sim = Simulation(
+            network,
+            list(zip(agents, placement.homes)),
+            scheduler=scheduler or RandomScheduler(seed=seed),
+            trace=trace,
+            fault=fault,
+            watchdog=watchdog,
+            **sim_kwargs,
         )
-    sim = Simulation(
-        network,
-        list(zip(agents, placement.homes)),
-        scheduler=scheduler or RandomScheduler(seed=seed),
-        trace=trace,
-        fault=fault,
-        watchdog=watchdog,
-        **sim_kwargs,
-    )
-    result = sim.run()
-    reports: List[AgentReport] = []
-    for r in result.results:
-        if not isinstance(r, AgentReport):
-            raise TypeError(f"agent returned {r!r}, expected AgentReport")
-        reports.append(r)
-    return aggregate(
-        reports,
-        total_moves=result.total_moves,
-        total_accesses=result.total_accesses,
-        steps=result.steps,
-    )
+        result = sim.run()
+        reports: List[AgentReport] = []
+        for r in result.results:
+            if not isinstance(r, AgentReport):
+                raise TypeError(f"agent returned {r!r}, expected AgentReport")
+            reports.append(r)
+        return aggregate(
+            reports,
+            total_moves=result.total_moves,
+            total_accesses=result.total_accesses,
+            steps=result.steps,
+        )
 
 
 def run_elect(

@@ -64,6 +64,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write the full JSON report to this path",
     )
+    parser.add_argument(
+        "--ledger",
+        type=str,
+        default=None,
+        help="append one run-ledger row per (instance, plan) pair to this "
+        "SQLite database (see python -m repro.obs ledger)",
+    )
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
@@ -77,6 +84,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config=config,
         workers=args.workers,
         quick=args.quick,
+        ledger=args.ledger,
     )
     print(report.render())
     if args.out:

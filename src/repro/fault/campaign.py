@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import random
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -45,6 +46,8 @@ from ..core.elect import ElectAgent
 from ..core.feasibility import elect_prediction
 from ..core.result import aggregate
 from ..errors import ProtocolError, ReproError
+from ..obs import flight
+from ..obs.ledger import LedgerRow, RunLedger, open_ledger
 from ..sim.runtime import Simulation
 from ..sim.scheduler import RandomScheduler
 from ..trace.invariants import THEOREM31_CONSTANT, audit_trace
@@ -194,6 +197,74 @@ class CampaignReport:
 def _pair_seed(seed: int, index: int, plan_name: str) -> int:
     """Stable per-pair seed (no ``hash()``: must survive process hopping)."""
     return zlib.crc32(f"{seed}:{index}:{plan_name}".encode("utf-8"))
+
+
+def _pair_context(seed: int, index: int, plan_name: str) -> "flight.TraceContext":
+    """The pair's flight trace context — deterministic, so the ledger's
+    trace ids (and its digest) are identical for any worker count, with
+    or without the recorder."""
+    return flight.TraceContext.mint("fault-case", f"{seed}:{index}:{plan_name}")
+
+
+def write_campaign_ledger(
+    ledger: Any,
+    report: "CampaignReport",
+    tasks: Sequence[Tuple[int, Any, FaultPlan, CampaignConfig]],
+    elapsed: float = 0.0,
+) -> int:
+    """Append one ``kind="fault"`` ledger row per campaign pair.
+
+    Every column except ``wall_ms`` (the mean per-pair wall time — the
+    sweep is timed as a whole) is a pure function of the campaign config,
+    so :meth:`~repro.obs.ledger.RunLedger.digest` over these rows is
+    byte-identical for any worker count.  ``budget`` is the Theorem 3.1
+    bound ``C·r·|E|`` the row's ``moves`` count is judged against.
+    Returns the number of rows written.
+    """
+    from ..graphs.canonical import canonical_hash
+
+    led = open_ledger(ledger)
+    campaign = f"fault:seed={report.seed}:pairs={len(tasks)}"
+    wall_each = (elapsed / len(tasks) * 1000.0) if tasks else 0.0
+    chash_by_label: Dict[str, str] = {}
+    rows: List[LedgerRow] = []
+    for row, (index, inst, plan, cfg) in zip(report.rows, tasks):
+        chash = chash_by_label.get(row.instance)
+        if chash is None:
+            chash = canonical_hash(
+                inst.network, inst.placement.bicoloring(inst.network)
+            )
+            chash_by_label[row.instance] = chash
+        ctx = _pair_context(cfg.seed, index, plan.name)
+        budget = (
+            THEOREM31_CONSTANT
+            * inst.placement.num_agents
+            * max(1, inst.network.num_edges)
+        )
+        rows.append(
+            LedgerRow(
+                kind="fault",
+                campaign=campaign,
+                case_index=row.index,
+                instance=row.instance,
+                family=row.family,
+                chash=chash,
+                seed=_pair_seed(cfg.seed, index, plan.name),
+                predicted="electable" if row.predicted else "impossible",
+                outcome=row.outcome,
+                detail=row.detail,
+                moves=row.moves,
+                budget=budget,
+                steps=row.steps,
+                wall_ms=round(wall_each, 3),
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+            )
+        )
+    written = led.append(rows)
+    if not isinstance(ledger, RunLedger):
+        led.close()
+    return written
 
 
 def _classify_completion(
@@ -379,12 +450,20 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     workers: Optional[int] = 1,
     quick: bool = False,
+    ledger: Optional[Any] = None,
 ) -> CampaignReport:
     """Sweep the fault matrix; return the classified report.
 
     Deterministic in ``(instances, pairs, config)`` — worker count only
     changes wall-clock time (the battery runner preserves input order and
     every seed is derived per pair).
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path) appends
+    one row per pair via :func:`write_campaign_ledger`.  When the flight
+    recorder is on, every pair additionally runs under its own
+    deterministic trace context (worker-side spans ship back with the
+    row), so a campaign case can be followed from the ledger row into the
+    exported trace by trace id.
     """
     cfg = config or CampaignConfig()
     if instances is None:
@@ -394,7 +473,21 @@ def run_campaign(
     from ..perf.parallel import ParallelBatteryRunner
 
     runner = ParallelBatteryRunner(workers=workers)
-    rows = runner.map(_evaluate_pair, tasks)
+    started = time.perf_counter()
+    if flight.recording():
+        contexts = [
+            _pair_context(cfg.seed, index, plan.name)
+            for index, _inst, plan, _cfg in tasks
+        ]
+        rows = flight.map_with_flight(
+            runner, _evaluate_pair, tasks, "fault.case", contexts
+        )
+    else:
+        rows = runner.map(_evaluate_pair, tasks)
+    elapsed = time.perf_counter() - started
     for row in rows:
         count_outcome(row.outcome)
-    return CampaignReport(rows=list(rows), seed=cfg.seed)
+    report = CampaignReport(rows=list(rows), seed=cfg.seed)
+    if ledger is not None:
+        write_campaign_ledger(ledger, report, tasks, elapsed)
+    return report

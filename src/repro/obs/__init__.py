@@ -14,7 +14,16 @@ audit, this package measures *what it cost*, live:
   ``O(r·|E|)`` accounting with overrun findings;
 * :mod:`repro.obs.exporters` — Prometheus text exposition, JSON
   snapshots and snapshot diffs;
-* ``python -m repro.obs`` — the ``report`` / ``export`` / ``diff`` CLI.
+* :mod:`repro.obs.flight` — the flight recorder: deterministic
+  :class:`TraceContext` propagation across batteries, workers, the serve
+  HTTP layer and campaigns, with Chrome-trace/Perfetto and JSONL
+  exporters (DESIGN §8.7);
+* :mod:`repro.obs.ledger` — :class:`~repro.obs.ledger.RunLedger`, the
+  persistent SQLite append-only record of campaign/battery/serve runs;
+* :mod:`repro.obs.regress` — the perf-regression sentinel comparing
+  fresh bench JSON against committed baselines;
+* ``python -m repro.obs`` — the ``report`` / ``export`` / ``diff`` /
+  ``flight`` / ``ledger`` / ``regress`` CLI.
 
 Metrics ship **disabled**: enable them with :func:`enable`, the
 ``REPRO_METRICS=1`` environment variable, or by handing an enabled
@@ -32,6 +41,20 @@ supervised run also exposes ``watchdog_stalls_total`` /
 """
 
 from .budget import ACCESSES, DEFAULT_CONSTANT, MOVES, BudgetTracker
+from .flight import (
+    FlightRecorder,
+    FlightSpan,
+    TraceContext,
+    assert_valid_chrome,
+    disable_flight,
+    enable_flight,
+    entrypoint_span,
+    flight_recorder,
+    flight_span,
+    map_with_flight,
+    to_chrome_trace,
+    validate_chrome,
+)
 from .exporters import (
     FORMATS,
     diff_snapshots,
@@ -54,6 +77,7 @@ from .registry import (
     enable,
     get_registry,
     register_collector,
+    reset_all_collectors,
     set_registry,
 )
 from .spans import (
@@ -84,6 +108,20 @@ __all__ = [
     "register_collector",
     "collectors",
     "collect_snapshot",
+    "reset_all_collectors",
+    # flight recorder
+    "TraceContext",
+    "FlightSpan",
+    "FlightRecorder",
+    "enable_flight",
+    "disable_flight",
+    "flight_recorder",
+    "entrypoint_span",
+    "flight_span",
+    "map_with_flight",
+    "to_chrome_trace",
+    "validate_chrome",
+    "assert_valid_chrome",
     # spans
     "span",
     "PhaseClock",

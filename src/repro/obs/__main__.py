@@ -8,6 +8,20 @@ Usage::
     python -m repro.obs export --out metrics.prom --format prom
     python -m repro.obs diff before.json after.json
 
+    # flight recorder: record a quick campaign, export + validate traces
+    python -m repro.obs flight record --out flight.json --ledger runs.db
+    python -m repro.obs flight export --jsonl spans.jsonl --out flight.json
+    python -m repro.obs flight summary spans.jsonl
+    python -m repro.obs flight assert-valid flight.json
+
+    # run ledger queries
+    python -m repro.obs ledger summary --db runs.db
+    python -m repro.obs ledger query --db runs.db --outcome recovered
+
+    # perf-regression sentinel (CI gate)
+    python -m repro.obs regress benchmarks/baselines/BENCH_flight.json \\
+        fresh.json --limit disabled_overhead_ratio=1.05
+
 ``report`` and ``export`` run one registered instance (default: ELECT on
 the 3-hypercube with homes 0 3 5 — a Table 1 cell) against a fresh
 enabled registry, so the numbers cover exactly that run.  ``report``
@@ -15,6 +29,14 @@ prints per-phase wall time, per-agent move/access counters, the live
 Theorem 3.1 budget gauges and the memo-cache counters, then
 cross-checks the registry's move total against the trace summary —
 a mismatch means an instrumentation bug and exits non-zero.
+
+``flight record`` runs a quick fault campaign under the flight recorder,
+writes the Chrome-trace export (and optionally a JSONL span sink and a
+run ledger), validates the export, and cross-checks ledger rows against
+the case count — any inconsistency exits non-zero.  ``regress`` compares
+a fresh pytest-benchmark JSON document against a committed baseline and
+exits 1 on any regression finding (2 on malformed input), which is the
+CI perf gate.
 """
 
 from __future__ import annotations
@@ -211,6 +233,161 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# flight subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_flight_record(args: argparse.Namespace) -> int:
+    import json
+
+    from ..fault.campaign import CampaignConfig, run_campaign
+    from . import flight
+    from .ledger import RunLedger
+
+    recorder = flight.enable_flight(flight.FlightRecorder())
+    try:
+        report = run_campaign(
+            pairs=args.pairs,
+            config=CampaignConfig(seed=args.seed),
+            workers=args.workers,
+            quick=True,
+            ledger=args.ledger,
+        )
+    finally:
+        flight.disable_flight()
+    spans = recorder.spans()
+    doc = flight.write_chrome(spans, args.out)
+    problems = flight.validate_chrome(doc)
+    if args.jsonl:
+        flight.write_jsonl(spans, args.jsonl)
+
+    ledger_rows = None
+    if args.ledger:
+        with RunLedger(args.ledger) as ledger:
+            ledger_rows = ledger.count(kind="fault")
+    cases = len(report.rows)
+    summary = flight.summarize(spans)
+    summary.update(
+        {
+            "cases": cases,
+            "ledger_rows": ledger_rows,
+            "validation_problems": problems,
+            "out": args.out,
+        }
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    ok = not problems and (ledger_rows is None or ledger_rows == cases)
+    if problems:
+        print(f"invalid chrome trace: {problems[0]}", file=sys.stderr)
+    if ledger_rows is not None and ledger_rows != cases:
+        print(
+            f"ledger row count {ledger_rows} != case count {cases}",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def _cmd_flight_export(args: argparse.Namespace) -> int:
+    from . import flight
+
+    spans = flight.read_jsonl(args.jsonl)
+    doc = flight.write_chrome(spans, args.out)
+    flight.assert_valid_chrome(doc)
+    print(f"{len(spans)} spans -> {args.out}")
+    return 0
+
+
+def _cmd_flight_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from . import flight
+
+    spans = flight.read_jsonl(args.path)
+    print(json.dumps(flight.summarize(spans), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_flight_assert_valid(args: argparse.Namespace) -> int:
+    from . import flight
+
+    doc = flight.load_chrome(args.path)
+    problems = flight.validate_chrome(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents", [])
+    print(f"{args.path}: valid ({len(events)} events)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# ledger subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_ledger_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from .ledger import RunLedger
+
+    with RunLedger(args.db) as ledger:
+        payload = {
+            "stats": ledger.stats(),
+            "campaigns": ledger.campaigns(),
+        }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_ledger_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .ledger import RunLedger
+
+    with RunLedger(args.db) as ledger:
+        rows = ledger.rows(
+            kind=args.kind,
+            campaign=args.campaign,
+            outcome=args.outcome,
+            limit=args.limit,
+        )
+        digest = ledger.digest(kind=args.kind, campaign=args.campaign)
+    print(
+        json.dumps(
+            {"rows": rows, "count": len(rows), "digest": digest},
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# regress subcommand
+# ---------------------------------------------------------------------------
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from .regress import parse_limits, run_regress
+
+    findings = run_regress(
+        args.baseline,
+        args.fresh,
+        time_tolerance=args.time_tolerance,
+        info_tolerance=args.info_tolerance,
+        limits=parse_limits(args.limit),
+    )
+    if not findings:
+        print(f"no regressions: {args.fresh} vs baseline {args.baseline}")
+        return 0
+    for finding in findings:
+        print(finding.render())
+    print(f"{len(findings)} regression finding(s)")
+    return 0 if args.warn_only else 1
+
+
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     from ..trace import GRAPH_BUILDERS, PROTOCOL_RUNNERS
 
@@ -275,6 +452,96 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--all", action="store_true", help="include unchanged series"
     )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_flight = sub.add_parser(
+        "flight", help="flight-recorder capture, export and validation"
+    )
+    flight_sub = p_flight.add_subparsers(dest="flight_command", required=True)
+
+    f_record = flight_sub.add_parser(
+        "record",
+        help="run a quick fault campaign under the recorder and export",
+    )
+    f_record.add_argument("--out", required=True, help="Chrome-trace JSON path")
+    f_record.add_argument(
+        "--jsonl", default=None, help="also write the compact JSONL span sink"
+    )
+    f_record.add_argument(
+        "--ledger", default=None, help="also append rows to this run ledger"
+    )
+    f_record.add_argument("--pairs", type=int, default=12)
+    f_record.add_argument("--seed", type=int, default=0)
+    f_record.add_argument("--workers", type=int, default=1)
+    f_record.set_defaults(func=_cmd_flight_record)
+
+    f_export = flight_sub.add_parser(
+        "export", help="convert a JSONL span sink to Chrome-trace JSON"
+    )
+    f_export.add_argument("--jsonl", required=True, help="JSONL span input")
+    f_export.add_argument("--out", required=True, help="Chrome-trace output")
+    f_export.set_defaults(func=_cmd_flight_export)
+
+    f_summary = flight_sub.add_parser(
+        "summary", help="summarize a JSONL span sink"
+    )
+    f_summary.add_argument("path", help="JSONL span file")
+    f_summary.set_defaults(func=_cmd_flight_summary)
+
+    f_valid = flight_sub.add_parser(
+        "assert-valid", help="validate a Chrome-trace JSON export"
+    )
+    f_valid.add_argument("path", help="Chrome-trace JSON file")
+    f_valid.set_defaults(func=_cmd_flight_assert_valid)
+
+    p_ledger = sub.add_parser("ledger", help="query a persistent run ledger")
+    ledger_sub = p_ledger.add_subparsers(dest="ledger_command", required=True)
+
+    l_summary = ledger_sub.add_parser(
+        "summary", help="stats and per-campaign roll-up"
+    )
+    l_summary.add_argument("--db", required=True, help="ledger SQLite path")
+    l_summary.set_defaults(func=_cmd_ledger_summary)
+
+    l_query = ledger_sub.add_parser("query", help="row-level queries")
+    l_query.add_argument("--db", required=True, help="ledger SQLite path")
+    l_query.add_argument("--kind", default=None)
+    l_query.add_argument("--campaign", default=None)
+    l_query.add_argument("--outcome", default=None)
+    l_query.add_argument("--limit", type=int, default=20)
+    l_query.set_defaults(func=_cmd_ledger_query)
+
+    p_regress = sub.add_parser(
+        "regress", help="perf-regression sentinel over pytest-benchmark JSON"
+    )
+    p_regress.add_argument("baseline", help="committed baseline JSON")
+    p_regress.add_argument("fresh", help="freshly generated benchmark JSON")
+    p_regress.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=3.0,
+        help="max fresh/baseline mean-time ratio (default: 3.0 — timings "
+        "are machine-dependent, so the band is wide)",
+    )
+    p_regress.add_argument(
+        "--info-tolerance",
+        type=float,
+        default=1.25,
+        help="max ratio for numeric extra_info metrics (default: 1.25 — "
+        "ratios are machine-independent, so the band is tight)",
+    )
+    p_regress.add_argument(
+        "--limit",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="absolute ceiling on a fresh extra_info metric (repeatable)",
+    )
+    p_regress.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report findings but exit 0",
+    )
+    p_regress.set_defaults(func=_cmd_regress)
 
     args = parser.parse_args(argv)
     try:

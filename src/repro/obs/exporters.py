@@ -34,6 +34,17 @@ def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: Mapping[str, Any], extra: Optional[Tuple[str, str]] = None) -> str:
     pairs = [(str(k), str(v)) for k, v in sorted(labels.items())]
     if extra is not None:
@@ -41,7 +52,7 @@ def _label_str(labels: Mapping[str, Any], extra: Optional[Tuple[str, str]] = Non
     if not pairs:
         return ""
     body = ",".join(
-        f'{_sanitize(k)}="{v}"'.replace("\n", " ") for k, v in pairs
+        f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in pairs
     )
     return "{" + body + "}"
 

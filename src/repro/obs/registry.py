@@ -469,6 +469,20 @@ def collectors() -> Dict[str, MetricsRegistry]:
     return dict(_collectors)
 
 
+def reset_all_collectors() -> None:
+    """Reset every registered collector (and the default registry).
+
+    The test-isolation hammer: the ``perf`` / ``fault`` / ``adversary`` /
+    ``serve`` collectors are always-enabled module globals, so without a
+    fixture calling this, one test's cache hits or campaign outcomes leak
+    into the next test's snapshot.  Series and findings are cleared; the
+    metric *definitions* (and any bound-series handles, which re-resolve
+    lazily after a reset) survive.
+    """
+    for registry in _collectors.values():
+        registry.reset()
+
+
 def collect_snapshot() -> Dict[str, Any]:
     """Merge every registered collector into one snapshot.
 

@@ -22,6 +22,13 @@ Both instruments no-op against a disabled registry: :func:`span` yields
 immediately, and a :class:`PhaseClock` built against a disabled registry
 pins itself off (``_registry = None``) so every call is one attribute
 test.
+
+When the flight recorder (:mod:`repro.obs.flight`) is active *and* a
+trace context is current, both instruments additionally emit flight
+spans — so the same timing feeds the histogram and the causal trace
+without double measurement.  The check is one context-variable read
+(:func:`repro.obs.flight.active`), preserving the disabled-path
+overhead contract.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
+from . import flight
 from .registry import Histogram, MetricsRegistry, get_registry
 
 #: Histogram receiving every span duration.
@@ -63,16 +71,20 @@ def span(
 ) -> Iterator[None]:
     """Record the wall time of the enclosed block as one span observation."""
     reg = registry if registry is not None else get_registry()
-    if not reg.enabled:
+    frec = flight.active()
+    if not reg.enabled and frec is None:
         yield
         return
+    wall = time.time()
     start = time.perf_counter()
     try:
         yield
     finally:
-        _span_histogram(reg).observe(
-            time.perf_counter() - start, span=name, **labels
-        )
+        dur = time.perf_counter() - start
+        if reg.enabled:
+            _span_histogram(reg).observe(dur, span=name, **labels)
+        if frec is not None:
+            flight.observe(name, wall, dur, kind="span", attrs=labels)
 
 
 class PhaseClock:
@@ -83,7 +95,8 @@ class PhaseClock:
     the runtime may read to attribute per-step costs.
     """
 
-    __slots__ = ("_registry", "_hist", "_labels", "phase", "_entered")
+    __slots__ = ("_registry", "_hist", "_labels", "phase", "_entered",
+                 "_flight", "_wall")
 
     def __init__(
         self,
@@ -92,41 +105,48 @@ class PhaseClock:
     ):
         reg = registry if registry is not None else get_registry()
         self.phase: Optional[str] = None
-        if not reg.enabled:
+        self._flight = flight.active() is not None
+        self._wall = 0.0
+        if not reg.enabled and not self._flight:
             self._registry: Optional[MetricsRegistry] = None
             self._hist: Optional[Histogram] = None
             self._labels: Dict[str, Any] = {}
             self._entered = 0.0
             return
-        self._registry = reg
-        self._hist = _span_histogram(reg)
+        self._registry = reg if reg.enabled else None
+        self._hist = _span_histogram(reg) if reg.enabled else None
         self._labels = dict(labels)
         self._entered = 0.0
 
+    def _emit(self, now: float) -> None:
+        dur = now - self._entered
+        if self._hist is not None:
+            self._hist.observe(dur, span=self.phase, **self._labels)
+        if self._flight:
+            flight.observe(
+                self.phase, self._wall, dur, kind="phase", attrs=self._labels
+            )
+
     def enter(self, phase: str) -> None:
         """Close the current phase's span (if any) and start ``phase``."""
-        if self._registry is None:
+        if self._registry is None and not self._flight:
             self.phase = phase
             return
         now = time.perf_counter()
         if self.phase is not None:
-            self._hist.observe(
-                now - self._entered, span=self.phase, **self._labels
-            )
+            self._emit(now)
         self.phase = phase
         self._entered = now
-        self._registry.counter(
-            "phase_entries_total", help="phase transitions, by phase"
-        ).inc(phase=phase, **self._labels)
+        self._wall = time.time()
+        if self._registry is not None:
+            self._registry.counter(
+                "phase_entries_total", help="phase transitions, by phase"
+            ).inc(phase=phase, **self._labels)
 
     def close(self) -> None:
         """End the final phase (idempotent)."""
-        if self._registry is None or self.phase is None:
+        if (self._registry is None and not self._flight) or self.phase is None:
             self.phase = None
             return
-        self._hist.observe(
-            time.perf_counter() - self._entered,
-            span=self.phase,
-            **self._labels,
-        )
+        self._emit(time.perf_counter())
         self.phase = None

@@ -86,6 +86,7 @@ def _build_service(args: argparse.Namespace, write_through: bool = True) -> Elec
         runner=runner,
         verify_every=getattr(args, "verify_every", 0),
         write_through=write_through,
+        ledger=getattr(args, "ledger", None),
         **extra,
     )
 
@@ -197,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--wipe-on-mismatch",
         action="store_true",
         help="rebuild the store if its version stamps mismatch",
+    )
+    serve.add_argument(
+        "--ledger",
+        default=None,
+        help="append one run-ledger row per backend computation to this "
+        "SQLite database (see python -m repro.obs ledger)",
     )
     serve.set_defaults(fn=cmd_serve)
 

@@ -37,6 +37,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ServeError
+from ..obs import flight
 from ..obs.exporters import to_prometheus
 from ..obs.registry import collect_snapshot
 from . import metrics as _m
@@ -67,13 +68,42 @@ _MAX_HEADER_BYTES = 32 * 1024
 
 
 class _Work:
-    """One request's share of the dispatcher backlog."""
+    """One request's share of the dispatcher backlog.
 
-    __slots__ = ("queries", "future")
+    ``ctx`` is the request's flight :class:`~repro.obs.flight.TraceContext`
+    (``None`` when the recorder is off); the dispatcher ships it alongside
+    each of the request's queries because ``run_in_executor`` does not
+    propagate context variables.
+    """
 
-    def __init__(self, queries: List[Query], future: "asyncio.Future[Any]"):
+    __slots__ = ("queries", "future", "ctx")
+
+    def __init__(
+        self,
+        queries: List[Query],
+        future: "asyncio.Future[Any]",
+        ctx: Optional["flight.TraceContext"] = None,
+    ):
         self.queries = queries
         self.future = future
+        self.ctx = ctx
+
+
+#: ``X-Repro-Source`` tier precedence for the latency histogram label: a
+#: batch touching any compute is a compute-priced request.
+_TIER_RANK = ("compute", "coalesced", "sqlite", "memory")
+
+
+def _source_tier(extra: Dict[str, str]) -> str:
+    """The most expensive tier named in a response's X-Repro-Source."""
+    raw = extra.get("X-Repro-Source", "")
+    if not raw:
+        return "-"
+    tiers = set(raw.split(","))
+    for tier in _TIER_RANK:
+        if tier in tiers:
+            return tier
+    return "-"
 
 
 class ElectionServer:
@@ -119,6 +149,7 @@ class ElectionServer:
         self._pending: List[_Work] = []
         self._backlog = 0
         self._wake: Optional[asyncio.Event] = None
+        self._request_seq = 0  # salt for per-request flight trace ids
 
     @property
     def port(self) -> int:
@@ -165,13 +196,17 @@ class ElectionServer:
     # Dispatcher: coalesce the backlog into single batches
     # ------------------------------------------------------------------
 
-    def _submit(self, queries: List[Query]) -> "asyncio.Future[Any]":
+    def _submit(
+        self,
+        queries: List[Query],
+        ctx: Optional["flight.TraceContext"] = None,
+    ) -> "asyncio.Future[Any]":
         """Enqueue queries; raises ServeError(429) past the queue limit."""
         if self._backlog + len(queries) > self.queue_limit:
             _m.REJECTED.inc(reason="queue-full")
             raise _Reject(429, "queue full, retry later", retry_after=1)
         future: "asyncio.Future[Any]" = asyncio.get_event_loop().create_future()
-        self._pending.append(_Work(queries, future))
+        self._pending.append(_Work(queries, future, ctx))
         self._backlog += len(queries)
         _m.QUEUE_DEPTH.set(self._backlog)
         assert self._wake is not None
@@ -192,12 +227,14 @@ class ElectionServer:
             if not batch:
                 continue
             queries = [q for work in batch for q in work.queries]
+            contexts = [work.ctx for work in batch for _ in work.queries]
             sources: List[str] = []
             try:
                 values = await loop.run_in_executor(
                     None,
                     functools.partial(
-                        self.service.answer_batch, queries, sources
+                        self.service.answer_batch, queries, sources,
+                        contexts=contexts,
                     ),
                 )
             except Exception:
@@ -230,7 +267,8 @@ class ElectionServer:
                 values = await loop.run_in_executor(
                     None,
                     functools.partial(
-                        self.service.answer_batch, work.queries, sources
+                        self.service.answer_batch, work.queries, sources,
+                        contexts=[work.ctx] * len(work.queries),
                     ),
                 )
             except Exception as exc:
@@ -267,14 +305,33 @@ class ElectionServer:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
+                fctx: Optional[flight.TraceContext] = None
+                if flight.recording():
+                    self._request_seq += 1
+                    fctx = flight.TraceContext.mint(
+                        "http-request", f"{id(self):x}:{self._request_seq}"
+                    )
+                wall = time.time()
                 started = time.perf_counter()
                 status, ctype, payload, extra = await self._route(
-                    method, path, headers, body
+                    method, path, headers, body, fctx
                 )
+                elapsed = time.perf_counter() - started
                 _m.REQUESTS.inc(endpoint=path, status=str(status))
                 _m.REQUEST_SECONDS.observe(
-                    time.perf_counter() - started, endpoint=path
+                    elapsed, endpoint=path, source=_source_tier(extra)
                 )
+                if fctx is not None:
+                    flight.record_for(
+                        fctx,
+                        f"{method} {path}",
+                        kind="http",
+                        wall=wall,
+                        dur=elapsed,
+                        attrs={"endpoint": path, "status": str(status)},
+                    )
+                    extra = dict(extra)
+                    extra["X-Repro-Trace-Id"] = fctx.trace_id
                 self._write_response(
                     writer, status, ctype, payload, extra, keep_alive
                 )
@@ -364,10 +421,15 @@ class ElectionServer:
     # ------------------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        fctx: Optional["flight.TraceContext"] = None,
     ) -> Tuple[int, str, bytes, Dict[str, str]]:
         try:
-            return await self._route_inner(method, path, headers, body)
+            return await self._route_inner(method, path, headers, body, fctx)
         except _Reject as reject:
             extra = {}
             if reject.retry_after is not None:
@@ -389,7 +451,12 @@ class ElectionServer:
             )
 
     async def _route_inner(
-        self, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        fctx: Optional["flight.TraceContext"] = None,
     ) -> Tuple[int, str, bytes, Dict[str, str]]:
         if path == "/healthz":
             if method != "GET":
@@ -407,7 +474,7 @@ class ElectionServer:
             queries = [
                 parse_query(q) for q in parse_batch(self._decode_json(body))
             ]
-            values, sources = await self._answer(queries, headers)
+            values, sources = await self._answer(queries, headers, fctx)
             return (
                 200,
                 _JSON,
@@ -429,7 +496,7 @@ class ElectionServer:
                     f"payload op {declared!r} contradicts endpoint {path}"
                 )
             query = parse_query({**payload, "op": op})
-            values, sources = await self._answer([query], headers)
+            values, sources = await self._answer([query], headers, fctx)
             return (
                 200,
                 _JSON,
@@ -439,7 +506,10 @@ class ElectionServer:
         raise _Reject(404, f"unknown endpoint {path}")
 
     async def _answer(
-        self, queries: List[Query], headers: Dict[str, str]
+        self,
+        queries: List[Query],
+        headers: Dict[str, str],
+        fctx: Optional["flight.TraceContext"] = None,
     ) -> Tuple[List[Dict[str, Any]], List[str]]:
         deadline = self.deadline
         raw = headers.get("x-repro-deadline")
@@ -448,7 +518,7 @@ class ElectionServer:
                 deadline = float(raw)
             except ValueError:
                 raise ServeError(f"bad X-Repro-Deadline {raw!r}")
-        future = self._submit(queries)
+        future = self._submit(queries, fctx)
         try:
             return await asyncio.wait_for(future, timeout=deadline)
         except asyncio.TimeoutError:

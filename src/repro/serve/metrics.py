@@ -28,7 +28,12 @@ Metric inventory
 * ``serve_queue_depth`` — current dispatcher backlog (gauge);
 * ``serve_batch_size`` — sizes of the batches dispatched onto the
   battery runner (histogram);
-* ``serve_request_seconds{endpoint}`` — request wall time (histogram).
+* ``serve_request_seconds{endpoint,source}`` — request wall time
+  (histogram; ``/metrics`` exposes its p50/p90/p99 as quantile series).
+  ``source`` is the most expensive ``X-Repro-Source`` tier the response
+  touched (``compute`` > ``coalesced`` > ``sqlite`` > ``memory``; ``-``
+  for non-query endpoints), so warm-path and compute-path service time
+  distributions are separable.
 """
 
 from __future__ import annotations
@@ -75,7 +80,8 @@ BATCH_SIZE = _metrics.histogram(
     "serve_batch_size", help="batch sizes dispatched onto the battery runner"
 )
 REQUEST_SECONDS = _metrics.histogram(
-    "serve_request_seconds", help="request wall time, by endpoint"
+    "serve_request_seconds",
+    help="request wall time, by endpoint and source tier",
 )
 
 register_collector("serve", _metrics)

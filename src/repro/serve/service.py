@@ -31,6 +31,7 @@ repaired in place and the fresh answer served.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,8 @@ from ..core.placement import Placement
 from ..errors import ServeError
 from ..graphs.canonical import canonical_hash
 from ..graphs.network import AnonymousNetwork
+from ..obs import flight
+from ..obs.ledger import LedgerRow, RunLedger, open_ledger
 from ..perf.parallel import ParallelBatteryRunner
 from . import metrics as _m
 from .store import CanonicalStore
@@ -134,14 +137,31 @@ def query_key(op: str, network: AnonymousNetwork, placement: Placement) -> str:
 
 
 class _InFlight:
-    """Single-flight rendezvous: followers wait for the leader's answer."""
+    """Single-flight rendezvous: followers wait for the leader's answer.
 
-    __slots__ = ("event", "value", "error")
+    ``flight_ref`` carries the ``(trace_id, span_id)`` of the leader's
+    compute span (when the flight recorder is on), so cross-batch
+    followers can record a link span pointing at the work they rode.
+    """
+
+    __slots__ = ("event", "value", "error", "flight_ref")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: Optional[Dict[str, Any]] = None
         self.error: Optional[BaseException] = None
+        self.flight_ref: Optional[Tuple[str, str]] = None
+
+
+def _serve_outcome(op: str, value: Dict[str, Any]) -> str:
+    """The ledger outcome class of one computed serve answer."""
+    if op == "feasibility":
+        return "feasible" if value.get("elects") else "infeasible"
+    if op == "elect":
+        return "elects" if value.get("succeeds") else "no-election"
+    if op == "classify":
+        return str(value.get("verdict", "unknown"))
+    return "unknown"
 
 
 class ElectionService:
@@ -168,6 +188,11 @@ class ElectionService:
         RSS without limit.  Pass ``None`` when running with
         ``write_through=False``: eviction before
         :meth:`promote_to_store` would silently drop answers.
+    ledger:
+        Optional :class:`~repro.obs.ledger.RunLedger` (or a path to one):
+        every *computed* answer appends one ``kind="serve"`` row with its
+        canonical hash, outcome class and trace ids.  Cache hits are not
+        ledger events — the ledger records work done, not questions asked.
     """
 
     def __init__(
@@ -177,6 +202,7 @@ class ElectionService:
         verify_every: int = 0,
         write_through: bool = True,
         memory_limit: Optional[int] = 65536,
+        ledger: Optional[Any] = None,
     ):
         if verify_every < 0:
             raise ServeError(f"verify_every must be >= 0, got {verify_every}")
@@ -187,6 +213,13 @@ class ElectionService:
         self.verify_every = verify_every
         self.write_through = write_through
         self.memory_limit = memory_limit
+        self._owns_ledger = ledger is not None and not isinstance(
+            ledger, RunLedger
+        )
+        self.ledger: Optional[RunLedger] = (
+            open_ledger(ledger) if ledger is not None else None
+        )
+        self._ledger_index = 0  # serve rows get monotone case indices
         self._memory: "OrderedDict[Tuple[str, str], Dict[str, Any]]" = (
             OrderedDict()
         )
@@ -275,6 +308,7 @@ class ElectionService:
         self,
         queries: Sequence[Query],
         sources: Optional[List[str]] = None,
+        contexts: Optional[Sequence[Optional["flight.TraceContext"]]] = None,
     ) -> List[Dict[str, Any]]:
         """Answer queries in input order; misses run as **one** batch.
 
@@ -287,12 +321,28 @@ class ElectionService:
         (``memory`` / ``sqlite`` / ``compute`` / ``coalesced``) — the HTTP
         layer surfaces it as the ``X-Repro-Source`` header, never in the
         body (bodies stay byte-identical across tiers).
+
+        ``contexts``, if given, supplies one flight
+        :class:`~repro.obs.flight.TraceContext` per query (the HTTP
+        layer's per-request context; ``run_in_executor`` does not carry
+        context variables, so they travel explicitly).  When the flight
+        recorder is on, each leader's computation runs under a compute
+        span derived from its query's context, and coalesced queries —
+        in-batch duplicates and cross-batch waiters alike — record link
+        spans pointing at the leader's compute span.
         """
         results: List[Optional[Dict[str, Any]]] = [None] * len(queries)
         src: List[Optional[str]] = [None] * len(queries)
-        # key -> (rendezvous, picklable item, result slots we lead for)
-        leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]] = {}
+        on_flight = flight.recording()
+        # key -> (rendezvous, picklable item, slots we lead for, span ctx)
+        leading: Dict[
+            Tuple[str, str],
+            Tuple[_InFlight, Any, List[int], Optional[flight.TraceContext]],
+        ] = {}
         waiting: List[Tuple[int, _InFlight]] = []
+
+        def _ctx(i: int) -> Optional["flight.TraceContext"]:
+            return contexts[i] if contexts is not None else None
 
         try:
             for i, (op, network, placement) in enumerate(queries):
@@ -319,13 +369,41 @@ class ElectionService:
                         _m.COALESCED.inc(op=op)
                         continue
                     mine = _InFlight()
+                    cctx: Optional[flight.TraceContext] = None
+                    if on_flight:
+                        rctx = _ctx(i)
+                        # The compute span id is fixed *here*, before the
+                        # computation runs, so followers can link to it.
+                        cctx = (
+                            rctx.child("serve.compute", index=i)
+                            if rctx is not None
+                            else flight.TraceContext.mint(
+                                "serve.compute", f"{op}:{chash}"
+                            )
+                        )
+                        mine.flight_ref = cctx.ref()
                     self._inflight[key] = mine
                     item = (op, network_payload(network), list(placement.homes))
-                    leading[key] = (mine, item, [i])
+                    leading[key] = (mine, item, [i], cctx)
                     src[i] = "compute"
 
             if leading:
                 self._run_leaders(leading, results)
+                if on_flight:
+                    # In-batch duplicates link to the (now recorded)
+                    # leader compute span — recorded after the compute so
+                    # the flow arrow points backward in time correctly.
+                    for key, (entry, _item, slots, cctx) in leading.items():
+                        if cctx is None:
+                            continue
+                        for i in slots[1:]:
+                            flight.link(
+                                "serve.coalesced",
+                                cctx.ref(),
+                                parent=_ctx(i),
+                                index=i,
+                                op=key[0],
+                            )
         except BaseException as exc:
             # A failure anywhere above — a later query raising in
             # query_key/_lookup (non-simple network, corrupt store row) or
@@ -340,6 +418,13 @@ class ElectionService:
             if entry.error is not None:
                 raise entry.error
             results[i] = entry.value
+            if on_flight and entry.flight_ref is not None:
+                flight.link(
+                    "serve.coalesced",
+                    entry.flight_ref,
+                    parent=_ctx(i),
+                    index=i,
+                )
         assert all(r is not None for r in results)
         if sources is not None:
             sources.extend(s or "coalesced" for s in src)
@@ -347,7 +432,10 @@ class ElectionService:
 
     def _run_leaders(
         self,
-        leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]],
+        leading: Dict[
+            Tuple[str, str],
+            Tuple[_InFlight, Any, List[int], Optional["flight.TraceContext"]],
+        ],
         results: List[Optional[Dict[str, Any]]],
     ) -> None:
         """Dispatch the distinct misses as one batch; publish to followers.
@@ -357,11 +445,19 @@ class ElectionService:
         """
         keys = list(leading)
         items = [leading[k][1] for k in keys]
+        cctxs = [leading[k][3] for k in keys]
         _m.BATCH_SIZE.observe(len(items))
-        values = self.runner.map(compute_item, items)
+        started = time.perf_counter()
+        if all(c is not None for c in cctxs) and flight.recording():
+            values = flight.map_with_flight(
+                self.runner, compute_item, items, "serve.compute", cctxs,
+            )
+        else:
+            values = self.runner.map(compute_item, items)
+        elapsed = time.perf_counter() - started
         with self._mu:
             for key, value in zip(keys, values):
-                entry, item, slots = leading[key]
+                entry, item, slots, cctx = leading[key]
                 _m.COMPUTES.inc(op=key[0])
                 entry.value = value
                 entry.event.set()
@@ -370,10 +466,54 @@ class ElectionService:
                     results[i] = value
         for key, value in zip(keys, values):
             self._insert(key[0], key[1], value)
+        if self.ledger is not None:
+            self._ledger_append(keys, values, cctxs, elapsed / len(items))
+
+    def _ledger_append(
+        self,
+        keys: List[Tuple[str, str]],
+        values: List[Dict[str, Any]],
+        cctxs: List[Optional["flight.TraceContext"]],
+        wall_each: float,
+    ) -> None:
+        """One ``kind="serve"`` ledger row per computed key.
+
+        ``wall_each`` is the batch wall time divided evenly across its
+        items — the runner computes them as one batch, so per-item wall
+        time is a mean, not a measurement.
+        """
+        rows = []
+        with self._mu:
+            for (op, chash), value, cctx in zip(keys, values, cctxs):
+                ctx = cctx if cctx is not None else flight.TraceContext.mint(
+                    "serve.compute", f"{op}:{chash}"
+                )
+                rows.append(
+                    LedgerRow(
+                        kind="serve",
+                        campaign="serve",
+                        case_index=self._ledger_index,
+                        instance=f"{op}:{chash[:12]}",
+                        family=op,
+                        chash=chash,
+                        seed=0,
+                        predicted="",
+                        outcome=_serve_outcome(op, value),
+                        wall_ms=round(wall_each * 1000.0, 3),
+                        trace_id=ctx.trace_id,
+                        span_id=ctx.span_id,
+                    )
+                )
+                self._ledger_index += 1
+        assert self.ledger is not None
+        self.ledger.append(rows)
 
     def _abort_leaders(
         self,
-        leading: Dict[Tuple[str, str], Tuple[_InFlight, Any, List[int]]],
+        leading: Dict[
+            Tuple[str, str],
+            Tuple[_InFlight, Any, List[int], Optional["flight.TraceContext"]],
+        ],
         exc: BaseException,
     ) -> None:
         """Resolve this call's unresolved in-flight entries with ``exc``.
@@ -383,7 +523,7 @@ class ElectionService:
         fresh entry a concurrent batch registered for the same key.
         """
         with self._mu:
-            for key, (entry, _item, _slots) in leading.items():
+            for key, (entry, _item, _slots, _cctx) in leading.items():
                 if not entry.event.is_set():
                     entry.error = exc
                     entry.event.set()
@@ -427,6 +567,8 @@ class ElectionService:
         self.runner.close()
         if self.store is not None:
             self.store.close()
+        if self.ledger is not None and self._owns_ledger:
+            self.ledger.close()
 
     def __enter__(self) -> "ElectionService":
         return self

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.colors import ColorSpace
+from repro.obs import flight, reset_all_collectors
 from repro.graphs import (
     complete_bipartite_graph,
     complete_graph,
@@ -14,6 +15,20 @@ from repro.graphs import (
     path_graph,
     petersen_graph,
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    """Reset every registered collector and drop any global flight recorder.
+
+    Keeps tests order-independent: no counter totals or recorded spans
+    leak from one test into the next.
+    """
+    reset_all_collectors()
+    flight.disable_flight()
+    yield
+    reset_all_collectors()
+    flight.disable_flight()
 
 
 @pytest.fixture

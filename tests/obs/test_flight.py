@@ -1,0 +1,293 @@
+"""The flight recorder: contexts, spans, worker shipping, exporters."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs import flight
+from repro.obs.flight import (
+    FlightRecorder,
+    FlightSpan,
+    TraceContext,
+    assert_valid_chrome,
+    child_span_id,
+    map_with_flight,
+    to_chrome_trace,
+    validate_chrome,
+)
+
+
+class TestTraceContext:
+    def test_mint_is_deterministic_in_name_and_seed(self):
+        a = TraceContext.mint("run_election", 11)
+        b = TraceContext.mint("run_election", 11)
+        c = TraceContext.mint("run_election", 12)
+        assert (a.trace_id, a.span_id) == (b.trace_id, b.span_id)
+        assert a.trace_id != c.trace_id
+
+    def test_id_shapes(self):
+        ctx = TraceContext.mint("x", 0)
+        assert flight.TRACE_ID_PATTERN.match(ctx.trace_id)
+        assert flight.SPAN_ID_PATTERN.match(ctx.span_id)
+        assert ctx.parent_id is None
+
+    def test_counter_children_are_distinct_and_parented(self):
+        ctx = TraceContext.mint("x", 0)
+        first = ctx.child("step")
+        second = ctx.child("step")
+        assert first.span_id != second.span_id
+        assert first.parent_id == ctx.span_id
+        assert first.trace_id == ctx.trace_id
+
+    def test_explicit_index_child_is_pure(self):
+        ctx = TraceContext.mint("x", 0)
+        once = ctx.child("step", index=3)
+        again = ctx.child("step", index=3)
+        assert once.span_id == again.span_id
+        assert once.span_id == child_span_id(ctx.span_id, "step", 3)
+        # Pure derivation leaves the counter alone.
+        assert ctx.child("step").span_id == child_span_id(ctx.span_id, "step", 0)
+
+    def test_pickle_round_trip_drops_counter(self):
+        ctx = TraceContext.mint("x", 0)
+        ctx.child("warm-up")
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.ref() == ctx.ref()
+        assert clone.child("step").span_id == child_span_id(
+            ctx.span_id, "step", 0
+        )
+
+
+class TestRecorderLifecycle:
+    def test_disabled_by_default(self):
+        assert flight.flight_recorder() is None
+        assert not flight.recording()
+        with flight.flight_span("noop") as ctx:
+            assert ctx is None
+
+    def test_enable_disable(self):
+        rec = flight.enable_flight()
+        try:
+            assert flight.flight_recorder() is rec
+        finally:
+            assert flight.disable_flight() is rec
+        assert flight.flight_recorder() is None
+
+    def test_active_requires_a_current_context(self):
+        flight.enable_flight()
+        try:
+            assert flight.active() is None
+            with flight.use_context(TraceContext.mint("x", 0)):
+                assert flight.active() is not None
+        finally:
+            flight.disable_flight()
+
+    def test_capture_diverts_from_global(self):
+        rec = flight.enable_flight()
+        try:
+            ctx = TraceContext.mint("x", 0)
+            with flight.capture() as local:
+                with flight.root_span(ctx, "inner"):
+                    pass
+            assert len(local) == 1
+            assert len(rec) == 0
+        finally:
+            flight.disable_flight()
+
+    def test_recorder_bounds_and_counts_drops(self):
+        rec = FlightRecorder(max_spans=2)
+        span = FlightSpan("a" * 32, "b" * 16, None, "s", "span", 0.0, 0.0, 1, 1)
+        for _ in range(5):
+            rec.record(span)
+        assert len(rec) == 2
+        assert rec.dropped == 3
+        rec.reset()
+        assert len(rec) == 0 and rec.dropped == 0
+
+
+class TestSpans:
+    def test_nested_spans_share_the_trace(self):
+        rec = flight.enable_flight()
+        try:
+            root = TraceContext.mint("outer", 7)
+            with flight.root_span(root, "outer"):
+                with flight.flight_span("inner", step="1") as inner:
+                    assert inner.parent_id == root.span_id
+        finally:
+            flight.disable_flight()
+        spans = {s.name: s for s in rec.spans()}
+        assert set(spans) == {"outer", "inner"}
+        assert spans["inner"].parent_id == root.span_id
+        assert spans["inner"].attrs == {"step": "1"}
+        assert spans["outer"].span_id == root.span_id
+
+    def test_entrypoint_mints_or_joins(self):
+        rec = flight.enable_flight()
+        try:
+            with flight.entrypoint_span("run_election", 11, seed=11) as ctx:
+                assert ctx.trace_id == TraceContext.mint("run_election", 11).trace_id
+                with flight.entrypoint_span("run_election", 99) as nested:
+                    # Nested entry points join the enclosing trace.
+                    assert nested.trace_id == ctx.trace_id
+                    assert nested.parent_id == ctx.span_id
+        finally:
+            flight.disable_flight()
+        assert len(rec) == 2
+
+    def test_link_records_a_zero_duration_link_span(self):
+        rec = flight.enable_flight()
+        try:
+            leader = TraceContext.mint("leader", 0)
+            follower = TraceContext.mint("follower", 1)
+            flight.link("coalesced", leader.ref(), parent=follower, index=0, op="elect")
+        finally:
+            flight.disable_flight()
+        (span,) = rec.spans()
+        assert span.kind == "link"
+        assert span.dur == 0.0
+        assert span.links == (leader.ref(),)
+        assert span.trace_id == follower.trace_id
+
+    def test_observe_noops_outside_a_trace(self):
+        rec = flight.enable_flight()
+        try:
+            flight.observe("orphan", 0.0, 0.1)
+        finally:
+            flight.disable_flight()
+        assert len(rec) == 0
+
+    def test_obs_span_hook_records_when_tracing(self):
+        from repro.obs.spans import span
+
+        rec = flight.enable_flight()
+        try:
+            with flight.use_context(TraceContext.mint("t", 0)):
+                with span("compute_order", agent="a0"):
+                    pass
+        finally:
+            flight.disable_flight()
+        (recorded,) = rec.spans()
+        assert recorded.name == "compute_order"
+        assert recorded.attrs["agent"] == "a0"
+
+
+class _SerialRunner:
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+def _double(x):
+    with flight.flight_span("double"):
+        return 2 * x
+
+
+class TestMapWithFlight:
+    def test_ships_worker_spans_and_preserves_results(self):
+        runner = _SerialRunner()
+        items = [1, 2, 3]
+        rec = flight.enable_flight()
+        try:
+            contexts = [TraceContext.mint("case", i) for i in range(3)]
+            results = map_with_flight(runner, _double, items, "case", contexts)
+        finally:
+            flight.disable_flight()
+        assert results == [2, 4, 6]
+        spans = rec.spans()
+        # One "case" root per item plus one "double" child per item.
+        assert sorted(s.name for s in spans) == ["case"] * 3 + ["double"] * 3
+        case_ids = {s.span_id for s in spans if s.name == "case"}
+        assert case_ids == {c.span_id for c in contexts}
+        for child in (s for s in spans if s.name == "double"):
+            assert child.parent_id in case_ids
+
+    def test_length_mismatch_raises(self):
+        flight.enable_flight()
+        try:
+            with pytest.raises(MetricsError):
+                map_with_flight(
+                    _SerialRunner(), _double, [1, 2], "case",
+                    [TraceContext.mint("case", 0)],
+                )
+        finally:
+            flight.disable_flight()
+
+    def test_plain_map_without_recorder(self):
+        assert map_with_flight(_SerialRunner(), _double, [5], "case", []) == [10]
+
+    def test_process_workers_ship_spans_back(self):
+        from repro.perf.parallel import ParallelBatteryRunner
+
+        items = [1, 2, 3, 4]
+        rec = flight.enable_flight()
+        try:
+            contexts = [TraceContext.mint("case", i) for i in items]
+            runner = ParallelBatteryRunner(workers=2)
+            results = map_with_flight(runner, _double, items, "case", contexts)
+        finally:
+            flight.disable_flight()
+        assert results == [2, 4, 6, 8]
+        assert sorted(s.name for s in rec.spans()) == ["case"] * 4 + ["double"] * 4
+
+
+def _record_sample():
+    rec = flight.enable_flight()
+    try:
+        root = TraceContext.mint("sample", 3)
+        with flight.root_span(root, "sample", seed="3"):
+            with flight.flight_span("phase-a"):
+                pass
+            with flight.flight_span("phase-b") as b:
+                pass
+        other = TraceContext.mint("other", 4)
+        with flight.root_span(other, "other"):
+            flight.link("joins", (root.trace_id, b.span_id), parent=other, index=0)
+    finally:
+        flight.disable_flight()
+    return rec.spans()
+
+
+class TestChromeExport:
+    def test_export_is_valid_and_deterministic(self):
+        spans = _record_sample()
+        doc = to_chrome_trace(spans)
+        assert validate_chrome(doc) == []
+        assert_valid_chrome(doc)
+        again = to_chrome_trace(list(reversed(spans)))
+        assert json.dumps(doc, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_flow_events_pair_up(self):
+        doc = to_chrome_trace(_record_sample())
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("s") == 1 and phases.count("f") == 1
+
+    def test_validator_rejects_corruption(self):
+        doc = to_chrome_trace(_record_sample())
+        bad = json.loads(json.dumps(doc))
+        for event in bad["traceEvents"]:
+            if event["ph"] == "X":
+                event["args"]["trace_id"] = "nope"
+                break
+        assert any("trace_id" in p for p in validate_chrome(bad))
+        with pytest.raises(MetricsError):
+            assert_valid_chrome(bad)
+
+    def test_validator_rejects_duplicate_span_ids(self):
+        spans = _record_sample()
+        doc = to_chrome_trace(spans + [spans[0]])
+        assert any("duplicate" in p for p in validate_chrome(doc))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        spans = _record_sample()
+        path = str(tmp_path / "spans.jsonl")
+        flight.write_jsonl(spans, path)
+        loaded = flight.read_jsonl(path)
+        assert [s.to_dict() for s in loaded] == [s.to_dict() for s in spans]
+
+    def test_summarize(self):
+        summary = flight.summarize(_record_sample())
+        assert summary["spans"] == 5
+        assert summary["traces"] == 2
+        assert summary["links"] == 1
+        assert summary["by_name"]["sample"]["count"] == 1

@@ -1,0 +1,246 @@
+"""Strict validation of the Prometheus text exposition we emit.
+
+``parse_exposition`` is a line-level parser of the text format — metric
+name grammar, label quoting/escaping, HELP/TYPE ordering, float values,
+summary structure.  It is deliberately strict (any malformed line is an
+error, not a skip) and is reused by the serve smoke test against a live
+``/metrics`` scrape.
+"""
+
+import math
+import re
+
+from repro.obs.exporters import to_prometheus
+from repro.obs.registry import MetricsRegistry
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$")
+TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def _parse_labels(body, errors, line_no):
+    """Parse the ``k="v",…`` body of a label set, validating escapes."""
+    labels = {}
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0 or body[eq + 1 : eq + 2] != '"':
+            errors.append(f"line {line_no}: malformed label set {body!r}")
+            return labels
+        name = body[i:eq]
+        if not LABEL_NAME.match(name):
+            errors.append(f"line {line_no}: bad label name {name!r}")
+        j = eq + 2
+        value = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\":
+                if j + 1 >= len(body) or body[j + 1] not in ('\\', '"', "n"):
+                    errors.append(
+                        f"line {line_no}: bad escape in label value"
+                    )
+                    return labels
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[body[j + 1]])
+                j += 2
+            elif ch == '"':
+                break
+            elif ch == "\n":
+                errors.append(f"line {line_no}: raw newline in label value")
+                return labels
+            else:
+                value.append(ch)
+                j += 1
+        else:
+            errors.append(f"line {line_no}: unterminated label value")
+            return labels
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                errors.append(f"line {line_no}: expected ',' in label set")
+                return labels
+            i += 1
+    return labels
+
+
+def parse_exposition(text):
+    """Parse an exposition; returns ``(families, errors)``.
+
+    ``families`` maps metric family name to ``{"type", "help",
+    "samples": [(name, labels, value)]}``.  Errors cover every deviation
+    from the text format this repo's exporter can produce.
+    """
+    errors = []
+    families = {}
+    seen_done = set()  # families whose sample block has ended
+    current = None
+
+    def family_of(sample_name):
+        for suffix in ("_count", "_sum"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families:
+                    return base
+        return sample_name
+
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {line_no}: malformed comment {line!r}")
+                continue
+            _, keyword, name, rest = parts
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {line_no}: bad metric name {name!r}")
+                continue
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if entry["samples"]:
+                errors.append(
+                    f"line {line_no}: {keyword} for {name} after its samples"
+                )
+            if keyword == "HELP":
+                if entry["help"] is not None:
+                    errors.append(f"line {line_no}: duplicate HELP for {name}")
+                entry["help"] = rest
+            else:
+                if entry["type"] is not None:
+                    errors.append(f"line {line_no}: duplicate TYPE for {name}")
+                if rest not in TYPES:
+                    errors.append(f"line {line_no}: unknown type {rest!r}")
+                entry["type"] = rest
+            continue
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {line_no}: malformed sample {line!r}")
+            continue
+        sample_name, _, label_body, value_text = match.groups()
+        family = family_of(sample_name)
+        if family not in families:
+            errors.append(
+                f"line {line_no}: sample {sample_name} without TYPE header"
+            )
+            continue
+        if family in seen_done and current != family:
+            errors.append(
+                f"line {line_no}: samples for {family} are not consecutive"
+            )
+        if current is not None and current != family:
+            seen_done.add(current)
+        current = family
+        labels = (
+            _parse_labels(label_body, errors, line_no) if label_body else {}
+        )
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(f"line {line_no}: bad value {value_text!r}")
+            continue
+        families[family]["samples"].append((sample_name, labels, value))
+
+    for name, entry in families.items():
+        if entry["type"] is None:
+            errors.append(f"{name}: no TYPE line")
+        # A family with a header but no samples is legal (an idle metric).
+        if entry["type"] == "summary" and entry["samples"]:
+            names = {s[0] for s in entry["samples"]}
+            if f"{name}_count" not in names or f"{name}_sum" not in names:
+                errors.append(f"{name}: summary missing _count/_sum")
+            # Quantiles must be monotone *within* one label set.
+            by_series = {}
+            for sample_name, labels, value in entry["samples"]:
+                if sample_name != name or "quantile" not in labels:
+                    continue
+                key = tuple(
+                    sorted(
+                        (k, v) for k, v in labels.items() if k != "quantile"
+                    )
+                )
+                by_series.setdefault(key, []).append(
+                    (float(labels["quantile"]), value)
+                )
+            for key, quantiles in by_series.items():
+                finite = [
+                    (q, v) for q, v in sorted(quantiles) if not math.isnan(v)
+                ]
+                for (_, lo), (_, hi) in zip(finite, finite[1:]):
+                    if lo > hi:
+                        errors.append(
+                            f"{name}{dict(key)}: quantiles not monotone"
+                        )
+    return families, errors
+
+
+def assert_valid_exposition(text):
+    families, errors = parse_exposition(text)
+    assert errors == [], "\n".join(errors)
+    return families
+
+
+class TestParserCatchesCorruption:
+    def test_rejects_bad_metric_name(self):
+        _, errors = parse_exposition('# TYPE 9bad counter\n9bad 1\n')
+        assert any("bad metric name" in e or "malformed" in e for e in errors)
+
+    def test_rejects_sample_without_type(self):
+        _, errors = parse_exposition("orphan_total 1\n")
+        assert any("without TYPE" in e for e in errors)
+
+    def test_rejects_unterminated_label_value(self):
+        text = '# TYPE x counter\nx{a="oops} 1\n'
+        _, errors = parse_exposition(text)
+        assert errors
+
+    def test_rejects_bad_escape(self):
+        text = '# TYPE x counter\nx{a="\\q"} 1\n'
+        _, errors = parse_exposition(text)
+        assert any("escape" in e for e in errors)
+
+    def test_rejects_non_numeric_value(self):
+        _, errors = parse_exposition("# TYPE x counter\nx one\n")
+        assert any("bad value" in e for e in errors)
+
+
+class TestExporterEmitsValidText:
+    def test_simple_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("widgets_total", help="made widgets").inc(3, kind="a")
+        registry.gauge("depth", help="queue depth").set(2.5)
+        hist = registry.histogram("latency_seconds", help="request time")
+        for value in (0.01, 0.02, 0.5):
+            hist.observe(value, endpoint="/x")
+        families = assert_valid_exposition(to_prometheus(registry.snapshot()))
+        assert families["repro_widgets_total"]["type"] == "counter"
+        assert families["repro_latency_seconds"]["type"] == "summary"
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry(enabled=True)
+        nasty = 'quote " backslash \\ newline \n end'
+        registry.counter("nasty_total", help="escape test").inc(1, label=nasty)
+        families = assert_valid_exposition(to_prometheus(registry.snapshot()))
+        ((_, labels, value),) = families["repro_nasty_total"]["samples"]
+        assert labels["label"] == nasty
+        assert value == 1.0
+
+    def test_full_merged_exposition_is_valid(self):
+        """The CI satellite: the entire merged /metrics output parses."""
+        from repro.obs.registry import collect_snapshot
+        from repro.serve import metrics as sm
+
+        # Touch serve metrics so the merged snapshot carries labelled
+        # counters and the request-latency summary.
+        sm.REQUESTS.inc(endpoint="/v1/elect", status="200")
+        sm.REQUEST_SECONDS.observe(0.012, endpoint="/v1/elect", source="compute")
+        sm.REQUEST_SECONDS.observe(0.002, endpoint="/v1/elect", source="memory")
+        families = assert_valid_exposition(to_prometheus(collect_snapshot()))
+        assert "repro_serve_request_seconds" in families
+        sources = {
+            labels.get("source")
+            for name, labels, _ in families["repro_serve_request_seconds"]["samples"]
+            if name == "repro_serve_request_seconds"
+        }
+        assert sources == {"compute", "memory"}
