@@ -9,6 +9,9 @@ ddmin minimizer shrinks an injected-regression schedule to a small pinned
 core that replays byte-identically.
 """
 
+import resource
+import sys
+
 from repro.adversary import (
     FuzzConfig,
     InstanceSpec,
@@ -17,6 +20,14 @@ from repro.adversary import (
 )
 
 K23 = InstanceSpec("complete_bipartite", (2, 3), (0, 1, 2, 3, 4), "K_2,3")
+
+
+def _max_rss_mib() -> float:
+    """Peak RSS of this process so far, in MiB (ru_maxrss is KiB on Linux,
+    bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return peak / divisor
 
 
 def run_sweep():
@@ -41,6 +52,63 @@ def test_bench_fuzz_sweep_coverage(once):
         f"\nfuzz sweep: {len(report.rows)} cases, "
         f"{report.distinct_schedules} distinct interleavings "
         f"({report.duplicate_schedules} dedup hits)"
+    )
+
+
+STREAM_CHILD = r"""
+import json, resource, sys
+from repro.adversary.fuzz import FuzzConfig, run_fuzz
+
+stream = sys.argv[1] == "stream"
+report = run_fuzz(
+    runs=600, config=FuzzConfig(seed=2), quick=True, stream=stream
+)
+print(json.dumps({
+    "rows": len(report.rows),
+    "total": report.total_cases,
+    "distinct": report.distinct_schedules,
+    "ok": report.ok,
+    "peak_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def run_stream_vs_collect():
+    import json
+    import os
+    import subprocess
+
+    out = {}
+    for mode in ("stream", "collect"):
+        proc = subprocess.run(
+            [sys.executable, "-c", STREAM_CHILD, mode],
+            capture_output=True,
+            text=True,
+            env=os.environ.copy(),
+            check=True,
+        )
+        out[mode] = json.loads(proc.stdout.strip().splitlines()[-1])
+    return out
+
+
+def test_bench_streamed_sweep_max_rss(once):
+    """The memory contract of the streaming engine: a streamed sweep
+    retains no rows and its peak RSS stays flat (measured in a fresh
+    subprocess so other benchmarks' high-water marks don't pollute
+    ``ru_maxrss``)."""
+    out = once(run_stream_vs_collect)
+    stream, collect = out["stream"], out["collect"]
+    assert stream["ok"] and collect["ok"]
+    assert stream["total"] == collect["total"] == 600
+    assert stream["distinct"] == collect["distinct"]
+    assert collect["rows"] == 600
+    assert stream["rows"] == 0  # only failures are retained, and there are none
+    peak_mib = stream["peak_kib"] / 1024.0
+    assert peak_mib < 256.0, f"streamed sweep peaked at {peak_mib:.0f} MiB"
+    assert stream["peak_kib"] <= collect["peak_kib"] * 1.10
+    print(
+        f"\nstreamed sweep peak RSS {peak_mib:.0f} MiB "
+        f"(collect mode: {collect['peak_kib'] / 1024.0:.0f} MiB)"
     )
 
 

@@ -21,7 +21,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from ..errors import AdversaryError
+from ..errors import AdversaryError, CampaignError
 from .artifact import Reproducer
 from .fuzz import FuzzConfig, FuzzRow, run_fuzz
 from .minimize import minimize_row, replay_reproducer
@@ -60,6 +60,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         quick=args.quick,
         ledger=args.ledger,
+        stream=args.stream,
+        shard=args.shard,
+        resume=args.resume,
+        max_cases=args.max_cases,
     )
     print(report.render())
     if args.out:
@@ -169,6 +173,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="append one run-ledger row per case to this SQLite database "
         "(see python -m repro.obs ledger)",
     )
+    fuzz.add_argument(
+        "--stream",
+        action="store_true",
+        help="streaming report: retain only failing rows (their recorded "
+        "choices still feed --artifacts); counts come from the campaign "
+        "engine's checkpointed counters",
+    )
+    fuzz.add_argument(
+        "--shard",
+        type=str,
+        default=None,
+        metavar="i/N",
+        help="run only case indices ≡ i (mod N) — see python -m repro.campaign",
+    )
+    fuzz.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the ledger's checkpoint for this shard",
+    )
+    fuzz.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        help="truncate the grid to its first N indices (before sharding)",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
 
     minimize = sub.add_parser(
@@ -188,7 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (AdversaryError, OSError, json.JSONDecodeError) as exc:
+    except (AdversaryError, CampaignError, OSError, json.JSONDecodeError) as exc:
         # Misconfiguration (bad paths, malformed artifacts, bad specs)
         # exits 2, like the trace CLI; discovered failures exit 1.
         print(f"error: {exc}", file=sys.stderr)

@@ -36,11 +36,21 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..campaign.engine import (
+    CampaignEngine,
+    CampaignSpec,
+    FailureKeeper,
+    MetricsStage,
+    OutcomeCounter,
+    RowCollector,
+    Shard,
+    SignatureDedup,
+    Stage,
+)
 from ..core.elect import ElectAgent
 from ..core.feasibility import elect_prediction
 from ..errors import AdversaryError, ReproError
@@ -155,17 +165,43 @@ class FuzzRow:
 
 @dataclass
 class FuzzReport:
-    """All rows of one fuzz sweep plus the coverage counters."""
+    """All rows of one fuzz sweep plus the coverage counters.
+
+    Like :class:`repro.fault.campaign.CampaignReport`, this has a legacy
+    (collect) shape holding every row and a streaming shape holding only
+    the failing rows, with the headline numbers carried by the engine's
+    checkpointed counters in the ``streamed_*`` fields.
+    """
 
     rows: List[FuzzRow]
     seed: int
     #: The sweep's agent kwargs — recorded so ``minimize`` can rebuild the
     #: exact failing configuration from the JSON report alone.
     agent_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Streaming mode: outcome histogram from the engine (``None``: legacy).
+    streamed_counts: Optional[Dict[str, int]] = None
+    #: Streaming mode: total cases observed (resumed + evaluated).
+    streamed_total: Optional[int] = None
+    #: Streaming mode: distinct schedule signatures seen.
+    streamed_distinct: Optional[int] = None
+
+    @property
+    def streamed(self) -> bool:
+        return self.streamed_counts is not None
+
+    @property
+    def total_cases(self) -> int:
+        if self.streamed_total is not None:
+            return self.streamed_total
+        return len(self.rows)
 
     @property
     def counts(self) -> Dict[str, int]:
         out = {name: 0 for name in OUTCOMES}
+        if self.streamed_counts is not None:
+            for name, n in self.streamed_counts.items():
+                out[name] = out.get(name, 0) + int(n)
+            return out
         for row in self.rows:
             out[row.outcome] = out.get(row.outcome, 0) + 1
         return out
@@ -176,22 +212,29 @@ class FuzzReport:
 
     @property
     def distinct_schedules(self) -> int:
+        if self.streamed_distinct is not None:
+            return self.streamed_distinct
         return sum(1 for r in self.rows if r.distinct)
 
     @property
     def duplicate_schedules(self) -> int:
-        return len(self.rows) - self.distinct_schedules
+        return self.total_cases - self.distinct_schedules
 
     @property
     def ok(self) -> bool:
         """The sweep's verdict: no silent wrong answer, no schedule bug."""
+        if self.streamed:
+            counts = self.counts
+            return (
+                counts.get(FAILED, 0) == 0 and counts.get(IMPOSSIBLE, 0) == 0
+            )
         return not self.failures
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "seed": self.seed,
             "agent_kwargs": dict(self.agent_kwargs),
-            "cases": len(self.rows),
+            "cases": self.total_cases,
             "counts": self.counts,
             "distinct_schedules": self.distinct_schedules,
             "duplicate_schedules": self.duplicate_schedules,
@@ -203,8 +246,10 @@ class FuzzReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self) -> str:
+        mode = " [streamed]" if self.streamed else ""
         lines = [
-            f"interleaving fuzz: {len(self.rows)} cases, seed={self.seed}"
+            f"interleaving fuzz: {self.total_cases} cases, "
+            f"seed={self.seed}{mode}"
         ]
         counts = self.counts
         for name in OUTCOMES:
@@ -397,6 +442,170 @@ def build_cases(
     return tasks
 
 
+class FuzzCampaignSpec(CampaignSpec):
+    """The interleaving grid as a lazy :class:`~repro.campaign.CampaignSpec`.
+
+    Same deterministic grid :func:`build_cases` materializes —
+    ``instances[i % n] × scheduler_specs[i // n]`` with a plan on every
+    ``fault_every``-th case — expressed case-by-case so a shard touches
+    only the indices it owns.  Schedule-signature dedup runs as a
+    checkpointed :class:`~repro.campaign.SignatureDedup` stage, so a
+    resumed sweep's coverage counters continue from the committed prefix
+    instead of resetting.
+    """
+
+    kind = "fuzz"
+    span_name = "fuzz.case"
+
+    def __init__(
+        self,
+        instances: Optional[Sequence[InstanceSpec]] = None,
+        runs: int = 200,
+        config: Optional[FuzzConfig] = None,
+        quick: bool = False,
+        collect: bool = False,
+    ):
+        self.config = config or FuzzConfig()
+        if instances is None:
+            instances = table1_battery(quick=quick)
+        self.instances = list(instances)
+        if not self.instances:
+            raise AdversaryError("fuzz sweep needs at least one instance")
+        if runs < 1:
+            raise AdversaryError("fuzz sweep needs runs >= 1")
+        self.runs = runs
+        self.campaign = f"fuzz:seed={self.config.seed}:runs={runs}"
+        self._specs = scheduler_specs(
+            -(-runs // len(self.instances)), seed=self.config.seed
+        )
+        self._shape_cache: Dict[str, Tuple[Any, Any]] = {}
+        self._ledger_cache: Dict[str, Tuple[str, float]] = {}
+        self.counter = OutcomeCounter()
+        self.dedup = SignatureDedup(attr="signature", flag="distinct")
+        self.failures = FailureKeeper(self.case_failed)
+        self.collector: Optional[RowCollector] = (
+            RowCollector() if collect else None
+        )
+
+    @property
+    def total(self) -> int:
+        return self.runs
+
+    def _shape(self, label: str, inst: InstanceSpec) -> Tuple[Any, Any]:
+        shape = self._shape_cache.get(label)
+        if shape is None:
+            shape = inst.build()
+            self._shape_cache[label] = shape
+        return shape
+
+    def task(
+        self, index: int
+    ) -> Tuple[int, InstanceSpec, Dict[str, Any], Optional[FaultPlan], FuzzConfig]:
+        cfg = self.config
+        inst = self.instances[index % len(self.instances)]
+        sched = self._specs[index // len(self.instances)]
+        plan: Optional[FaultPlan] = None
+        if cfg.fault_every and (index + 1) % cfg.fault_every == 0:
+            network, placement = self._shape(inst.label, inst)
+            plan = random_fault_plans(
+                1,
+                num_agents=placement.num_agents,
+                num_nodes=network.num_nodes,
+                seed=_case_seed(
+                    cfg.seed, index, inst.label, str(sched.get("kind"))
+                ),
+            )[0]
+        return (index, inst, sched, plan, cfg)
+
+    @property
+    def evaluate(self) -> Any:
+        return _evaluate_case
+
+    def context(self, index: int) -> "flight.TraceContext":
+        inst = self.instances[index % len(self.instances)]
+        sched = self._specs[index // len(self.instances)]
+        return _case_context(
+            self.config.seed, index, inst.label, str(sched.get("kind"))
+        )
+
+    def ledger_row(self, index: int, row: FuzzRow) -> LedgerRow:
+        from ..graphs.canonical import canonical_hash
+        from ..trace.invariants import THEOREM31_CONSTANT
+
+        spec = row.spec
+        cached = self._ledger_cache.get(spec.label)
+        if cached is None:
+            network, placement = self._shape(spec.label, spec)
+            chash = canonical_hash(network, placement.bicoloring(network))
+            budget = (
+                THEOREM31_CONSTANT
+                * placement.num_agents
+                * max(1, network.num_edges)
+            )
+            cached = (chash, budget)
+            self._ledger_cache[spec.label] = cached
+        chash, budget = cached
+        kind = str(row.scheduler.get("kind"))
+        ctx = _case_context(self.config.seed, index, spec.label, kind)
+        return LedgerRow(
+            kind=self.kind,
+            campaign=self.campaign,
+            case_index=row.index,
+            instance=spec.label,
+            family=kind,
+            chash=chash,
+            seed=row.case_seed,
+            predicted="electable" if row.predicted else "impossible",
+            outcome=row.outcome,
+            detail=row.detail,
+            moves=row.moves,
+            budget=budget,
+            steps=row.steps,
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+        )
+
+    def spill_record(self, index: int, row: FuzzRow) -> Dict[str, Any]:
+        record = row.to_dict()
+        record["case_index"] = index
+        return record
+
+    def case_failed(self, row: FuzzRow) -> bool:
+        return row.failed
+
+    def stages(self) -> Sequence[Stage]:
+        stages: List[Stage] = [
+            self.counter,
+            self.dedup,  # must precede metrics: it sets row.distinct
+            MetricsStage(self._count),
+            self.failures,
+        ]
+        if self.collector is not None:
+            stages.append(self.collector)
+        return stages
+
+    @staticmethod
+    def _count(row: FuzzRow) -> None:
+        count_schedule(row.distinct)
+        count_run(row.outcome)
+
+    def describe(self) -> Dict[str, Any]:
+        cfg = self.config
+        return {
+            "kind": self.kind,
+            "campaign": self.campaign,
+            "seed": cfg.seed,
+            "runs": self.runs,
+            "instances": [inst.label for inst in self.instances],
+            "fault_every": cfg.fault_every,
+            "agent_kwargs": repr(cfg.agent_kwargs),
+            "timeout": cfg.timeout,
+            "max_restarts": cfg.max_restarts,
+            "backoff": list(cfg.backoff),
+            "max_steps": cfg.max_steps,
+        }
+
+
 def run_fuzz(
     instances: Optional[Sequence[InstanceSpec]] = None,
     runs: int = 200,
@@ -404,47 +613,69 @@ def run_fuzz(
     workers: Optional[int] = 1,
     quick: bool = False,
     ledger: Optional[Any] = None,
+    stream: bool = False,
+    shard: Optional[Any] = None,
+    resume: bool = False,
+    checkpoint_every: int = 64,
+    max_cases: Optional[int] = None,
+    spill: Optional[str] = None,
 ) -> FuzzReport:
     """Sweep the interleaving grid; return the classified report.
 
     Deterministic in ``(instances, runs, config)`` — worker count only
     changes wall-clock time (the battery runner preserves input order and
-    every seed derives per case).
+    every seed derives per case).  The sweep runs on the
+    :class:`~repro.campaign.CampaignEngine`:
+
+    * ``stream=False`` (default) keeps the legacy full-report shape;
+    * ``stream=True`` retains only failing rows (with their recorded
+      choices, so :mod:`repro.adversary.minimize` still has its input)
+      while counts and schedule coverage come from checkpointed stage
+      counters — flat memory at any ``runs``;
+    * ``shard`` / ``resume`` / ``checkpoint_every`` / ``max_cases`` /
+      ``spill`` pass straight to the engine (``shard`` accepts a
+      :class:`~repro.campaign.Shard` or an ``"i/N"`` string).
 
     ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path) appends
-    one row per case via :func:`write_fuzz_ledger`; with the flight
-    recorder on, each case also runs under its own deterministic trace
-    context and ships its spans back to the sweep's recorder.
+    one row per case, committed chunk-atomically with the shard's resume
+    checkpoint; with the flight recorder on, each case also runs under
+    its own deterministic trace context and ships its spans back to the
+    sweep's recorder.
     """
     cfg = config or FuzzConfig()
-    if instances is None:
-        instances = table1_battery(quick=quick)
-    tasks = build_cases(instances, runs, cfg)
-
-    from ..perf.parallel import ParallelBatteryRunner
-
-    runner = ParallelBatteryRunner(workers=workers)
-    started = time.perf_counter()
-    if flight.recording():
-        contexts = [
-            _case_context(cfg.seed, i, spec.label, str(sched.get("kind")))
-            for i, spec, sched, _plan, _cfg in tasks
-        ]
-        rows = list(
-            flight.map_with_flight(
-                runner, _evaluate_case, tasks, "fuzz.case", contexts
-            )
+    spec = FuzzCampaignSpec(
+        instances=instances,
+        runs=runs,
+        config=cfg,
+        quick=quick,
+        collect=not stream,
+    )
+    if shard is None:
+        shard = Shard()
+    elif not isinstance(shard, Shard):
+        shard = Shard.parse(shard)
+    engine = CampaignEngine(
+        spec,
+        ledger=ledger,
+        workers=workers,
+        shard=shard,
+        checkpoint_every=checkpoint_every,
+        max_cases=max_cases,
+        spill=spill,
+    )
+    result = engine.run(resume=resume)
+    if stream:
+        return FuzzReport(
+            rows=list(spec.failures.kept),
+            seed=cfg.seed,
+            agent_kwargs=cfg.agent_kwargs,
+            streamed_counts=dict(result.counts),
+            streamed_total=result.resumed + result.processed,
+            streamed_distinct=spec.dedup.distinct,
         )
-    else:
-        rows = list(runner.map(_evaluate_case, tasks))
-    elapsed = time.perf_counter() - started
-    seen: set = set()
-    for row in rows:
-        row.distinct = row.signature not in seen
-        seen.add(row.signature)
-        count_schedule(row.distinct)
-        count_run(row.outcome)
-    report = FuzzReport(rows=rows, seed=cfg.seed, agent_kwargs=cfg.agent_kwargs)
-    if ledger is not None:
-        write_fuzz_ledger(ledger, report, tasks, elapsed)
-    return report
+    assert spec.collector is not None
+    return FuzzReport(
+        rows=list(spec.collector.rows),
+        seed=cfg.seed,
+        agent_kwargs=cfg.agent_kwargs,
+    )

@@ -1,5 +1,10 @@
 """Experiment harness: instance batteries, Table 1 matrix, complexity sweeps."""
 
+from .campaign import (
+    BatteryCampaignSpec,
+    BatteryRow,
+    run_battery_campaign,
+)
 from .complexity import (
     ComplexityFit,
     ComplexityPoint,
@@ -32,6 +37,9 @@ from .report import render_kv, render_table
 
 __all__ = [
     "BATTERIES",
+    "BatteryCampaignSpec",
+    "BatteryRow",
+    "run_battery_campaign",
     "Instance",
     "battery_by_name",
     "instances_for",

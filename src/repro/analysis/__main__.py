@@ -166,6 +166,21 @@ def _experiment_adversary(quick: bool) -> None:
     )
 
 
+def _experiment_campaign(quick: bool) -> None:
+    from .campaign import run_battery_campaign
+
+    result = run_battery_campaign(
+        battery="quantitative" if quick else "cayley-effectualness",
+        repetitions=1 if quick else 2,
+        workers=_WORKERS,
+    )
+    print(result.render())
+    print(
+        "\nstreamed battery sweep on the campaign engine "
+        "(see python -m repro.campaign for sharded/resumable runs)"
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "table1": _experiment_table1,
     "complexity": _experiment_complexity,
@@ -174,6 +189,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "trace": _experiment_trace,
     "faults": _experiment_faults,
     "adversary": _experiment_adversary,
+    "campaign": _experiment_campaign,
 }
 
 

@@ -190,3 +190,16 @@ class ServeError(ReproError):
     and translate to a 4xx/5xx JSON error body; everything else escaping a
     handler is a 500.
     """
+
+
+class CampaignError(ReproError):
+    """Raised for invalid campaign-engine configurations and resume states.
+
+    Examples: a shard spec outside ``0 <= index < count``, resuming a
+    checkpoint whose configuration fingerprint does not match the grid
+    being run, or re-running a campaign shard into a ledger that already
+    holds its checkpoint without asking for ``resume``.  Like
+    :class:`FaultError` and :class:`AdversaryError`, this is strictly
+    about *misconfiguration* — failures a campaign discovers surface as
+    classified rows and a non-zero exit code, never as this error.
+    """

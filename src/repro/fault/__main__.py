@@ -12,6 +12,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from ..errors import CampaignError
 from .campaign import CampaignConfig, run_campaign
 
 
@@ -71,6 +72,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="append one run-ledger row per (instance, plan) pair to this "
         "SQLite database (see python -m repro.obs ledger)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="streaming report: retain only failing rows; counts come "
+        "from the campaign engine's checkpointed counters",
+    )
+    parser.add_argument(
+        "--shard",
+        type=str,
+        default=None,
+        metavar="i/N",
+        help="run only case indices ≡ i (mod N) — see python -m repro.campaign",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the ledger's checkpoint for this shard",
+    )
+    parser.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        help="truncate the matrix to its first N indices (before sharding)",
+    )
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
@@ -79,13 +104,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_restarts=args.max_restarts,
         audit=not args.no_audit,
     )
-    report = run_campaign(
-        pairs=args.pairs,
-        config=config,
-        workers=args.workers,
-        quick=args.quick,
-        ledger=args.ledger,
-    )
+    try:
+        report = run_campaign(
+            pairs=args.pairs,
+            config=config,
+            workers=args.workers,
+            quick=args.quick,
+            ledger=args.ledger,
+            stream=args.stream,
+            shard=args.shard,
+            resume=args.resume,
+            max_cases=args.max_cases,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:

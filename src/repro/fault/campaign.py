@@ -37,11 +37,21 @@ from __future__ import annotations
 
 import json
 import random
-import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..campaign.engine import (
+    CampaignEngine,
+    CampaignSpec,
+    FailureKeeper,
+    MetricsStage,
+    OutcomeCounter,
+    PredicateCounter,
+    RowCollector,
+    Shard,
+    Stage,
+)
 from ..core.elect import ElectAgent
 from ..core.feasibility import elect_prediction
 from ..core.result import aggregate
@@ -128,14 +138,43 @@ class CampaignRow:
 
 @dataclass
 class CampaignReport:
-    """All rows of one campaign plus the headline counts."""
+    """All rows of one campaign plus the headline counts.
+
+    Two shapes share this class.  Legacy (collect) mode holds every row
+    and derives the counts from them.  Streaming mode holds only the
+    *failing* rows (the minimizer/report material) while the headline
+    numbers come from the engine's checkpointed stage counters — the
+    ``streamed_*`` fields — so a million-pair sweep's report stays O(1)
+    in memory and survives kill/resume with exact totals.
+    """
 
     rows: List[CampaignRow]
     seed: int
+    #: Streaming mode: outcome histogram from the engine's
+    #: :class:`~repro.campaign.engine.OutcomeCounter` (``None``: legacy).
+    streamed_counts: Optional[Dict[str, int]] = None
+    #: Streaming mode: total pairs observed (resumed + evaluated).
+    streamed_total: Optional[int] = None
+    #: Streaming mode: pairs with structural audit failures.
+    streamed_audit_failures: int = 0
+
+    @property
+    def streamed(self) -> bool:
+        return self.streamed_counts is not None
+
+    @property
+    def total_pairs(self) -> int:
+        if self.streamed_total is not None:
+            return self.streamed_total
+        return len(self.rows)
 
     @property
     def counts(self) -> Dict[str, int]:
         out = {name: 0 for name in OUTCOMES}
+        if self.streamed_counts is not None:
+            for name, n in self.streamed_counts.items():
+                out[name] = out.get(name, 0) + int(n)
+            return out
         for row in self.rows:
             out[row.outcome] = out.get(row.outcome, 0) + 1
         return out
@@ -151,12 +190,17 @@ class CampaignReport:
     @property
     def ok(self) -> bool:
         """The campaign's verdict: no silent wrong answer, clean audits."""
+        if self.streamed:
+            return (
+                self.counts.get(IMPOSSIBLE, 0) == 0
+                and self.streamed_audit_failures == 0
+            )
         return not self.impossible_rows and not self.audit_failures
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "seed": self.seed,
-            "pairs": len(self.rows),
+            "pairs": self.total_pairs,
             "counts": self.counts,
             "ok": self.ok,
             "rows": [r.to_dict() for r in self.rows],
@@ -167,18 +211,24 @@ class CampaignReport:
 
     def render(self) -> str:
         """Human-readable summary table."""
+        mode = " [streamed]" if self.streamed else ""
         lines = [
-            f"fault campaign: {len(self.rows)} (instance, plan) pairs, "
-            f"seed={self.seed}"
+            f"fault campaign: {self.total_pairs} (instance, plan) pairs, "
+            f"seed={self.seed}{mode}"
         ]
         counts = self.counts
         for name in OUTCOMES:
             lines.append(f"  {name:>22}: {counts.get(name, 0)}")
+        audit_count = (
+            self.streamed_audit_failures
+            if self.streamed
+            else len(self.audit_failures)
+        )
         total_restarts = sum(r.restarts for r in self.rows)
         total_stalls = sum(r.stalls for r in self.rows)
         lines.append(
             f"  restarts={total_restarts}  stalls={total_stalls}  "
-            f"audit-failures={len(self.audit_failures)}"
+            f"audit-failures={audit_count}"
         )
         for row in self.impossible_rows:
             lines.append(
@@ -444,6 +494,151 @@ def build_pairs(
     ]
 
 
+class FaultCampaignSpec(CampaignSpec):
+    """The fault matrix as a lazy :class:`~repro.campaign.CampaignSpec`.
+
+    The grid is the same deterministic matrix :func:`build_pairs`
+    materializes, expressed in closed form so the engine never builds it
+    whole: after :func:`build_pairs`'s plan-major interleave+trim, final
+    index ``i`` denotes plan slot ``i // n_instances`` of instance
+    ``i % n_instances``.  Per-instance plan lists (and canonical hashes)
+    are generated on first touch and cached, so a shard only pays for the
+    instances it actually owns.
+    """
+
+    kind = "fault"
+    span_name = "fault.case"
+
+    def __init__(
+        self,
+        instances: Optional[Sequence[Any]] = None,
+        pairs: int = 208,
+        config: Optional[CampaignConfig] = None,
+        quick: bool = False,
+        collect: bool = False,
+    ):
+        self.config = config or CampaignConfig()
+        if instances is None:
+            instances = standard_battery(quick=quick)
+        self.instances = list(instances)
+        if not self.instances:
+            raise ValueError("campaign needs at least one instance")
+        self.pairs = pairs
+        self.campaign = f"fault:seed={self.config.seed}:pairs={pairs}"
+        self._plans_per = max(1, -(-pairs // len(self.instances)))
+        self._plan_cache: Dict[int, List[FaultPlan]] = {}
+        self._chash_cache: Dict[str, Tuple[str, int]] = {}
+        # Stages are attributes so frontends can read them after a run.
+        self.counter = OutcomeCounter()
+        self.audit_counter = PredicateCounter(
+            "audit-failures", lambda row: bool(row.audit_failures)
+        )
+        self.failures = FailureKeeper(self.case_failed)
+        self.collector: Optional[RowCollector] = (
+            RowCollector() if collect else None
+        )
+
+    @property
+    def total(self) -> int:
+        return self.pairs
+
+    def _plans(self, j: int) -> List[FaultPlan]:
+        plans = self._plan_cache.get(j)
+        if plans is None:
+            inst = self.instances[j]
+            plans = random_fault_plans(
+                self._plans_per,
+                num_agents=inst.placement.num_agents,
+                num_nodes=inst.network.num_nodes,
+                seed=_pair_seed(self.config.seed, j, inst.label),
+            )
+            self._plan_cache[j] = plans
+        return plans
+
+    def task(self, index: int) -> Tuple[int, Any, FaultPlan, CampaignConfig]:
+        slot, j = divmod(index, len(self.instances))
+        return (index, self.instances[j], self._plans(j)[slot], self.config)
+
+    @property
+    def evaluate(self) -> Any:
+        return _evaluate_pair
+
+    def context(self, index: int) -> "flight.TraceContext":
+        _, _inst, plan, _cfg = self.task(index)
+        return _pair_context(self.config.seed, index, plan.name)
+
+    def ledger_row(self, index: int, row: CampaignRow) -> LedgerRow:
+        from ..graphs.canonical import canonical_hash
+
+        _, inst, plan, cfg = self.task(index)
+        cached = self._chash_cache.get(inst.label)
+        if cached is None:
+            chash = canonical_hash(
+                inst.network, inst.placement.bicoloring(inst.network)
+            )
+            budget = (
+                THEOREM31_CONSTANT
+                * inst.placement.num_agents
+                * max(1, inst.network.num_edges)
+            )
+            cached = (chash, budget)
+            self._chash_cache[inst.label] = cached
+        chash, budget = cached
+        ctx = _pair_context(cfg.seed, index, plan.name)
+        return LedgerRow(
+            kind=self.kind,
+            campaign=self.campaign,
+            case_index=row.index,
+            instance=row.instance,
+            family=row.family,
+            chash=chash,
+            seed=_pair_seed(cfg.seed, index, plan.name),
+            predicted="electable" if row.predicted else "impossible",
+            outcome=row.outcome,
+            detail=row.detail,
+            moves=row.moves,
+            budget=budget,
+            steps=row.steps,
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+        )
+
+    def spill_record(self, index: int, row: CampaignRow) -> Dict[str, Any]:
+        record = row.to_dict()
+        record["case_index"] = index
+        return record
+
+    def case_failed(self, row: CampaignRow) -> bool:
+        return row.outcome == IMPOSSIBLE or bool(row.audit_failures)
+
+    def stages(self) -> Sequence[Stage]:
+        stages: List[Stage] = [
+            self.counter,
+            self.audit_counter,
+            MetricsStage(lambda row: count_outcome(row.outcome)),
+            self.failures,
+        ]
+        if self.collector is not None:
+            stages.append(self.collector)
+        return stages
+
+    def describe(self) -> Dict[str, Any]:
+        cfg = self.config
+        return {
+            "kind": self.kind,
+            "campaign": self.campaign,
+            "seed": cfg.seed,
+            "pairs": self.pairs,
+            "instances": [inst.label for inst in self.instances],
+            "timeout": cfg.timeout,
+            "max_restarts": cfg.max_restarts,
+            "backoff": list(cfg.backoff),
+            "jitter": cfg.jitter,
+            "max_steps": cfg.max_steps,
+            "audit": cfg.audit,
+        }
+
+
 def run_campaign(
     instances: Optional[Sequence[Any]] = None,
     pairs: int = 208,
@@ -451,43 +646,66 @@ def run_campaign(
     workers: Optional[int] = 1,
     quick: bool = False,
     ledger: Optional[Any] = None,
+    stream: bool = False,
+    shard: Optional[Any] = None,
+    resume: bool = False,
+    checkpoint_every: int = 64,
+    max_cases: Optional[int] = None,
+    spill: Optional[str] = None,
 ) -> CampaignReport:
     """Sweep the fault matrix; return the classified report.
 
     Deterministic in ``(instances, pairs, config)`` — worker count only
     changes wall-clock time (the battery runner preserves input order and
-    every seed is derived per pair).
+    every seed is derived per pair).  The sweep runs on the
+    :class:`~repro.campaign.CampaignEngine`:
+
+    * ``stream=False`` (default) keeps the legacy shape — every row held
+      in memory, full report;
+    * ``stream=True`` retains only failing rows; headline counts come
+      from the engine's checkpointed counters, so memory stays flat for
+      arbitrarily large ``pairs`` and a resumed sweep reports exact
+      totals;
+    * ``shard`` (a :class:`~repro.campaign.Shard` or ``"i/N"`` string),
+      ``resume``, ``checkpoint_every``, ``max_cases`` and ``spill`` pass
+      straight to the engine — see :mod:`repro.campaign.engine`.
 
     ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path) appends
-    one row per pair via :func:`write_campaign_ledger`.  When the flight
-    recorder is on, every pair additionally runs under its own
-    deterministic trace context (worker-side spans ship back with the
-    row), so a campaign case can be followed from the ledger row into the
-    exported trace by trace id.
+    one row per pair, committed chunk-atomically with the shard's resume
+    checkpoint.  When the flight recorder is on, every pair additionally
+    runs under its own deterministic trace context (worker-side spans
+    ship back with the row), so a campaign case can be followed from the
+    ledger row into the exported trace by trace id.
     """
     cfg = config or CampaignConfig()
-    if instances is None:
-        instances = standard_battery(quick=quick)
-    tasks = build_pairs(instances, pairs, cfg)
-
-    from ..perf.parallel import ParallelBatteryRunner
-
-    runner = ParallelBatteryRunner(workers=workers)
-    started = time.perf_counter()
-    if flight.recording():
-        contexts = [
-            _pair_context(cfg.seed, index, plan.name)
-            for index, _inst, plan, _cfg in tasks
-        ]
-        rows = flight.map_with_flight(
-            runner, _evaluate_pair, tasks, "fault.case", contexts
+    spec = FaultCampaignSpec(
+        instances=instances,
+        pairs=pairs,
+        config=cfg,
+        quick=quick,
+        collect=not stream,
+    )
+    if shard is None:
+        shard = Shard()
+    elif not isinstance(shard, Shard):
+        shard = Shard.parse(shard)
+    engine = CampaignEngine(
+        spec,
+        ledger=ledger,
+        workers=workers,
+        shard=shard,
+        checkpoint_every=checkpoint_every,
+        max_cases=max_cases,
+        spill=spill,
+    )
+    result = engine.run(resume=resume)
+    if stream:
+        return CampaignReport(
+            rows=list(spec.failures.kept),
+            seed=cfg.seed,
+            streamed_counts=dict(result.counts),
+            streamed_total=result.resumed + result.processed,
+            streamed_audit_failures=spec.audit_counter.count,
         )
-    else:
-        rows = runner.map(_evaluate_pair, tasks)
-    elapsed = time.perf_counter() - started
-    for row in rows:
-        count_outcome(row.outcome)
-    report = CampaignReport(rows=list(rows), seed=cfg.seed)
-    if ledger is not None:
-        write_campaign_ledger(ledger, report, tasks, elapsed)
-    return report
+    assert spec.collector is not None
+    return CampaignReport(rows=list(spec.collector.rows), seed=cfg.seed)

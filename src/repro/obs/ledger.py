@@ -22,11 +22,27 @@ Schema (version 1)::
          seed INTEGER, predicted TEXT, outcome TEXT, detail TEXT,
          moves INTEGER, budget REAL, steps INTEGER,
          wall_ms REAL, trace_id TEXT, span_id TEXT, created REAL)
+    checkpoints(kind TEXT, campaign TEXT,
+                shard_index INTEGER, shard_count INTEGER,
+                done INTEGER, fingerprint TEXT, version INTEGER,
+                state TEXT, updated REAL,
+                PRIMARY KEY (kind, campaign, shard_index, shard_count))
 
 Versioning mirrors :class:`repro.serve.store.CanonicalStore`: both
 stamps are enforced on open (``wipe_on_mismatch=True`` rebuilds —
 ledger rows are derived data in the sense that re-running the campaign
 regenerates them byte-identically, wall times aside).
+
+Concurrency: the ledger opens in WAL journal mode with a generous busy
+timeout, so several shard processes of one campaign can append to the
+same file concurrently — each :meth:`RunLedger.append` (and each
+:meth:`RunLedger.append_with_checkpoint`) is a single serialized
+transaction.  :meth:`append_with_checkpoint` is the campaign engine's
+durability primitive: a chunk of rows and the shard's advanced
+checkpoint commit **atomically**, so a SIGKILL at any instant leaves
+either both or neither — resuming from the stored checkpoint can never
+duplicate or skip a case, which is what makes a resumed run's
+:meth:`digest` byte-identical to an uninterrupted one.
 
 Determinism contract: for a fixed campaign config, every column except
 ``wall_ms`` and ``created`` is a pure function of the seed — including
@@ -50,6 +66,10 @@ from ..errors import MetricsError
 
 LEDGER_SCHEMA_VERSION = 1
 
+#: Version stamp carried by every checkpoint row; a campaign resume
+#: refuses checkpoints written by an incompatible engine.
+CHECKPOINT_SCHEMA_VERSION = 1
+
 #: Columns hashed by :meth:`RunLedger.digest`, in order.  ``wall_ms`` and
 #: ``created`` are deliberately absent: they are the only
 #: machine-dependent columns.
@@ -68,6 +88,14 @@ DIGEST_COLUMNS = (
     "steps",
     "trace_id",
     "span_id",
+)
+
+
+_INSERT_RUN = (
+    "INSERT INTO runs (kind, campaign, case_index, instance,"
+    " family, chash, seed, predicted, outcome, detail, moves,"
+    " budget, steps, wall_ms, trace_id, span_id, created)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
 )
 
 
@@ -113,6 +141,43 @@ class LedgerRow:
         }
 
 
+@dataclass
+class Checkpoint:
+    """One shard's durable progress marker inside a campaign.
+
+    ``done`` counts this shard's committed cases (the first ``done``
+    positions of the shard's deterministic index sequence).
+    ``fingerprint`` hashes the campaign configuration so a resume with a
+    different grid is refused instead of silently mixing sweeps.
+    ``state`` carries the JSON state of the engine's resumable stages
+    (outcome counts, dedup signature sets) as of the last commit.
+    """
+
+    kind: str
+    campaign: str
+    shard_index: int = 0
+    shard_count: int = 1
+    done: int = 0
+    fingerprint: str = ""
+    state: Dict[str, Any] = None  # type: ignore[assignment]
+    version: int = CHECKPOINT_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.state is None:
+            self.state = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "campaign": self.campaign,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "done": self.done,
+            "fingerprint": self.fingerprint,
+            "version": self.version,
+        }
+
+
 class RunLedger:
     """SQLite-backed append-only run ledger.
 
@@ -123,12 +188,26 @@ class RunLedger:
     wipe_on_mismatch:
         When the file carries a different schema or canonical-encoding
         version, drop its contents instead of raising.
+    busy_timeout_ms:
+        How long a writer waits on a locked database before giving up —
+        generous by default so concurrent shard appends queue instead of
+        failing.
     """
 
-    def __init__(self, path: str, wipe_on_mismatch: bool = False):
+    def __init__(
+        self,
+        path: str,
+        wipe_on_mismatch: bool = False,
+        busy_timeout_ms: int = 30_000,
+    ):
         self.path = path
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        # WAL lets shard readers (progress polls, digests) proceed while a
+        # writer commits, and keeps committed transactions durable across
+        # a SIGKILL.  In-memory databases report "memory" and stay as-is.
+        self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._init_schema(wipe_on_mismatch)
 
@@ -163,6 +242,16 @@ class RunLedger:
                 "CREATE INDEX IF NOT EXISTS runs_kind_campaign "
                 "ON runs (kind, campaign, case_index)"
             )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS checkpoints ("
+                "kind TEXT NOT NULL, campaign TEXT NOT NULL,"
+                "shard_index INTEGER NOT NULL, shard_count INTEGER NOT NULL,"
+                "done INTEGER NOT NULL, fingerprint TEXT NOT NULL,"
+                "version INTEGER NOT NULL,"
+                "state TEXT NOT NULL DEFAULT '{}',"
+                "updated REAL NOT NULL,"
+                "PRIMARY KEY (kind, campaign, shard_index, shard_count))"
+            )
             stamps = {
                 "schema_version": str(LEDGER_SCHEMA_VERSION),
                 "canonical_hash_version": str(CANONICAL_HASH_VERSION),
@@ -185,6 +274,7 @@ class RunLedger:
                         "to rebuild)"
                     )
                 self._conn.execute("DELETE FROM runs")
+                self._conn.execute("DELETE FROM checkpoints")
                 self._conn.execute("DELETE FROM meta")
             for key, value in stamps.items():
                 self._conn.execute(
@@ -196,25 +286,146 @@ class RunLedger:
     # Append and query
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _row_tuple(r: LedgerRow):
+        return (
+            r.kind, r.campaign, r.case_index, r.instance, r.family,
+            r.chash, r.seed, r.predicted, r.outcome, r.detail,
+            r.moves, r.budget, r.steps, r.wall_ms,
+            r.trace_id, r.span_id, time.time(),
+        )
+
     def append(self, rows: Iterable[LedgerRow]) -> int:
         """Append rows (one transaction); returns the number written."""
+        payload = [self._row_tuple(r) for r in rows]
+        with self._lock, self._conn:
+            self._conn.executemany(_INSERT_RUN, payload)
+        return len(payload)
+
+    def append_with_checkpoint(
+        self, rows: Iterable[LedgerRow], checkpoint: Checkpoint
+    ) -> int:
+        """Append ``rows`` and advance ``checkpoint`` in ONE transaction.
+
+        This is the campaign engine's commit primitive: either the chunk's
+        rows land *and* the shard's checkpoint moves past them, or (after a
+        crash) neither happened.  Returns the number of rows written.
+        """
+        payload = [self._row_tuple(r) for r in rows]
+        with self._lock, self._conn:
+            if payload:
+                self._conn.executemany(_INSERT_RUN, payload)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO checkpoints (kind, campaign,"
+                " shard_index, shard_count, done, fingerprint, version,"
+                " state, updated) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    checkpoint.kind,
+                    checkpoint.campaign,
+                    checkpoint.shard_index,
+                    checkpoint.shard_count,
+                    checkpoint.done,
+                    checkpoint.fingerprint,
+                    checkpoint.version,
+                    json.dumps(checkpoint.state, sort_keys=True),
+                    time.time(),
+                ),
+            )
+        return len(payload)
+
+    def checkpoint(
+        self,
+        kind: str,
+        campaign: str,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> Optional[Checkpoint]:
+        """The stored checkpoint for one campaign shard, if any."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT done, fingerprint, version, state FROM checkpoints"
+                " WHERE kind = ? AND campaign = ? AND shard_index = ?"
+                " AND shard_count = ?",
+                (kind, campaign, shard_index, shard_count),
+            ).fetchone()
+        if row is None:
+            return None
+        done, fingerprint, version, state = row
+        if int(version) != CHECKPOINT_SCHEMA_VERSION:
+            raise MetricsError(
+                f"ledger {self.path!r} holds a checkpoint with schema "
+                f"version {version}; this engine speaks "
+                f"{CHECKPOINT_SCHEMA_VERSION}"
+            )
+        return Checkpoint(
+            kind=kind,
+            campaign=campaign,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            done=int(done),
+            fingerprint=str(fingerprint),
+            state=json.loads(state),
+            version=int(version),
+        )
+
+    def checkpoints(self) -> List[Dict[str, Any]]:
+        """Every stored checkpoint (shard progress roll-up for ``status``)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT kind, campaign, shard_index, shard_count, done,"
+                " fingerprint, version, updated FROM checkpoints"
+                " ORDER BY kind, campaign, shard_count, shard_index"
+            ).fetchall()
+        columns = (
+            "kind", "campaign", "shard_index", "shard_count", "done",
+            "fingerprint", "version", "updated",
+        )
+        return [dict(zip(columns, row)) for row in rows]
+
+    def clear_checkpoint(
+        self,
+        kind: str,
+        campaign: str,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "DELETE FROM checkpoints WHERE kind = ? AND campaign = ?"
+                " AND shard_index = ? AND shard_count = ?",
+                (kind, campaign, shard_index, shard_count),
+            )
+
+    def merge_from(self, source: Any) -> int:
+        """Copy every run row from ``source`` (a path or ledger) into this
+        ledger, preserving all columns including ``created``.
+
+        The shard-merge path: N shard processes each write their own
+        ledger file, then CI merges them and checks
+        :meth:`digest` equality against a single-shard run — the digest
+        orders rows by ``case_index``, so the union of disjoint shards
+        hashes identically to the uninterrupted sweep.  Checkpoints are
+        deliberately **not** merged (they are per-file shard state).
+        Returns the number of rows copied.
+        """
+        src = source if isinstance(source, RunLedger) else RunLedger(str(source))
+        try:
+            rows = src.rows()
+        finally:
+            if src is not source:
+                src.close()
         payload = [
             (
-                r.kind, r.campaign, r.case_index, r.instance, r.family,
-                r.chash, r.seed, r.predicted, r.outcome, r.detail,
-                r.moves, r.budget, r.steps, r.wall_ms,
-                r.trace_id, r.span_id, time.time(),
+                r["kind"], r["campaign"], r["case_index"], r["instance"],
+                r["family"], r["chash"], r["seed"], r["predicted"],
+                r["outcome"], r["detail"], r["moves"], r["budget"],
+                r["steps"], r["wall_ms"], r["trace_id"], r["span_id"],
+                r["created"],
             )
             for r in rows
         ]
         with self._lock, self._conn:
-            self._conn.executemany(
-                "INSERT INTO runs (kind, campaign, case_index, instance,"
-                " family, chash, seed, predicted, outcome, detail, moves,"
-                " budget, steps, wall_ms, trace_id, span_id, created)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                payload,
-            )
+            self._conn.executemany(_INSERT_RUN, payload)
         return len(payload)
 
     def _where(

@@ -1,0 +1,155 @@
+"""Concurrent multi-shard appends into one RunLedger file.
+
+The campaign engine lets N shard processes write the same WAL-mode
+ledger simultaneously (each holding its own connection), relying on
+``journal_mode=WAL`` + ``busy_timeout`` to serialize commits instead of
+failing with ``database is locked``.  These tests exercise exactly that
+path — concurrent writers from threads (distinct connections) and from
+real subprocesses — which the single-writer ledger tests never touch.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+from repro.obs.ledger import Checkpoint, LedgerRow, RunLedger
+
+
+def _row(shard: int, index: int) -> LedgerRow:
+    return LedgerRow(
+        kind="toy",
+        campaign="toy:concurrent",
+        case_index=index,
+        instance=f"i{index}",
+        family=f"shard{shard}",
+        chash="0" * 64,
+        seed=index,
+        predicted="electable",
+        outcome="elected-correctly",
+    )
+
+
+class TestConcurrentThreads:
+    def test_parallel_checkpointed_appends(self, tmp_path):
+        """4 writers × 5 chunks × 10 rows, one connection each, no loss."""
+        path = str(tmp_path / "shared.db")
+        RunLedger(path).close()  # create the schema up front
+        errors = []
+
+        def writer(shard: int):
+            try:
+                led = RunLedger(path)
+                try:
+                    for chunk in range(5):
+                        rows = [
+                            _row(shard, shard + 4 * (10 * chunk + k))
+                            for k in range(10)
+                        ]
+                        led.append_with_checkpoint(
+                            rows,
+                            Checkpoint(
+                                kind="toy",
+                                campaign="toy:concurrent",
+                                shard_index=shard,
+                                shard_count=4,
+                                done=(chunk + 1) * 10,
+                                fingerprint="fp",
+                            ),
+                        )
+                finally:
+                    led.close()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+        with RunLedger(path) as led:
+            assert led.count(kind="toy") == 200
+            for i in range(4):
+                cp = led.checkpoint("toy", "toy:concurrent", i, 4)
+                assert cp is not None and cp.done == 50
+            # All 4 shards' rows interleave yet every case index is unique.
+            indices = [r["case_index"] for r in led.rows(kind="toy")]
+            assert sorted(indices) == list(range(200))
+
+    def test_wal_mode_on_file_ledgers(self, tmp_path):
+        path = str(tmp_path / "wal.db")
+        led = RunLedger(path)
+        try:
+            (mode,) = led._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode == "wal"
+            (timeout,) = led._conn.execute("PRAGMA busy_timeout").fetchone()
+            assert timeout == 30_000
+        finally:
+            led.close()
+
+
+CHILD = r"""
+import sys
+from repro.obs.ledger import Checkpoint, LedgerRow, RunLedger
+
+path, shard = sys.argv[1], int(sys.argv[2])
+led = RunLedger(path)
+for chunk in range(10):
+    rows = [
+        LedgerRow(
+            kind="toy",
+            campaign="toy:procs",
+            case_index=shard + 2 * (10 * chunk + k),
+            instance="x",
+            family=f"shard{shard}",
+            chash="0" * 64,
+            seed=0,
+            predicted="electable",
+            outcome="elected-correctly",
+        )
+        for k in range(10)
+    ]
+    led.append_with_checkpoint(
+        rows,
+        Checkpoint(
+            kind="toy",
+            campaign="toy:procs",
+            shard_index=shard,
+            shard_count=2,
+            done=(chunk + 1) * 10,
+            fingerprint="fp",
+        ),
+    )
+led.close()
+"""
+
+
+class TestConcurrentProcesses:
+    def test_two_processes_share_one_ledger(self, tmp_path):
+        path = str(tmp_path / "procs.db")
+        RunLedger(path).close()
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", CHILD, path, str(i)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=os.environ.copy(),
+            )
+            for i in range(2)
+        ]
+        for proc in procs:
+            _out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+
+        with RunLedger(path) as led:
+            assert led.count(kind="toy") == 200
+            indices = [r["case_index"] for r in led.rows(kind="toy")]
+            assert sorted(indices) == list(range(200))
+            for i in range(2):
+                cp = led.checkpoint("toy", "toy:procs", i, 2)
+                assert cp is not None and cp.done == 100
