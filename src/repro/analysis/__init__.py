@@ -34,6 +34,11 @@ from .matrix import (
     reproduce_table1,
 )
 from .report import render_kv, render_table
+from .robustness import (
+    detection_rates,
+    power_outcome_table,
+    render_detection_table,
+)
 
 __all__ = [
     "BATTERIES",
@@ -65,4 +70,7 @@ __all__ = [
     "FeasibilityProfile",
     "feasibility_profile",
     "profile_table",
+    "detection_rates",
+    "power_outcome_table",
+    "render_detection_table",
 ]

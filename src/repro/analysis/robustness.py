@@ -1,0 +1,88 @@
+"""Robustness analysis: detected-vs-fooled rates per adversary power.
+
+The Byzantine campaign streams a per-power outcome histogram
+(:class:`~repro.fault.byzantine_campaign.PowerRateStage`, keys
+``p<power>:<outcome>``).  This module turns that flat counter into the
+paper-style measurement the robustness PR exists for: at each adversary
+power, how often did lying end *detected* or *aborted-correctly* versus
+*silently fooled*?
+
+The rate's denominator deliberately counts only runs where the adversary
+*changed something* (detected + aborted + fooled): runs the adversary lost
+outright — correct elections despite lies — say nothing about the
+detector, so they would only dilute the signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+#: Outcome names (duplicated from the campaign to avoid an import cycle;
+#: the campaign's test suite pins the two sets equal).
+_DETECTED = "detected"
+_ABORTED = "aborted-correctly"
+_FOOLED = "silently-fooled"
+
+
+def power_outcome_table(
+    counts: Mapping[str, int]
+) -> Dict[int, Dict[str, int]]:
+    """Fold ``{"p<k>:<outcome>": n}`` keys into ``{power: {outcome: n}}``.
+
+    Malformed keys (no ``p<int>:`` prefix) are ignored rather than raised:
+    the counter is checkpoint state and may meet older layouts.
+    """
+    table: Dict[int, Dict[str, int]] = {}
+    for key, n in counts.items():
+        prefix, _, outcome = str(key).partition(":")
+        if not outcome or not prefix.startswith("p"):
+            continue
+        try:
+            power = int(prefix[1:])
+        except ValueError:
+            continue
+        row = table.setdefault(power, {})
+        row[outcome] = row.get(outcome, 0) + int(n)
+    return {power: table[power] for power in sorted(table)}
+
+
+def detection_rates(
+    table: Mapping[int, Mapping[str, int]]
+) -> Dict[int, Optional[float]]:
+    """Per-power detection rate ``(detected + aborted) / (… + fooled)``.
+
+    ``None`` for powers where the adversary never affected an outcome
+    (nothing to detect — typically the whole power-0 column).
+    """
+    rates: Dict[int, Optional[float]] = {}
+    for power in sorted(table):
+        row = table[power]
+        caught = row.get(_DETECTED, 0) + row.get(_ABORTED, 0)
+        fooled = row.get(_FOOLED, 0)
+        denominator = caught + fooled
+        rates[power] = (caught / denominator) if denominator else None
+    return rates
+
+
+def render_detection_table(table: Mapping[int, Mapping[str, int]]) -> str:
+    """Human-readable per-power table with the detection-rate column."""
+    rates = detection_rates(table)
+    lines = [
+        "  power   cases  detected  aborted  fooled  other  detection-rate"
+    ]
+    for power in sorted(table):
+        row = table[power]
+        caught = row.get(_DETECTED, 0)
+        aborted = row.get(_ABORTED, 0)
+        fooled = row.get(_FOOLED, 0)
+        total = sum(row.values())
+        other = total - caught - aborted - fooled
+        rate = rates[power]
+        rate_text = "-" if rate is None else f"{rate:.3f}"
+        lines.append(
+            f"  p={power:<3}  {total:>6}  {caught:>8}  {aborted:>7}  "
+            f"{fooled:>6}  {other:>5}  {rate_text:>14}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no cases)")
+    return "\n".join(lines)

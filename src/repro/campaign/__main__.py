@@ -35,7 +35,20 @@ from ..obs.ledger import RunLedger
 from .engine import CampaignEngine, CampaignSpec, Shard
 
 #: The frontends ``run`` can drive, by name.
-FRONTENDS = ("fault", "fuzz", "battery")
+FRONTENDS = ("fault", "fuzz", "battery", "byzantine")
+
+
+def _parse_powers(text: str) -> tuple:
+    try:
+        powers = tuple(int(p) for p in str(text).split(",") if p != "")
+    except ValueError:
+        raise CampaignError(
+            f"--powers must be comma-separated ints (e.g. 0,1,2,3), "
+            f"got {text!r}"
+        ) from None
+    if not powers or any(p < 0 for p in powers):
+        raise CampaignError(f"--powers needs non-negative powers, got {text!r}")
+    return powers
 
 
 def _build_spec(args: argparse.Namespace) -> CampaignSpec:
@@ -46,6 +59,22 @@ def _build_spec(args: argparse.Namespace) -> CampaignSpec:
         return FaultCampaignSpec(
             pairs=args.pairs,
             config=CampaignConfig(seed=args.seed),
+            quick=args.quick,
+        )
+    if args.frontend == "byzantine":
+        from ..fault.byzantine_campaign import (
+            ByzantineCampaignSpec,
+            ByzantineConfig,
+        )
+
+        return ByzantineCampaignSpec(
+            cases=args.cases,
+            powers=_parse_powers(args.powers),
+            config=ByzantineConfig(
+                seed=args.seed,
+                strictness=args.strictness,
+                abort=args.abort_on_detect,
+            ),
             quick=args.quick,
         )
     if args.frontend == "fuzz":
@@ -215,6 +244,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--battery",
         default="quantitative",
         help="battery frontend: named instance battery",
+    )
+    run.add_argument(
+        "--cases",
+        type=int,
+        default=512,
+        help="byzantine frontend: grid size",
+    )
+    run.add_argument(
+        "--powers",
+        default="0,1,2,3",
+        metavar="P,P,...",
+        help="byzantine frontend: adversary powers to sweep",
+    )
+    run.add_argument(
+        "--strictness",
+        type=int,
+        default=2,
+        choices=(1, 2, 3),
+        help="byzantine frontend: cheat-detector strictness",
+    )
+    run.add_argument(
+        "--abort-on-detect",
+        action="store_true",
+        help="byzantine frontend: abort runs on fresh cheat evidence",
     )
     run.add_argument(
         "--reps",

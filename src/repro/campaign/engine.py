@@ -306,6 +306,20 @@ class CampaignSpec:
     def stages(self) -> Sequence[Stage]:
         return ()
 
+    def summarize(self, stages: Sequence[Stage]) -> Dict[str, Any]:
+        """Extra JSON-stable keys merged into the run result's ``to_dict``.
+
+        Called once after the run with the stage list the engine folded
+        (checkpoint-restored state included), so frontends can project
+        their own stage counters — e.g. the Byzantine campaign's
+        per-power detection table — into ``--json`` output.
+        """
+        return {}
+
+    def render_summary(self, extras: Dict[str, Any]) -> Optional[str]:
+        """Human-readable block for ``summarize`` output (None: skip)."""
+        return None
+
     def describe(self) -> Dict[str, Any]:
         """The JSON-stable configuration the fingerprint hashes."""
         return {"kind": self.kind, "campaign": self.campaign}
@@ -374,6 +388,10 @@ class CampaignRunResult:
     #: ``ledger.digest(kind, campaign)`` after the run (None: no ledger).
     digest: Optional[str] = None
     ledger_rows: Optional[int] = None
+    #: Frontend-specific summary keys (``spec.summarize``), merged into
+    #: ``to_dict`` and rendered via ``summary_text``.
+    extras: Dict[str, Any] = field(default_factory=dict)
+    summary_text: Optional[str] = None
 
     @property
     def complete(self) -> bool:
@@ -399,6 +417,7 @@ class CampaignRunResult:
             "ledger_rows": self.ledger_rows,
             "complete": self.complete,
             "ok": self.ok,
+            **self.extras,
         }
 
     def render(self) -> str:
@@ -412,6 +431,8 @@ class CampaignRunResult:
             lines.append(f"  {name:>22}: {self.counts[name]}")
         if self.digest is not None:
             lines.append(f"  ledger rows={self.ledger_rows}  digest={self.digest}")
+        if self.summary_text:
+            lines.append(self.summary_text)
         lines.append(
             "verdict: "
             + ("OK" if self.ok else f"FAILED ({self.failed} failing cases)")
@@ -585,6 +606,7 @@ class CampaignEngine:
                 finally:
                     if owns_ledger:
                         led.close()
+        extras = spec.summarize(stages)
         return CampaignRunResult(
             kind=spec.kind,
             campaign=spec.campaign,
@@ -598,6 +620,8 @@ class CampaignEngine:
             elapsed=elapsed,
             digest=digest,
             ledger_rows=ledger_rows,
+            extras=extras,
+            summary_text=spec.render_summary(extras) if extras else None,
         )
 
     # -- internals --------------------------------------------------------

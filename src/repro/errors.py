@@ -72,6 +72,20 @@ class StallDetected(DeadlockError):
     """
 
 
+class CheatDetected(SimulationError):
+    """Raised when the cheat-detection audit aborts a run on live evidence.
+
+    Only raised when a :class:`~repro.fault.detect.CheatDetector` runs with
+    ``abort=True`` (the game-theory exemplar's abort-on-detection policy)
+    and its periodic sweep finds fresh evidence — a forged-provenance sign,
+    a cross-board consistency violation, or (at the strictest level)
+    replay/gap anomalies.  The message carries the first finding; the
+    detector object keeps the full list.  A run ending this way is a
+    *successful* detection: the Byzantine campaign classifies it as
+    ``aborted-correctly``, never as a silent wrong answer.
+    """
+
+
 class StepBudgetExceeded(SimulationError):
     """Raised when a simulation exceeds its configured step budget.
 

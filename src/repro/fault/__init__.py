@@ -8,6 +8,12 @@ Three layers, importable bottom-up:
   (stall windows), :class:`~repro.fault.watchdog.Watchdog` (stall
   classification + checkpoint-restart policy, consumed by
   :class:`~repro.sim.runtime.Simulation`);
+* **mechanisms (Byzantine)** — :class:`~repro.fault.byzantine.LyingAgent`
+  (seeded lying behaviors: forged signs, spoofed ownership, false
+  announcements, suppression, replay),
+  :class:`~repro.fault.byzantine.ChurnDriver` (dynamic-network edge
+  churn), and :class:`~repro.fault.detect.CheatDetector` (provenance +
+  consistency audits with optional abort-on-detection);
 * **plans** — :class:`~repro.fault.plan.FaultPlan`: frozen, seedable,
   picklable fault descriptions compiled onto a run via ``fault=plan``;
 * **campaign** — :func:`~repro.fault.campaign.run_campaign`: the matrix
@@ -26,7 +32,22 @@ from typing import Any
 
 from .agents import ACTION_KINDS, FaultedAgent, resolve_action_kind
 from .boards import FaultyWhiteboard
-from .metrics import count_injection, count_outcome, injection_stats
+from .byzantine import (
+    BEHAVIORS,
+    ByzantineAgent,
+    ChurnableNetwork,
+    ChurnDriver,
+    EdgeChurn,
+    LyingAgent,
+)
+from .detect import CheatDetector, Finding
+from .metrics import (
+    count_detection,
+    count_injection,
+    count_outcome,
+    detection_stats,
+    injection_stats,
+)
 from .plan import (
     PLAN_KINDS,
     CrashAtStep,
@@ -58,12 +79,31 @@ _CAMPAIGN_NAMES = (
     "standard_battery",
 )
 
+#: Byzantine campaign names, equally heavy, equally lazy.
+_BYZ_CAMPAIGN_NAMES = (
+    "ABORTED",
+    "BYZ_OUTCOMES",
+    "DETECTED_CHEAT",
+    "FOOLED",
+    "SCENARIOS",
+    "ByzantineCampaignSpec",
+    "ByzantineConfig",
+    "ByzantineReport",
+    "ByzantineRow",
+    "PowerRateStage",
+    "run_byzantine_campaign",
+)
+
 
 def __getattr__(name: str) -> Any:
     if name in _CAMPAIGN_NAMES:
         from . import campaign
 
         return getattr(campaign, name)
+    if name in _BYZ_CAMPAIGN_NAMES:
+        from . import byzantine_campaign
+
+        return getattr(byzantine_campaign, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -86,8 +126,19 @@ __all__ = [
     "InjectionLog",
     "InstalledFaults",
     "random_fault_plans",
+    "BEHAVIORS",
+    "ByzantineAgent",
+    "EdgeChurn",
+    "LyingAgent",
+    "ChurnableNetwork",
+    "ChurnDriver",
+    "CheatDetector",
+    "Finding",
     "count_injection",
     "count_outcome",
+    "count_detection",
     "injection_stats",
+    "detection_stats",
     *_CAMPAIGN_NAMES,
+    *_BYZ_CAMPAIGN_NAMES,
 ]

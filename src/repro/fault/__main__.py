@@ -60,6 +60,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the per-run structural trace audit",
     )
     parser.add_argument(
+        "--byzantine",
+        type=int,
+        default=0,
+        metavar="N",
+        help="mix N Byzantine-augmented plans into each instance's battery "
+        "(0 = pure crash/stall/board faults; default)",
+    )
+    parser.add_argument(
         "--out",
         type=str,
         default=None,
@@ -103,6 +111,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         timeout=args.timeout,
         max_restarts=args.max_restarts,
         audit=not args.no_audit,
+        byzantine=args.byzantine,
     )
     try:
         report = run_campaign(

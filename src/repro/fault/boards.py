@@ -1,4 +1,4 @@
-"""Whiteboard faults: lost and corrupted writes, with CRC detection.
+"""Whiteboard faults: lost/corrupted writes, CRC detection, provenance.
 
 :class:`FaultyWhiteboard` replaces a node's board and misbehaves on a
 declaratively chosen agent write — the *nth* runtime-era append is dropped
@@ -9,25 +9,49 @@ fingerprint of the sign the agent *asked* to store
 can afterwards detect any surviving corrupted sign — the detection side of
 the fault model, analogous to checksummed storage.
 
+The board additionally keeps a **provenance journal**: for every stored
+sign it records the color of the agent that *performed* the write (the
+``writer=`` the runtime threads through :meth:`Whiteboard.append`).  A sign
+whose claimed color differs from its recorded writer is a *forgery* — a
+Byzantine lie, not a bit flip — and :meth:`audit_findings` reports the two
+evidence kinds separately so the campaign classifier can tell injection
+kinds apart.
+
 Home-base marks (``kind == "homebase"``) are exempt from both faults and
 from the nth-write counting: the paper treats them as part of the *instance*
 ("the home-base of a is marked with a sign of color c(a)"), not as runtime
 messages, and dropping one would change which election problem is being
-solved rather than perturb how it is solved.
+solved rather than perturb how it is solved.  They still enter the
+provenance journal: a *forged* home-base mark (an agent planting another
+color's home claim) is precisely the spoofed-ownership lie the detection
+layer exists to catch.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..colors import Color
 from ..sim.signs import HOMEBASE, Sign
 from ..sim.whiteboard import Whiteboard
+
+#: Audit finding kinds (first element of :meth:`FaultyWhiteboard.audit_findings`).
+CORRUPTED = "corrupted"
+FORGED = "forged"
 
 
 class FaultyWhiteboard(Whiteboard):
     """A whiteboard that drops or corrupts selected agent writes."""
 
-    __slots__ = ("node", "_drops", "_corruptions", "_appends", "journal", "_log")
+    __slots__ = (
+        "node",
+        "_drops",
+        "_corruptions",
+        "_appends",
+        "journal",
+        "provenance",
+        "_log",
+    )
 
     def __init__(
         self,
@@ -49,11 +73,21 @@ class FaultyWhiteboard(Whiteboard):
         #: references on purpose: the audit must be able to recompute the
         #: fingerprint of exactly the object that was stored.
         self.journal: List[Tuple[Sign, int]] = []
+        #: ``(stored_sign, writer_color)`` pairs for every stored write
+        #: (home-base marks included, dropped writes excluded — nothing
+        #: landed, so nothing can mislead).  ``writer`` is ``None`` for
+        #: direct board pokes that bypass the runtime.
+        self.provenance: List[Tuple[Sign, Optional[Color]]] = []
         self._log = log
 
-    def append(self, sign: Sign) -> Optional[Sign]:
+    def append(
+        self, sign: Sign, writer: Optional[Color] = None
+    ) -> Optional[Sign]:
         if sign.kind == HOMEBASE:
-            return super().append(sign)
+            stored = super().append(sign, writer)
+            if stored is not None:
+                self.provenance.append((stored, writer))
+            return stored
         self._appends += 1
         nth = self._appends
         if nth in self._drops:
@@ -81,31 +115,60 @@ class FaultyWhiteboard(Whiteboard):
                     nth=nth,
                     delta=delta,
                 )
-        stored = super().append(sign)
+        stored = super().append(sign, writer)
         self.journal.append((stored, requested.fingerprint()))
+        self.provenance.append((stored, writer))
         return stored
 
-    def audit(self) -> List[str]:
-        """CRC check: find journaled writes whose surviving sign mismatches.
+    def audit_findings(self) -> List[Tuple[str, str]]:
+        """Typed audit: ``(kind, message)`` per detectable bad sign.
 
-        Returns one human-readable finding per corrupted sign still on the
-        board (erased signs cannot mislead anyone and are skipped).  An
-        empty list means every surviving write is bit-identical to what its
-        writer requested.
+        Two evidence kinds, distinguishable by the classifier:
+
+        * :data:`CORRUPTED` — a surviving sign whose bits mismatch the
+          write-time CRC fingerprint (a benign fault: storage corruption);
+        * :data:`FORGED` — a surviving sign whose claimed color differs
+          from the recorded writer's color (a Byzantine lie: the sign was
+          planted, not corrupted — its CRC is intact).
+
+        Erased signs cannot mislead anyone and are skipped in both cases.
         """
         # Read the raw list (not snapshot()) so audits do not perturb the
         # whiteboard observation hook's counters.
         live = {id(s) for s in self._signs}
-        findings = []
+        findings: List[Tuple[str, str]] = []
         for stored, requested_fp in self.journal:
             if id(stored) not in live:
                 continue
             if stored.fingerprint() != requested_fp:
                 findings.append(
-                    f"node {self.node}: stored {stored.kind} sign "
-                    f"payload={stored.payload} fails its write-time CRC"
+                    (
+                        CORRUPTED,
+                        f"node {self.node}: stored {stored.kind} sign "
+                        f"payload={stored.payload} fails its write-time CRC",
+                    )
+                )
+        for stored, writer in self.provenance:
+            if writer is None or id(stored) not in live:
+                continue
+            if stored.color is not None and stored.color != writer:
+                findings.append(
+                    (
+                        FORGED,
+                        f"node {self.node}: {stored.kind} sign claims color "
+                        f"{stored.color.name or '?'} but was written by "
+                        f"{writer.name or '?'} (forged provenance)",
+                    )
                 )
         return findings
+
+    def audit(self) -> List[str]:
+        """Human-readable findings (see :meth:`audit_findings`).
+
+        An empty list means every surviving write is bit-identical to what
+        its writer requested *and* carries its true writer's color.
+        """
+        return [message for _, message in self.audit_findings()]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

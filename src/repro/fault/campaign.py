@@ -73,6 +73,11 @@ DETECTED = "detected-stall"
 IMPOSSIBLE = "silent-wrong-answer"
 OUTCOMES: Tuple[str, ...] = (ELECTED, RECOVERED, DETECTED, IMPOSSIBLE)
 
+#: The Byzantine layer's losing bucket (duplicated from
+#: ``byzantine_campaign`` — which imports this module — so plain fault
+#: campaigns run with ``byzantine > 0`` fail on it too).
+_FOOLED = "silently-fooled"
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -89,6 +94,11 @@ class CampaignConfig:
     max_steps: Optional[int] = None
     #: Run the structural trace audit on every completed run.
     audit: bool = True
+    #: Mix this many Byzantine-augmented plans into each instance's battery
+    #: (0: pure crash/stall/board faults — the historical byte-for-byte
+    #: plan sequence).  Nonzero switches evaluation to the lying-aware
+    #: classifier (:func:`repro.fault.byzantine_campaign._evaluate_byz_pair`).
+    byzantine: int = 0
 
     def watchdog(self, pair_seed: int) -> Watchdog:
         return Watchdog(
@@ -193,9 +203,14 @@ class CampaignReport:
         if self.streamed:
             return (
                 self.counts.get(IMPOSSIBLE, 0) == 0
+                and self.counts.get(_FOOLED, 0) == 0
                 and self.streamed_audit_failures == 0
             )
-        return not self.impossible_rows and not self.audit_failures
+        return (
+            not self.impossible_rows
+            and not any(r.outcome == _FOOLED for r in self.rows)
+            and not self.audit_failures
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -217,7 +232,8 @@ class CampaignReport:
             f"seed={self.seed}{mode}"
         ]
         counts = self.counts
-        for name in OUTCOMES:
+        extra = sorted(set(counts) - set(OUTCOMES))
+        for name in (*OUTCOMES, *extra):
             lines.append(f"  {name:>22}: {counts.get(name, 0)}")
         audit_count = (
             self.streamed_audit_failures
@@ -483,6 +499,7 @@ def build_pairs(
             num_agents=inst.placement.num_agents,
             num_nodes=inst.network.num_nodes,
             seed=_pair_seed(config.seed, j, inst.label),
+            byzantine=config.byzantine,
         )
         for plan in plans:
             tasks.append((len(tasks), inst, plan, config))
@@ -551,6 +568,7 @@ class FaultCampaignSpec(CampaignSpec):
                 num_agents=inst.placement.num_agents,
                 num_nodes=inst.network.num_nodes,
                 seed=_pair_seed(self.config.seed, j, inst.label),
+                byzantine=self.config.byzantine,
             )
             self._plan_cache[j] = plans
         return plans
@@ -561,6 +579,13 @@ class FaultCampaignSpec(CampaignSpec):
 
     @property
     def evaluate(self) -> Any:
+        if self.config.byzantine:
+            # Lazy: the lying-aware classifier lives with the Byzantine
+            # campaign and knows how to excuse fooled runs as detected
+            # when the cheat evidence testifies.
+            from .byzantine_campaign import _evaluate_byz_pair
+
+            return _evaluate_byz_pair
         return _evaluate_pair
 
     def context(self, index: int) -> "flight.TraceContext":
@@ -609,7 +634,10 @@ class FaultCampaignSpec(CampaignSpec):
         return record
 
     def case_failed(self, row: CampaignRow) -> bool:
-        return row.outcome == IMPOSSIBLE or bool(row.audit_failures)
+        return (
+            row.outcome in (IMPOSSIBLE, _FOOLED)
+            or bool(row.audit_failures)
+        )
 
     def stages(self) -> Sequence[Stage]:
         stages: List[Stage] = [
@@ -636,6 +664,7 @@ class FaultCampaignSpec(CampaignSpec):
             "jitter": cfg.jitter,
             "max_steps": cfg.max_steps,
             "audit": cfg.audit,
+            "byzantine": cfg.byzantine,
         }
 
 

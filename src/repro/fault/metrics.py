@@ -13,7 +13,10 @@ Metrics
   (crash, write-drop, write-corrupt), fed by
   :meth:`repro.fault.plan.InjectionLog.record` via :func:`count_injection`;
 * ``campaign_outcomes_total{outcome=…}`` — campaign rows per
-  classification, fed by the campaign classifier.
+  classification, fed by the campaign classifier;
+* ``cheat_detections_total{kind=…}`` — cheat-detection findings surfaced
+  by :class:`repro.fault.detect.CheatDetector` sweeps (``forged`` /
+  ``consistency`` / ``strict``), counted once per distinct finding.
 
 The per-run watchdog counters (``watchdog_stalls_total`` /
 ``watchdog_restarts_total``) live in the *run's* registry instead — they
@@ -37,6 +40,10 @@ _outcomes = _metrics.counter(
     "campaign_outcomes_total",
     help="fault-campaign rows, by outcome classification",
 )
+_detections = _metrics.counter(
+    "cheat_detections_total",
+    help="cheat-detection findings, by evidence kind",
+)
 
 
 def count_injection(kind: str) -> None:
@@ -47,6 +54,20 @@ def count_injection(kind: str) -> None:
 def count_outcome(outcome: str) -> None:
     """Record one classified campaign row."""
     _outcomes.inc(outcome=outcome)
+
+
+def count_detection(kind: str) -> None:
+    """Record one cheat-detection finding (``forged``/``consistency``/…)."""
+    _detections.inc(kind=kind)
+
+
+def detection_stats() -> Dict[str, int]:
+    """``{kind: count}`` of cheat-detection findings since the last reset."""
+    data = _metrics.snapshot()["metrics"].get("cheat_detections_total", {})
+    out: Dict[str, int] = {}
+    for series in data.get("series", []):
+        out[series["labels"].get("kind", "?")] = int(series["value"])
+    return out
 
 
 def injection_stats() -> Dict[str, int]:

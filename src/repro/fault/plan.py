@@ -11,7 +11,13 @@ onto a concrete :class:`~repro.sim.runtime.Simulation` at construction time
 * :class:`StallWindow` decorates the scheduler with a
   :class:`~repro.fault.sched.DelayScheduler`;
 * :class:`WriteDrop` / :class:`WriteCorrupt` replace the target node's
-  board with a :class:`~repro.fault.boards.FaultyWhiteboard`.
+  board with a :class:`~repro.fault.boards.FaultyWhiteboard`;
+* :class:`~repro.fault.byzantine.ByzantineAgent` wraps the target agent in
+  a :class:`~repro.fault.byzantine.LyingAgent` (wrapped *outside* any crash
+  wrapper, so the runtime sees the ``byzantine`` marker);
+* :class:`~repro.fault.byzantine.EdgeChurn` swaps the network for a
+  :class:`~repro.fault.byzantine.ChurnableNetwork` and registers a
+  :class:`~repro.fault.byzantine.ChurnDriver` step-hook.
 
 Installation returns an :class:`InstalledFaults` handle holding the
 injection journal (which faults actually fired) and the board-corruption
@@ -30,6 +36,14 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..errors import FaultError
 from .agents import ACTION_KINDS, FaultedAgent
 from .boards import FaultyWhiteboard
+from .byzantine import (
+    BEHAVIORS,
+    ByzantineAgent,
+    ChurnableNetwork,
+    ChurnDriver,
+    EdgeChurn,
+    LyingAgent,
+)
 from .metrics import count_injection
 from .sched import DelayScheduler
 
@@ -109,7 +123,15 @@ class WriteCorrupt:
 
 
 #: Everything a plan may contain.
-FaultSpec = Union[CrashAtStep, CrashOnAction, StallWindow, WriteDrop, WriteCorrupt]
+FaultSpec = Union[
+    CrashAtStep,
+    CrashOnAction,
+    StallWindow,
+    WriteDrop,
+    WriteCorrupt,
+    ByzantineAgent,
+    EdgeChurn,
+]
 
 
 @dataclass
@@ -219,6 +241,28 @@ class FaultPlan:
                     on_fire=on_fire,
                 )
 
+        # Byzantine liars: wrapped AFTER the crash loop so the LyingAgent
+        # (and its ``byzantine`` marker, which the runtime's Write path
+        # checks on ``rec.agent``) is the outermost wrapper.  A crashed
+        # liar stops lying — crashes dominate, as in the fault lattice.
+        for spec in self.faults:
+            if isinstance(spec, ByzantineAgent):
+                rec = sim.records[spec.agent]
+                agent_idx = spec.agent
+
+                def on_lie(
+                    behavior: str, _idx: int = agent_idx, **info: Any
+                ) -> None:
+                    log.record(f"byzantine-{behavior}", agent=_idx, **info)
+
+                rec.agent = LyingAgent(
+                    rec.agent,
+                    behaviors=spec.behaviors,
+                    power=spec.power,
+                    seed=spec.seed,
+                    on_lie=on_lie,
+                )
+
         # Board faults: group specs per node, one faulty board per node.
         drops: Dict[int, List[int]] = {}
         corruptions: Dict[int, List[Tuple[int, int]]] = {}
@@ -244,6 +288,15 @@ class FaultPlan:
         windows = [s for s in self.faults if isinstance(s, StallWindow)]
         if windows:
             sim.scheduler = DelayScheduler(sim.scheduler, windows)
+
+        # Dynamic-network churn: swap in a mutable network copy and register
+        # one driver per spec on the runtime's step hooks.
+        churn_specs = [s for s in self.faults if isinstance(s, EdgeChurn)]
+        if churn_specs:
+            net = ChurnableNetwork.from_network(sim.network)
+            sim.network = net
+            for spec in churn_specs:
+                sim.step_hooks.append(ChurnDriver(spec, net, log))
 
         return InstalledFaults(plan=self, log=log, boards=boards)
 
@@ -292,6 +345,20 @@ def _random_spec(
     raise FaultError(f"unknown plan kind {kind!r}")
 
 
+def _random_byzantine_spec(
+    rng: random.Random, num_agents: int
+) -> ByzantineAgent:
+    behaviors = tuple(
+        sorted(rng.sample(BEHAVIORS, rng.randrange(1, len(BEHAVIORS) + 1)))
+    )
+    return ByzantineAgent(
+        agent=rng.randrange(num_agents),
+        behaviors=behaviors,
+        power=rng.randrange(1, 4),
+        seed=rng.randrange(1 << 16),
+    )
+
+
 def random_fault_plans(
     count: int,
     num_agents: int,
@@ -299,6 +366,7 @@ def random_fault_plans(
     seed: int = 0,
     kinds: Optional[Tuple[str, ...]] = None,
     combine_probability: float = 0.3,
+    byzantine: int = 0,
 ) -> List[FaultPlan]:
     """Generate ``count`` seeded fault plans for an instance shape.
 
@@ -306,6 +374,13 @@ def random_fault_plans(
     every battery covers every fault family; with probability
     ``combine_probability`` a plan carries a second, independently drawn
     spec (compound faults).  Deterministic in ``(seed, count, shape)``.
+
+    ``byzantine`` mixes lying adversaries in: that many of the generated
+    plans (chosen by a seed-derived rng) additionally carry one random
+    :class:`~repro.fault.byzantine.ByzantineAgent` spec.  The knob uses a
+    **separate** rng stream, so ``byzantine=0`` (the default) reproduces
+    historical batteries byte for byte — the base rng's draw sequence is
+    untouched.
     """
     kinds = kinds or PLAN_KINDS
     rng = random.Random(seed)
@@ -321,4 +396,13 @@ def random_fault_plans(
                 _random_spec(rng, extra_kind, num_agents, num_nodes)
             )
         plans.append(FaultPlan(faults=tuple(specs), name=f"plan{k}-{kind}"))
+    if byzantine > 0:
+        brng = random.Random(f"{seed}:byzantine")
+        chosen = sorted(brng.sample(range(count), min(byzantine, count)))
+        for k in chosen:
+            base = plans[k]
+            spec = _random_byzantine_spec(brng, num_agents)
+            plans[k] = FaultPlan(
+                faults=base.faults + (spec,), name=f"{base.name}+byz"
+            )
     return plans

@@ -214,6 +214,30 @@ class AnonymousNetwork:
                     stack.append(y)
         return len(seen) == self._n
 
+    def is_bridge(self, record: EdgeRecord) -> bool:
+        """Whether removing this one edge record disconnects the network.
+
+        Loops are never bridges.  A parallel edge is not a bridge as long as
+        its twin survives (the check skips exactly one record, by identity
+        of the tuple's port labels, not by endpoint pair).  Used by the
+        dynamic-churn driver to only ever drop edges that keep the network
+        connected — the paper's model has no notion of partitioned election.
+        """
+        u, pu, v, pv = record
+        if u == v:
+            return False
+        seen = {u}
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            for port, (y, _) in self._ports[x].items():
+                if (x, port) in ((u, pu), (v, pv)):
+                    continue
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return v not in seen
+
     def distances_from(self, source: int) -> List[int]:
         """BFS distances from ``source`` to every node."""
         self._check_node(source)

@@ -267,6 +267,11 @@ class Simulation:
         # before the first run so replayed runs re-install identically.
         self.watchdog = watchdog
         self._restart_pending: Dict[int, int] = {}  # agent idx -> wake-at step
+        #: Callables ``hook(sim, step)`` invoked once per scheduler
+        #: iteration, before the step executes.  Fault plans register churn
+        #: drivers here; cheat detectors register their audit sweep.  Hooks
+        #: must exist before fault installation (install appends to it).
+        self.step_hooks: List[Any] = []
         self.fault_state = fault.install(self) if fault is not None else None
         # Same normalization as the trace sink: a disabled registry costs
         # the hot loop exactly one ``is not None`` test per emit site.
@@ -377,6 +382,27 @@ class Simulation:
                 agent=idx,
                 node=node,
                 color=self.records[idx].agent.color.name,
+                **fields,
+            )
+        )
+
+    def emit_system(
+        self, kind: str, node: int, step: Optional[int] = None, **fields: Any
+    ) -> None:
+        """Emit a system-level trace event (churn, detection).
+
+        System events carry agent index ``-1`` and no color: they record
+        something the *environment* did, not any agent's action.  Safe to
+        call with no sink attached (no-op).
+        """
+        if self._sink is None:
+            return
+        self._sink.emit(
+            self._tev.TraceEvent(
+                step=self._step if step is None else step,
+                kind=kind,
+                agent=-1,
+                node=node,
                 **fields,
             )
         )
@@ -493,16 +519,32 @@ class Simulation:
             return self._view(idx, rec.node)
         if isinstance(action, Write):
             sign = action.sign
+            forged = False
             if sign.color is None:
                 sign = Sign(kind=sign.kind, color=color, payload=sign.payload)
             elif sign.color != color:
-                raise ProtocolError(
-                    f"agent {idx} attempted to forge a sign of another color"
-                )
+                # The own-color write rule is the model's integrity floor.
+                # Only agents explicitly flagged as Byzantine (the fault
+                # layer's LyingAgent wrapper) may cross it, and every such
+                # write is branded with a FORGE event and true provenance.
+                if not getattr(rec.agent, "byzantine", False):
+                    raise ProtocolError(
+                        f"agent {idx} attempted to forge a sign of another color"
+                    )
+                forged = True
             rec.accesses += 1
             if self._metrics is not None:
                 self._metric_access(idx)
-            stored = board.append(sign)
+            if forged and self._sink is not None:
+                self._emit(
+                    self._tev.FORGE,
+                    idx,
+                    rec.node,
+                    sign=sign.kind,
+                    payload=sign.payload,
+                    detail=f"forged sign of color {sign.color.name or '?'}",
+                )
+            stored = board.append(sign, writer=color)
             if self._sink is not None:
                 # ``result`` records whether the write actually landed —
                 # always 1 on a healthy board, 0 when a fault-injecting
@@ -603,7 +645,8 @@ class Simulation:
         # color c(a)").
         for rec in self.records:
             self.boards[rec.home].append(
-                Sign(kind=HOMEBASE, color=rec.agent.color)
+                Sign(kind=HOMEBASE, color=rec.agent.color),
+                writer=rec.agent.color,
             )
         self._step = -1
         for idx in self._initially_awake:
@@ -614,6 +657,13 @@ class Simulation:
             while True:
                 if self.watchdog is not None:
                     self._service_watchdog(steps)
+                if self.step_hooks:
+                    # Environment interventions between agent steps: edge
+                    # churn, periodic cheat-detection sweeps.  Hooks may
+                    # raise (abort-on-detection) — that propagates as a
+                    # loud, classifiable failure.
+                    for hook in self.step_hooks:
+                        hook(self, steps)
                 runnable = [
                     i
                     for i, rec in enumerate(self.records)

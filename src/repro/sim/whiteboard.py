@@ -57,7 +57,9 @@ class Whiteboard:
             _obs_hook("snapshot")
         return tuple(self._signs)
 
-    def append(self, sign: Sign) -> Optional[Sign]:
+    def append(
+        self, sign: Sign, writer: Optional[Color] = None
+    ) -> Optional[Sign]:
         """Write a sign (atomic under the runtime's one-action-per-step).
 
         Returns the sign actually stored, or ``None`` if the write was lost.
@@ -65,6 +67,12 @@ class Whiteboard:
         (:class:`repro.fault.boards.FaultyWhiteboard`) may drop or alter the
         sign, and :meth:`try_acquire` consults the return value so a dropped
         write can never masquerade as a successful acquisition.
+
+        ``writer`` is the color of the agent *performing* the write — the
+        provenance the runtime knows but the sign itself does not carry.
+        The base board ignores it; provenance-journaling subclasses record
+        it so a sign claiming another agent's color (a Byzantine forgery)
+        stays attributable after the fact.
         """
         if _obs_hook is not None:
             _obs_hook("append")
@@ -108,7 +116,9 @@ class Whiteboard:
             _obs_hook("acquire")
         if self.count(kind, payload) >= capacity:
             return False
-        stored = self.append(Sign(kind=kind, color=color, payload=tuple(payload)))
+        stored = self.append(
+            Sign(kind=kind, color=color, payload=tuple(payload)), writer=color
+        )
         # A fault-injecting subclass may have dropped the write: report the
         # acquisition as failed rather than granting a phantom slot.
         return stored is not None

@@ -45,18 +45,29 @@ DONE = "done"  #: agent terminated (``result`` = 1 if it returned a value)
 STALL = "stall"  #: watchdog classified a blocked episode as a stall
 RESTART = "restart"  #: watchdog restarted the agent from its checkpoint
 #: (``node`` = where it was stuck, ``dest`` = its home-base)
+FORGE = "forge"  #: a Byzantine agent wrote a sign of another agent's color
+#: (same step and agent as the WRITE it annotates)
+DETECT = "detect"  #: the cheat-detection audit surfaced a finding
+#: (system event: ``agent`` is -1, ``detail`` names the finding)
+CHURN = "churn"  #: dynamic-network churn added or removed an edge
+#: (system event: ``agent`` is -1, ``node``/``dest`` are the endpoints)
+
+#: Step index used for system events (churn drivers, cheat detectors).
+SYSTEM_AGENT = -1
 
 #: All event kinds, in a stable presentation order.
 KINDS: Tuple[str, ...] = (
     WAKE, MOVE, READ, WRITE, ERASE, ACQUIRE, WAIT, BLOCK, UNBLOCK, LOG, DONE,
-    STALL, RESTART,
+    STALL, RESTART, FORGE, DETECT, CHURN,
 )
 
 #: Kinds that can be the scheduled agent's own step — exactly one of these
 #: occurs per scheduler step, which is how the schedule is recovered.
 #: STALL/RESTART are runtime (watchdog) interventions between steps, never
 #: an agent's own action, so they stay out of this set and schedule
-#: recovery is unchanged by fault supervision.
+#: recovery is unchanged by fault supervision.  FORGE/DETECT/CHURN are
+#: likewise secondary: a FORGE annotates the same step's WRITE, and
+#: DETECT/CHURN are system events outside any agent's schedule.
 PRIMARY_KINDS = frozenset({MOVE, READ, WRITE, ERASE, ACQUIRE, WAIT, BLOCK, LOG, DONE})
 
 #: Kinds that count as one whiteboard access in the runtime's metrics

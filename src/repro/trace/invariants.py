@@ -21,6 +21,9 @@ Shipped checkers:
 * **restart discipline** — watchdog ``stall``/``restart`` events only hit
   blocked agents, and every restart resumes at the agent's home-base
   checkpoint (given a header);
+* **detection discipline** — every ``forge`` event annotates a concrete
+  same-step write, and forged-provenance ``detect`` findings never precede
+  the first forgery;
 * **accounting agreement** — per-agent ``move``/access event counts equal
   the runtime's :class:`~repro.sim.runtime.SimulationResult` metrics (the
   counters and the trace tell the same story);
@@ -37,13 +40,16 @@ from typing import Dict, List, Optional, Sequence
 from ..errors import InvariantViolation
 from .events import (
     BLOCK,
+    DETECT,
     DONE,
+    FORGE,
     MOVE,
     PRE_RUN_STEP,
     RESTART,
     STALL,
     UNBLOCK,
     WAKE,
+    WRITE,
     TraceEvent,
     TraceHeader,
 )
@@ -116,6 +122,10 @@ def check_positions(
     """Every event happens at the node its agent actually occupies."""
     pos = {i: home for i, home in enumerate(header.homes)}
     for ev in events:
+        if ev.agent < 0:
+            # System events (churn drivers, cheat detectors) happen at a
+            # node but are not performed by any positioned agent.
+            continue
         where = pos.get(ev.agent)
         if where is None:
             return InvariantReport(
@@ -148,6 +158,8 @@ def check_lifecycle(events: Sequence[TraceEvent]) -> InvariantReport:
     woke: Dict[int, int] = {}
     done: Dict[int, int] = {}
     for ev in events:
+        if ev.agent < 0:
+            continue
         if ev.agent in done:
             return InvariantReport(
                 "agent-lifecycle",
@@ -198,6 +210,8 @@ def check_restart_discipline(
     restarts = 0
     stalls = 0
     for ev in events:
+        if ev.agent < 0:
+            continue
         if ev.kind == RESTART:
             restarts += 1
             prev = last_kind.get(ev.agent)
@@ -235,6 +249,55 @@ def check_restart_discipline(
         "restart-discipline",
         True,
         stats={"restarts": float(restarts), "stalls": float(stalls)},
+    )
+
+
+def check_detection_discipline(
+    events: Sequence[TraceEvent],
+) -> InvariantReport:
+    """Byzantine evidence events obey the cause-before-detection protocol.
+
+    * a ``forge`` event annotates a concrete write: the same (step, agent)
+      must also carry a ``write`` event (the forged sign actually landing);
+    * a ``detect`` finding of kind ``forged`` may only appear after at
+      least one ``forge`` event — the detector cannot accuse anyone of
+      forging before a forgery exists in the record.
+
+    Consistency findings (``consistency:``/``strict:`` details) are exempt
+    from the second rule: benign corruption can legitimately trigger them
+    without any forge event.
+    """
+    writes = set()
+    forges: List[TraceEvent] = []
+    forged_seen = False
+    detects = 0
+    for ev in events:
+        if ev.kind == WRITE:
+            writes.add((ev.step, ev.agent))
+        elif ev.kind == FORGE:
+            forges.append(ev)
+            forged_seen = True
+        elif ev.kind == DETECT:
+            detects += 1
+            if ev.detail.startswith("forged") and not forged_seen:
+                return InvariantReport(
+                    "detection-discipline",
+                    False,
+                    f"step {ev.step}: forged-provenance finding "
+                    f"({ev.detail!r}) precedes any forge event",
+                )
+    for ev in forges:
+        if (ev.step, ev.agent) not in writes:
+            return InvariantReport(
+                "detection-discipline",
+                False,
+                f"step {ev.step}: forge event by agent {ev.agent} has no "
+                f"matching write at the same step",
+            )
+    return InvariantReport(
+        "detection-discipline",
+        True,
+        stats={"forges": float(len(forges)), "detections": float(detects)},
     )
 
 
@@ -345,6 +408,7 @@ def audit_trace(
         check_mutual_exclusion(events),
         check_lifecycle(events),
         check_restart_discipline(events, header=header),
+        check_detection_discipline(events),
     ]
     if header is not None:
         reports.append(check_positions(events, header))

@@ -1,0 +1,404 @@
+"""Byzantine mechanisms: lying agents, forge permission, network churn."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.core.elect import ElectAgent
+from repro.errors import FaultError, GraphError, ProtocolError, ReproError
+from repro.fault import (
+    BEHAVIORS,
+    ByzantineAgent,
+    ChurnableNetwork,
+    EdgeChurn,
+    FaultPlan,
+    LyingAgent,
+    random_fault_plans,
+)
+from repro.graphs import cycle_graph
+from repro.sim import Simulation
+from repro.sim.actions import NodeView, Read, Write
+from repro.sim.agent import Agent
+from repro.sim.signs import DFS_VISITED, HOMEBASE, LEADER_ANNOUNCE, Sign
+from repro.trace.events import FORGE, WRITE
+from repro.trace.invariants import audit_trace
+from repro.trace.sinks import MemorySink
+
+
+def make_agents(count):
+    space = ColorSpace()
+    return [
+        ElectAgent(space.fresh(), rng=random.Random(i)) for i in range(count)
+    ]
+
+
+class ScriptedInner(Agent):
+    """An honest inner agent yielding a fixed action script."""
+
+    def __init__(self, color, script):
+        super().__init__(color)
+        self.script = list(script)
+        self.received = []
+
+    def protocol(self, start):
+        for action in self.script:
+            result = yield action
+            self.received.append(result)
+        return "done"
+
+
+def drive(agent, view, kinds=()):
+    """Run ``agent.protocol`` to completion feeding ``view`` back for every
+    action; returns the actions the *runtime* would see."""
+    gen = agent.protocol(view)
+    actions = []
+    send = None
+    while True:
+        try:
+            action = gen.send(send)
+        except StopIteration:
+            return actions
+        actions.append(action)
+        send = view if isinstance(action, (Read,)) else None
+
+
+def view_with(*signs):
+    return NodeView(degree=2, ports=(0, 1), signs=tuple(signs))
+
+
+class TestLyingAgent:
+    def test_interleaves_lies_without_eating_honest_actions(self):
+        space = ColorSpace()
+        inner = ScriptedInner(space.fresh(), [Read() for _ in range(60)])
+        liar = LyingAgent(
+            inner, behaviors=("false-announce",), power=4, seed=1
+        )
+        actions = drive(liar, view_with())
+        honest = [a for a in actions if isinstance(a, Read)]
+        lies = [a for a in actions if isinstance(a, Write)]
+        # Every honest action still reached the runtime, in order …
+        assert len(honest) == 60
+        # … and the power-4 liar (probability 0.6, quota 12) actually lied.
+        assert lies and len(lies) == liar.lies_told <= liar.quota
+        assert all(a.sign.kind == LEADER_ANNOUNCE for a in lies)
+        assert all(a.sign.color == liar.color for a in lies)
+
+    def test_forge_visit_targets_an_observed_victim(self):
+        space = ColorSpace()
+        victim = space.fresh()
+        foreign = Sign(kind=DFS_VISITED, color=victim, payload=(3,))
+        inner = ScriptedInner(space.fresh(), [Read() for _ in range(60)])
+        liar = LyingAgent(inner, behaviors=("forge-visit",), power=4, seed=2)
+        actions = drive(liar, view_with(foreign))
+        forged = [
+            a
+            for a in actions
+            if isinstance(a, Write) and a.sign.color == victim
+        ]
+        assert forged, "liar never forged despite power 4 over 60 actions"
+        for lie in forged:
+            assert lie.sign.kind == DFS_VISITED
+            # The forged number contradicts the victim's real bookkeeping.
+            assert lie.sign.payload[0] > 3
+
+    def test_suppress_swallows_writes_but_answers_the_inner_protocol(self):
+        space = ColorSpace()
+        color = space.fresh()
+        own = Sign(kind=DFS_VISITED, color=color, payload=(0,))
+        inner = ScriptedInner(color, [Write(own) for _ in range(40)])
+        liar = LyingAgent(inner, behaviors=("suppress",), power=4, seed=3)
+        actions = drive(liar, view_with())
+        writes = [a for a in actions if isinstance(a, Write)]
+        reads = [a for a in actions if isinstance(a, Read)]
+        assert liar.lies_told > 0
+        # Each suppression trades one Write for one covering Read.
+        assert len(writes) == 40 - liar.lies_told
+        assert len(reads) == liar.lies_told
+        # The inner protocol never noticed: it got an answer per action.
+        assert len(inner.received) == 40
+
+    def test_lie_stream_is_deterministic_in_seed(self):
+        space = ColorSpace()
+
+        def run(seed):
+            inner = ScriptedInner(space.fresh(), [Read() for _ in range(50)])
+            liar = LyingAgent(inner, behaviors=BEHAVIORS, power=3, seed=seed)
+            actions = drive(liar, view_with())
+            return [type(a).__name__ for a in actions], liar.lies_told
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_power_zero_never_lies(self):
+        space = ColorSpace()
+        inner = ScriptedInner(space.fresh(), [Read() for _ in range(50)])
+        liar = LyingAgent(inner, behaviors=BEHAVIORS, power=0, seed=1)
+        actions = drive(liar, view_with())
+        assert all(isinstance(a, Read) for a in actions)
+        assert liar.lies_told == 0
+
+    def test_on_lie_callback_journals_each_lie(self):
+        space = ColorSpace()
+        told = []
+        inner = ScriptedInner(space.fresh(), [Read() for _ in range(60)])
+        liar = LyingAgent(
+            inner,
+            behaviors=("false-announce",),
+            power=4,
+            seed=1,
+            on_lie=lambda behavior, **info: told.append(behavior),
+        )
+        drive(liar, view_with())
+        assert told == ["false-announce"] * liar.lies_told
+
+
+class Forger(Agent):
+    """A minimal scripted Byzantine agent: one foreign-color write."""
+
+    byzantine = True
+
+    def __init__(self, color, victim, tail=5):
+        super().__init__(color)
+        self.victim = victim
+        self.tail = tail
+
+    def protocol(self, start):
+        yield Write(Sign(kind=DFS_VISITED, color=self.victim, payload=(7,)))
+        for _ in range(self.tail):
+            yield Read()
+        return None
+
+
+class HonestForger(Forger):
+    byzantine = False
+
+
+class TestRuntimeForgePermission:
+    def test_byzantine_marker_admits_the_forgery_and_brands_it(self):
+        space = ColorSpace()
+        victim = space.fresh()
+        sink = MemorySink()
+        sim = Simulation(
+            cycle_graph(4), [(Forger(space.fresh(), victim), 0)], trace=sink
+        )
+        result = sim.run()
+        # The lie landed on the board, in the victim's color.
+        planted = [
+            s
+            for s in sim.boards[0].snapshot()
+            if s.kind == DFS_VISITED and s.color == victim
+        ]
+        assert len(planted) == 1 and planted[0].payload == (7,)
+        # … and the trace brands it: a FORGE event paired with its WRITE.
+        forges = [ev for ev in sink.events if ev.kind == FORGE]
+        assert len(forges) == 1
+        assert "forged sign" in forges[0].detail
+        assert any(
+            ev.kind == WRITE
+            and (ev.step, ev.agent) == (forges[0].step, forges[0].agent)
+            for ev in sink.events
+        )
+        reports = audit_trace(
+            sink.events,
+            header=sink.header,
+            moves=result.moves,
+            accesses=result.accesses,
+            steps=result.steps,
+        )
+        assert all(rep.ok for rep in reports), [str(r) for r in reports]
+
+    def test_honest_agents_keep_the_own_color_rule(self):
+        space = ColorSpace()
+        sim = Simulation(
+            cycle_graph(4),
+            [(HonestForger(space.fresh(), space.fresh()), 0)],
+        )
+        with pytest.raises(ProtocolError, match="forge"):
+            sim.run()
+
+
+class TestChurnableNetwork:
+    def test_from_network_copies_without_aliasing(self):
+        base = cycle_graph(5)
+        net = ChurnableNetwork.from_network(base)
+        assert net.num_nodes == base.num_nodes
+        assert sorted(net.edges()) == sorted(base.edges())
+        net.add_edge(0, ("churn", 1), 2, ("churn", 2))
+        assert net.num_edges == base.num_edges + 1
+
+    def test_cycle_edges_are_not_bridges_path_edges_are(self):
+        net = ChurnableNetwork.from_network(cycle_graph(4))
+        records = list(net.edges())
+        assert not any(net.is_bridge(rec) for rec in records)
+        net.remove_edge(records[0])  # now a path: every edge is a bridge
+        assert all(net.is_bridge(rec) for rec in net.edges())
+
+    def test_remove_refuses_bridges_and_unknown_records(self):
+        net = ChurnableNetwork.from_network(cycle_graph(4))
+        net.remove_edge(list(net.edges())[0])
+        with pytest.raises(GraphError, match="bridge"):
+            net.remove_edge(list(net.edges())[0])
+        with pytest.raises(GraphError, match="no such edge"):
+            net.remove_edge((0, "nope", 1, "nope"))
+
+    def test_add_rejects_duplicate_port_labels(self):
+        net = ChurnableNetwork.from_network(cycle_graph(4))
+        taken = net.ports(0)[0]
+        with pytest.raises(GraphError, match="duplicate port"):
+            net.add_edge(0, taken, 2, ("churn", 1))
+
+    def test_moves_still_resolve_after_churn(self):
+        net = ChurnableNetwork.from_network(cycle_graph(5))
+        net.add_edge(0, ("churn", 1), 2, ("churn", 2))
+        assert net.traverse(0, ("churn", 1)) == (2, ("churn", 2))
+
+
+class TestChurnPlans:
+    def test_churned_run_completes_or_fails_loudly(self):
+        net = cycle_graph(6)
+        agents = make_agents(2)
+        plan = FaultPlan(
+            (EdgeChurn(period=5, max_events=3, seed=1),), name="churny"
+        )
+        sim = Simulation(
+            net,
+            list(zip(agents, [0, 3])),
+            fault=plan,
+            max_steps=20_000,
+        )
+        try:
+            result = sim.run()
+        except ReproError:
+            pass  # loud is fine; hanging or silent corruption is not
+        else:
+            assert result.steps > 0
+        assert isinstance(sim.network, ChurnableNetwork)
+        fired = [
+            k
+            for k in sim.fault_state.log.kinds()
+            if k.startswith("churn-")
+        ]
+        assert fired, "periodic churn never fired on a long run"
+
+    def test_churn_respects_max_events(self):
+        net = cycle_graph(6)
+        agents = make_agents(2)
+        plan = FaultPlan((EdgeChurn(period=3, max_events=2, seed=5),))
+        sim = Simulation(
+            net, list(zip(agents, [0, 3])), fault=plan, max_steps=20_000
+        )
+        try:
+            sim.run()
+        except ReproError:
+            pass
+        churned = [
+            k
+            for k in sim.fault_state.log.kinds()
+            if k.startswith("churn-")
+        ]
+        assert len(churned) <= 2
+
+
+class TestRandomPlansByzantineKnob:
+    def test_default_is_byte_for_byte_the_historical_battery(self):
+        base = random_fault_plans(24, num_agents=3, num_nodes=8, seed=11)
+        off = random_fault_plans(
+            24, num_agents=3, num_nodes=8, seed=11, byzantine=0
+        )
+        assert off == base
+
+    def test_knob_augments_exactly_n_plans_in_place(self):
+        base = random_fault_plans(24, num_agents=3, num_nodes=8, seed=11)
+        mixed = random_fault_plans(
+            24, num_agents=3, num_nodes=8, seed=11, byzantine=5
+        )
+        augmented = [
+            (a, b) for a, b in zip(base, mixed) if a != b
+        ]
+        assert len(augmented) == 5
+        for original, plan in augmented:
+            assert plan.name == original.name + "+byz"
+            # The base battery's specs survive untouched as a prefix …
+            assert plan.faults[: len(original.faults)] == original.faults
+            # … with exactly one lying-agent spec appended.
+            extra = plan.faults[len(original.faults):]
+            assert len(extra) == 1
+            assert isinstance(extra[0], ByzantineAgent)
+            extra[0].describe()
+
+    def test_knob_is_deterministic_and_clamped(self):
+        a = random_fault_plans(
+            6, num_agents=2, num_nodes=5, seed=3, byzantine=100
+        )
+        b = random_fault_plans(
+            6, num_agents=2, num_nodes=5, seed=3, byzantine=100
+        )
+        assert a == b
+        assert all(plan.name.endswith("+byz") for plan in a)
+
+
+class TestByzantineSpecs:
+    def test_byzantine_agent_validates(self):
+        with pytest.raises(FaultError, match="unknown byzantine behaviors"):
+            ByzantineAgent(agent=0, behaviors=("teleport",))
+        with pytest.raises(FaultError, match="at least one behavior"):
+            ByzantineAgent(agent=0, behaviors=())
+        with pytest.raises(FaultError, match="power"):
+            ByzantineAgent(agent=0, power=-1)
+        spec = ByzantineAgent(agent=1, behaviors=("suppress",), power=2)
+        assert "power=2" in spec.describe()
+
+    def test_edge_churn_validates(self):
+        with pytest.raises(FaultError, match="period"):
+            EdgeChurn(period=0)
+        with pytest.raises(FaultError, match="max_events"):
+            EdgeChurn(max_events=-1)
+        with pytest.raises(FaultError, match="add_probability"):
+            EdgeChurn(add_probability=1.5)
+        assert "churn" in EdgeChurn().describe()
+
+    def test_byzantine_plans_are_picklable(self):
+        plan = FaultPlan(
+            (
+                ByzantineAgent(agent=0, power=2, seed=4),
+                EdgeChurn(period=10, seed=4),
+            ),
+            name="byz-pickle",
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_install_wires_liar_churn_and_step_hooks(self):
+        from repro.fault.byzantine import ChurnDriver
+
+        net = cycle_graph(4)
+        agents = make_agents(2)
+        plan = FaultPlan(
+            (
+                ByzantineAgent(agent=0, power=1, seed=2),
+                EdgeChurn(period=10, seed=2),
+            )
+        )
+        sim = Simulation(net, list(zip(agents, [0, 2])), fault=plan)
+        assert isinstance(sim.records[0].agent, LyingAgent)
+        assert getattr(sim.records[0].agent, "byzantine", False)
+        assert not getattr(sim.records[1].agent, "byzantine", False)
+        assert isinstance(sim.network, ChurnableNetwork)
+        assert any(isinstance(h, ChurnDriver) for h in sim.step_hooks)
+
+    def test_liar_wraps_outside_crash_wrappers(self):
+        from repro.fault import CrashAtStep, FaultedAgent
+
+        net = cycle_graph(4)
+        agents = make_agents(2)
+        plan = FaultPlan(
+            (
+                CrashAtStep(agent=0, after_actions=50),
+                ByzantineAgent(agent=0, power=1, seed=2),
+            )
+        )
+        sim = Simulation(net, list(zip(agents, [0, 2])), fault=plan)
+        outer = sim.records[0].agent
+        assert isinstance(outer, LyingAgent)
+        assert isinstance(outer.inner, FaultedAgent)

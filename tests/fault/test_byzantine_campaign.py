@@ -1,0 +1,278 @@
+"""The Byzantine campaign: classification, rates, digests, properties."""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.robustness import (
+    detection_rates,
+    power_outcome_table,
+    render_detection_table,
+)
+from repro.fault.byzantine_campaign import (
+    ABORTED,
+    BYZ_OUTCOMES,
+    DETECTED_CHEAT,
+    FOOLED,
+    SCENARIOS,
+    ByzantineCampaignSpec,
+    ByzantineConfig,
+    PowerRateStage,
+    _evaluate_byz_pair,
+    run_byzantine_campaign,
+)
+from repro.fault.campaign import (
+    IMPOSSIBLE,
+    CampaignConfig,
+    _evaluate_pair,
+    run_campaign,
+    standard_battery,
+)
+from repro.fault.plan import random_fault_plans
+from repro.obs.ledger import RunLedger
+
+INSTANCES = standard_battery(quick=True)
+CONFIG = CampaignConfig(seed=0, timeout=200, max_restarts=2)
+BYZ_CONFIG = ByzantineConfig(seed=0, timeout=200, max_restarts=2)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_byzantine_campaign(
+        cases=16, powers=(0, 2), workers=1, quick=True, config=BYZ_CONFIG
+    )
+
+
+class TestClassification:
+    def test_every_case_lands_in_the_vocabulary(self, quick_report):
+        assert len(quick_report.rows) == 16
+        assert all(r.outcome in BYZ_OUTCOMES for r in quick_report.rows)
+        assert sum(quick_report.counts.values()) == 16
+
+    def test_no_silent_wrong_answer_and_verdict_ok(self, quick_report):
+        assert quick_report.counts[IMPOSSIBLE] == 0
+        assert quick_report.ok
+
+    def test_power_zero_is_never_fooled(self, quick_report):
+        honest = [r for r in quick_report.rows if r.power == 0]
+        assert honest, "the grid must include a power-0 column"
+        assert all(r.outcome != FOOLED for r in honest)
+        # Power 0 also never fires a Byzantine injection.
+        for row in honest:
+            assert not any(
+                k.startswith("byzantine-") or k.startswith("churn-")
+                for k in row.injections
+            )
+
+    def test_rows_carry_adversary_coordinates(self, quick_report):
+        names = {name for name, _, _ in SCENARIOS}
+        assert all(r.scenario in names for r in quick_report.rows)
+        assert {r.power for r in quick_report.rows} <= {0, 2}
+        liars = [r for r in quick_report.rows if r.power == 2]
+        assert any(
+            any(k.startswith("byzantine-") for k in r.injections)
+            for r in liars
+        ), "no power-2 case ever told a lie"
+
+    def test_structural_audits_green(self, quick_report):
+        assert all(r.audit_failures == () for r in quick_report.rows)
+
+    def test_report_surfaces_the_rate_table(self, quick_report):
+        table = quick_report.power_table()
+        assert set(table) <= {0, 2}
+        data = quick_report.to_dict()
+        assert "power_table" in data and "detection_rates" in data
+        text = quick_report.render()
+        assert "byzantine campaign" in text
+        assert "detection-rate" in text
+        assert "verdict: OK" in text
+
+    def test_same_config_same_report(self, quick_report):
+        again = run_byzantine_campaign(
+            cases=16, powers=(0, 2), workers=1, quick=True, config=BYZ_CONFIG
+        )
+        assert again.to_dict() == quick_report.to_dict()
+
+
+class TestDigestInvariance:
+    """Worker count and sharding never change the merged ledger digest."""
+
+    CASES = 12
+    POWERS = (0, 1)
+
+    def run_into(self, tmp_path, name, workers=1, shard=None):
+        led_path = str(tmp_path / name)
+        run_byzantine_campaign(
+            cases=self.CASES,
+            powers=self.POWERS,
+            workers=workers,
+            quick=True,
+            config=BYZ_CONFIG,
+            ledger=led_path,
+            stream=True,
+            shard=shard,
+        )
+        return led_path
+
+    def test_workers_and_shards_share_one_digest(self, tmp_path):
+        ref_path = self.run_into(tmp_path, "ref.db")
+        ref = RunLedger(ref_path)
+        reference = ref.digest(kind="byzantine")
+        assert ref.count(kind="byzantine") == self.CASES
+        ref.close()
+
+        parallel_path = self.run_into(tmp_path, "w2.db", workers=2)
+        parallel = RunLedger(parallel_path)
+        assert parallel.digest(kind="byzantine") == reference
+        parallel.close()
+
+        merged = RunLedger(str(tmp_path / "merged.db"))
+        for i in range(2):
+            merged.merge_from(
+                self.run_into(tmp_path, f"s{i}.db", shard=f"{i}/2")
+            )
+        assert merged.count(kind="byzantine") == self.CASES
+        assert merged.digest(kind="byzantine") == reference
+        merged.close()
+
+
+class TestFaultCampaignKnob:
+    def test_byzantine_mix_in_the_crash_campaign(self):
+        report = run_campaign(
+            pairs=8,
+            workers=1,
+            quick=True,
+            config=CampaignConfig(
+                seed=0, timeout=200, max_restarts=2, byzantine=3
+            ),
+        )
+        assert all(r.outcome in BYZ_OUTCOMES for r in report.rows)
+        assert report.counts.get(IMPOSSIBLE, 0) == 0
+        assert any("+byz" in r.plan for r in report.rows)
+
+
+class TestPowerRateStage:
+    def test_counts_and_checkpoint_round_trip(self, quick_report):
+        stage = PowerRateStage()
+        for row in quick_report.rows:
+            stage.observe(row.index, row)
+        assert sum(stage.counts.values()) == len(quick_report.rows)
+        assert power_outcome_table(stage.counts) == quick_report.power_table()
+        clone = PowerRateStage()
+        clone.load_state(stage.state_dict())
+        assert clone.counts == stage.counts
+
+
+class TestRobustnessAnalysis:
+    def test_outcome_constants_agree_with_the_campaign(self):
+        from repro.analysis import robustness
+
+        assert robustness._DETECTED == DETECTED_CHEAT
+        assert robustness._ABORTED == ABORTED
+        assert robustness._FOOLED == FOOLED
+
+        from repro.fault import campaign as fault_campaign
+
+        assert fault_campaign._FOOLED == FOOLED
+
+    def test_rate_arithmetic(self):
+        table = power_outcome_table(
+            {
+                "p0:elected-correctly": 10,
+                "p2:detected": 3,
+                "p2:aborted-correctly": 1,
+                "p2:silently-fooled": 1,
+                "p2:elected-correctly": 5,
+                "junk": 4,
+                "px:weird": 4,
+            }
+        )
+        assert set(table) == {0, 2}
+        rates = detection_rates(table)
+        assert rates[0] is None  # nothing to detect in an honest column
+        assert rates[2] == pytest.approx(4 / 5)
+        text = render_detection_table(table)
+        assert "0.800" in text
+
+
+# ---------------------------------------------------------------------------
+# Property: the power-0 column is the crash-only campaign
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    database=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    instance_index=st.integers(min_value=0, max_value=len(INSTANCES) - 1),
+    plan_seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_power0_classifies_exactly_like_the_crash_campaign(
+    instance_index, plan_seed
+):
+    """With no Byzantine specs in the plan, the detector-instrumented
+    evaluator must reproduce the crash-only classification bit for bit:
+    same outcome, same detail, same run evidence."""
+    instance = INSTANCES[instance_index]
+    plan = random_fault_plans(
+        1,
+        num_agents=instance.placement.num_agents,
+        num_nodes=instance.network.num_nodes,
+        seed=plan_seed,
+    )[0]
+    index = plan_seed % 997
+    crash = _evaluate_pair((index, instance, plan, CONFIG))
+    byz = _evaluate_byz_pair((index, instance, plan, BYZ_CONFIG))
+    assert byz.power == 0
+    assert (byz.outcome, byz.detail) == (crash.outcome, crash.detail)
+    assert (byz.steps, byz.moves, byz.restarts, byz.stalls) == (
+        crash.steps,
+        crash.moves,
+        crash.restarts,
+        crash.stalls,
+    )
+    assert byz.injections == crash.injections
+    assert byz.audit_failures == crash.audit_failures
+
+
+# ---------------------------------------------------------------------------
+# Property: detection is monotone in detector strictness
+# ---------------------------------------------------------------------------
+
+_MONO_CASES = 10
+
+
+@lru_cache(maxsize=None)
+def _findings_at(strictness):
+    """Per-case finding counts over a fixed power-2 grid slice.  The
+    detector is passive, so the runs are identical across strictness —
+    only what the sweeps notice may change."""
+    cfg = ByzantineConfig(
+        seed=5, timeout=200, max_restarts=2, strictness=strictness,
+        check_every=10,
+    )
+    spec = ByzantineCampaignSpec(
+        cases=_MONO_CASES, powers=(2,), config=cfg, quick=True
+    )
+    return tuple(
+        _evaluate_byz_pair(spec.task(i)).findings for i in range(_MONO_CASES)
+    )
+
+
+@settings(max_examples=_MONO_CASES, deadline=None, database=None)
+@given(case=st.integers(min_value=0, max_value=_MONO_CASES - 1))
+def test_detection_is_monotone_in_strictness(case):
+    f1, f2, f3 = (_findings_at(s)[case] for s in (1, 2, 3))
+    assert f1 <= f2 <= f3
+
+
+def test_detected_rate_is_monotone_in_strictness():
+    caught = [
+        sum(1 for n in _findings_at(s) if n > 0) for s in (1, 2, 3)
+    ]
+    assert caught[0] <= caught[1] <= caught[2]

@@ -77,6 +77,29 @@ class TestClassification:
         for name in OUTCOMES:
             assert name in text
 
+    def test_fooled_rows_fail_the_verdict_and_show_in_render(self):
+        # Byzantine-mixed sweeps route rows through the extended outcome
+        # vocabulary; a silently-fooled row must sink the campaign even
+        # though it is not IMPOSSIBLE, and render must not hide it.
+        import dataclasses
+
+        from repro.fault.campaign import CampaignReport, _FOOLED
+
+        base = run_campaign(pairs=2, workers=1, quick=True)
+        fooled_row = dataclasses.replace(base.rows[0], outcome=_FOOLED)
+        report = CampaignReport(
+            seed=base.seed, rows=[fooled_row, *base.rows[1:]]
+        )
+        assert not report.ok
+        assert _FOOLED in report.render()
+        streamed = CampaignReport(
+            seed=base.seed,
+            rows=[],
+            streamed_counts={_FOOLED: 1},
+            streamed_total=1,
+        )
+        assert not streamed.ok
+
 
 class TestDeterminism:
     def test_same_config_same_report(self, quick_report):

@@ -1,0 +1,255 @@
+"""Cheat detection: provenance audits, consistency sweeps, abort policy."""
+
+import pytest
+
+from repro.colors import ColorSpace
+from repro.errors import CheatDetected, FaultError
+from repro.fault import CheatDetector, FaultyWhiteboard
+from repro.fault.boards import CORRUPTED, FORGED
+from repro.fault.detect import CONSISTENCY, PROVENANCE, STRICT, Finding
+from repro.graphs import cycle_graph
+from repro.sim import Simulation
+from repro.sim.actions import Read, Write
+from repro.sim.agent import Agent
+from repro.sim.signs import DFS_VISITED, HOMEBASE, LEADER_ANNOUNCE, Sign
+from repro.trace.events import DETECT
+from repro.trace.invariants import audit_trace
+from repro.trace.sinks import MemorySink
+
+
+def sign(kind=DFS_VISITED, color=None, payload=()):
+    return Sign(kind=kind, color=color, payload=tuple(payload))
+
+
+class TestBoardProvenance:
+    def test_forged_write_is_reported_as_forgery(self):
+        space = ColorSpace()
+        claimed, writer = space.fresh(), space.fresh()
+        board = FaultyWhiteboard(0)
+        board.append(sign(color=claimed, payload=(1,)), writer=writer)
+        findings = board.audit_findings()
+        assert [kind for kind, _ in findings] == [FORGED]
+        assert "forged provenance" in findings[0][1]
+
+    def test_own_color_and_anonymous_writes_pass(self):
+        space = ColorSpace()
+        color = space.fresh()
+        board = FaultyWhiteboard(0)
+        board.append(sign(color=color, payload=(1,)), writer=color)
+        board.append(sign(color=color, payload=(2,)))  # direct poke: no writer
+        assert board.audit_findings() == []
+
+    def test_forged_and_corrupted_are_distinguished(self):
+        space = ColorSpace()
+        honest, liar = space.fresh(), space.fresh()
+        board = FaultyWhiteboard(0, corruptions=((1, 5),))
+        board.append(sign(color=honest, payload=(1,)), writer=honest)
+        board.append(sign(color=honest, payload=(2,)), writer=liar)
+        kinds = sorted(kind for kind, _ in board.audit_findings())
+        assert kinds == [CORRUPTED, FORGED]
+        messages = dict(board.audit_findings())
+        assert "CRC" in messages[CORRUPTED]
+        assert "forged" in messages[FORGED]
+
+    def test_erased_forgeries_stop_misleading(self):
+        space = ColorSpace()
+        board = FaultyWhiteboard(0)
+        stored = board.append(
+            sign(color=space.fresh(), payload=(1,)), writer=space.fresh()
+        )
+        board._signs.remove(stored)
+        assert board.audit_findings() == []
+
+    def test_forged_homebase_is_caught_despite_the_fault_exemption(self):
+        space = ColorSpace()
+        victim, liar = space.fresh(), space.fresh()
+        board = FaultyWhiteboard(0, drops=(1,))
+        stored = board.append(sign(kind=HOMEBASE, color=victim), writer=liar)
+        assert stored is not None  # homebase marks are never dropped …
+        kinds = [kind for kind, _ in board.audit_findings()]
+        assert kinds == [FORGED]  # … but spoofed ownership is still evidence
+
+
+def boards_with(*per_node):
+    """One FaultyWhiteboard per argument; each arg is a list of
+    ``(sign, writer)`` pairs."""
+    boards = []
+    for node, entries in enumerate(per_node):
+        board = FaultyWhiteboard(node)
+        for s, writer in entries:
+            board.append(s, writer=writer)
+        boards.append(board)
+    return boards
+
+
+class TestDetectorScan:
+    def test_strictness_validates(self):
+        for bad in (0, 4):
+            with pytest.raises(FaultError, match="strictness"):
+                CheatDetector(strictness=bad)
+        with pytest.raises(FaultError, match="check_every"):
+            CheatDetector(check_every=0)
+
+    def anomalous_boards(self):
+        space = ColorSpace()
+        a, b, liar = space.fresh(), space.fresh(), space.fresh()
+        return boards_with(
+            [
+                # forged provenance (level 1)
+                (sign(color=a, payload=(1,)), liar),
+                # duplicate visit number 2 of color b across nodes (level 2)
+                (sign(color=b, payload=(2,)), b),
+                # identical per-board duplicate of a's number 1 (level 3)
+                (sign(color=a, payload=(1,)), a),
+            ],
+            [
+                (sign(color=b, payload=(2,)), b),
+                # two distinct leader announcements (level 2)
+                (sign(kind=LEADER_ANNOUNCE, color=a), a),
+                (sign(kind=LEADER_ANNOUNCE, color=b), b),
+            ],
+        )
+
+    def test_each_level_contributes_its_evidence_kind(self):
+        findings = CheatDetector(strictness=3).scan(self.anomalous_boards())
+        kinds = {f.kind for f in findings}
+        assert kinds == {PROVENANCE, CONSISTENCY, STRICT}
+
+    def test_findings_grow_monotonically_with_strictness(self):
+        boards = self.anomalous_boards()
+        scans = [
+            set(CheatDetector(strictness=s).scan(boards)) for s in (1, 2, 3)
+        ]
+        assert scans[0] < scans[1] < scans[2]
+
+    def test_clean_boards_scan_clean_at_every_level(self):
+        space = ColorSpace()
+        a, b = space.fresh(), space.fresh()
+        boards = boards_with(
+            [
+                (sign(kind=HOMEBASE, color=a), a),
+                (sign(color=a, payload=(0,)), a),
+            ],
+            [
+                (sign(kind=HOMEBASE, color=b), b),
+                (sign(color=a, payload=(1,)), a),
+                (sign(color=b, payload=(0,)), b),
+            ],
+        )
+        for strictness in (1, 2, 3):
+            assert CheatDetector(strictness=strictness).scan(boards) == []
+
+    def test_gap_analysis_needs_level_three(self):
+        space = ColorSpace()
+        a = space.fresh()
+        # visit numbers {0, 5}: not contiguous — an honest DFS can't do that.
+        boards = boards_with(
+            [(sign(color=a, payload=(0,)), a)],
+            [(sign(color=a, payload=(5,)), a)],
+        )
+        assert CheatDetector(strictness=2).scan(boards) == []
+        findings = CheatDetector(strictness=3).scan(boards)
+        assert len(findings) == 1 and "contiguous" in findings[0].message
+
+
+class FakeSim:
+    def __init__(self, boards):
+        self.boards = boards
+        self.emitted = []
+
+    def emit_system(self, kind, node, step, **fields):
+        self.emitted.append((kind, node, step, fields))
+
+
+class TestSweep:
+    def forged_sim(self):
+        space = ColorSpace()
+        boards = boards_with(
+            [(sign(color=space.fresh(), payload=(1,)), space.fresh())]
+        )
+        return FakeSim(boards)
+
+    def test_sweep_reports_traces_and_dedups(self):
+        sim = self.forged_sim()
+        detector = CheatDetector(strictness=1)
+        fresh = detector.sweep(sim, 10)
+        assert len(fresh) == len(detector.findings) == 1
+        assert isinstance(fresh[0], Finding)
+        assert [kind for kind, _, _, _ in sim.emitted] == [DETECT]
+        # The same evidence on the next sweep is old news.
+        assert detector.sweep(sim, 20) == []
+        assert len(detector.findings) == 1
+
+    def test_abort_policy_raises_on_fresh_evidence_only(self):
+        sim = self.forged_sim()
+        detector = CheatDetector(strictness=1, abort=True)
+        with pytest.raises(CheatDetected, match="cheat detected at step 10"):
+            detector.sweep(sim, 10)
+        # The finding is now known: a later sweep has nothing fresh.
+        assert detector.sweep(sim, 20) == []
+
+    def test_step_hook_respects_check_every(self):
+        sim = self.forged_sim()
+        detector = CheatDetector(strictness=1, check_every=25)
+        detector(sim, 10)
+        assert detector.findings == []
+        detector(sim, 25)
+        assert len(detector.findings) == 1
+
+
+class Forger(Agent):
+    byzantine = True
+
+    def __init__(self, color, victim, tail=6):
+        super().__init__(color)
+        self.victim = victim
+        self.tail = tail
+
+    def protocol(self, start):
+        yield Write(Sign(kind=DFS_VISITED, color=self.victim, payload=(7,)))
+        for _ in range(self.tail):
+            yield Read()
+        return None
+
+
+class TestEndToEnd:
+    def forged_sim(self, sink=None):
+        space = ColorSpace()
+        return Simulation(
+            cycle_graph(4),
+            [(Forger(space.fresh(), space.fresh()), 0)],
+            trace=sink,
+        )
+
+    def test_install_swaps_boards_and_keeps_existing_signs(self):
+        sim = self.forged_sim()
+        before = [board.snapshot() for board in sim.boards]
+        CheatDetector().install(sim)
+        assert all(
+            isinstance(board, FaultyWhiteboard) for board in sim.boards
+        )
+        assert [board.snapshot() for board in sim.boards] == before
+
+    def test_detector_catches_a_live_forgery(self):
+        sink = MemorySink()
+        sim = self.forged_sim(sink)
+        detector = CheatDetector(strictness=1, check_every=1).install(sim)
+        result = sim.run()
+        assert detector.findings
+        assert detector.findings[0].kind == PROVENANCE
+        detects = [ev for ev in sink.events if ev.kind == DETECT]
+        assert detects and detects[0].detail.startswith("forged")
+        reports = audit_trace(
+            sink.events,
+            header=sink.header,
+            moves=result.moves,
+            accesses=result.accesses,
+            steps=result.steps,
+        )
+        assert all(rep.ok for rep in reports), [str(r) for r in reports]
+
+    def test_abort_on_detection_stops_the_run(self):
+        sim = self.forged_sim()
+        CheatDetector(strictness=1, abort=True, check_every=1).install(sim)
+        with pytest.raises(CheatDetected):
+            sim.run()
